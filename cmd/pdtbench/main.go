@@ -1,0 +1,120 @@
+// Command pdtbench regenerates the paper's microbenchmark figures:
+//
+//	pdtbench -fig 16 [-max 1000000]          PDT maintenance cost vs size
+//	pdtbench -fig 17 [-n 1000000]            MergeScan scaling & key type
+//	pdtbench -fig 18 [-n 1000000]            single- vs multi-column keys
+//
+// Output is a plain-text table with one row per parameter combination,
+// mirroring the series of the corresponding figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdtstore/internal/bench"
+	"pdtstore/internal/table"
+)
+
+func main() {
+	fig := flag.Int("fig", 16, "figure to regenerate: 16, 17 or 18")
+	n := flag.Int("n", 1_000_000, "table size for figures 17/18")
+	maxEntries := flag.Int("max", 1_000_000, "PDT size to grow to for figure 16")
+	fanout := flag.Int("fanout", 8, "PDT fan-out")
+	blockRows := flag.Int("blockrows", 8192, "values per column block")
+	flag.Parse()
+
+	switch *fig {
+	case 16:
+		runFig16(*maxEntries, *fanout)
+	case 17:
+		runFig17(*n, *blockRows)
+	case 18:
+		runFig18(*n, *blockRows)
+	default:
+		fmt.Fprintf(os.Stderr, "pdtbench: unknown figure %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func runFig16(maxEntries, fanout int) {
+	fmt.Printf("Figure 16: PDT maintenance cost vs size (fanout=%d)\n", fanout)
+	fmt.Printf("%12s %14s %14s %14s\n", "entries", "insert ns/op", "modify ns/op", "delete ns/op")
+	pts := bench.Fig16(bench.Fig16Config{MaxEntries: maxEntries, Samples: 20, Fanout: fanout})
+	for _, p := range pts {
+		fmt.Printf("%12d %14.0f %14.0f %14.0f\n", p.Size, p.InsertNS, p.ModifyNS, p.DeleteNS)
+	}
+}
+
+var ratios = []float64{0, 0.5, 1.0, 1.5, 2.0, 2.5}
+
+func runFig17(n, blockRows int) {
+	fmt.Printf("Figure 17: MergeScan, %d tuples, 4 data cols + 1 key col\n", n)
+	fmt.Printf("%6s %8s %6s %14s %12s %10s\n", "keys", "upd/100", "mode", "scan ms (hot)", "IO MB", "rows")
+	for _, strKeys := range []bool{false, true} {
+		for _, ratio := range ratios {
+			for _, mode := range []table.DeltaMode{table.ModePDT, table.ModeVDT} {
+				cfg := bench.ScanConfig{
+					Tuples: n, DataCols: 4, KeyCols: 1, StringKeys: strKeys,
+					UpdatesPer100: ratio, Mode: mode, BlockRows: blockRows,
+				}
+				printScanRow(cfg)
+			}
+		}
+	}
+}
+
+func runFig18(n, blockRows int) {
+	fmt.Printf("Figure 18: MergeScan, %d tuples, 6 columns, 1-4 key columns\n", n)
+	fmt.Printf("%6s %8s %8s %6s %14s %12s %10s\n", "keys", "keycols", "upd/100", "mode", "scan ms (hot)", "IO MB", "rows")
+	for _, strKeys := range []bool{false, true} {
+		for _, ratio := range ratios {
+			for keyCols := 1; keyCols <= 4; keyCols++ {
+				for _, mode := range []table.DeltaMode{table.ModePDT, table.ModeVDT} {
+					cfg := bench.ScanConfig{
+						Tuples: n, DataCols: 6 - keyCols, KeyCols: keyCols,
+						StringKeys: strKeys, UpdatesPer100: ratio,
+						Mode: mode, BlockRows: blockRows,
+					}
+					printScanRow18(cfg)
+				}
+			}
+		}
+	}
+}
+
+func keyType(strKeys bool) string {
+	if strKeys {
+		return "str"
+	}
+	return "int"
+}
+
+func printScanRow(cfg bench.ScanConfig) {
+	r := measure(cfg)
+	fmt.Printf("%6s %8.1f %6v %14.2f %12.2f %10d\n",
+		keyType(cfg.StringKeys), cfg.UpdatesPer100, cfg.Mode,
+		r.HotNS/1e6, float64(r.IOBytes)/1e6, r.Rows)
+}
+
+func printScanRow18(cfg bench.ScanConfig) {
+	r := measure(cfg)
+	fmt.Printf("%6s %8d %8.1f %6v %14.2f %12.2f %10d\n",
+		keyType(cfg.StringKeys), cfg.KeyCols, cfg.UpdatesPer100, cfg.Mode,
+		r.HotNS/1e6, float64(r.IOBytes)/1e6, r.Rows)
+}
+
+func measure(cfg bench.ScanConfig) bench.ScanResult {
+	tbl, err := bench.BuildScanTable(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+		os.Exit(1)
+	}
+	r, err := bench.MeasureScan(tbl, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+		os.Exit(1)
+	}
+	return r
+}

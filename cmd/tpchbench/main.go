@@ -1,0 +1,80 @@
+// Command tpchbench regenerates Figure 19: the 22 TPC-H queries under
+// no-updates, VDT and PDT delta handling, after two refresh streams, on the
+// paper's two platform profiles:
+//
+//	tpchbench -profile server       compressed storage, 3 GB/s (plots 1-2)
+//	tpchbench -profile workstation  uncompressed, 150 MB/s (plots 3-5)
+//
+// Per query it prints hot (in-memory) time, I/O volume, modeled cold time,
+// and both times normalized to the VDT run — the paper's bar heights.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdtstore/internal/bench"
+	"pdtstore/internal/table"
+)
+
+func main() {
+	profile := flag.String("profile", "workstation", "server (compressed) or workstation (uncompressed)")
+	sf := flag.Float64("sf", 0.05, "TPC-H scale factor (paper: 30 server / 10 workstation)")
+	streams := flag.Int("streams", 2, "refresh stream pairs to apply")
+	frac := flag.Float64("frac", 0.001, "fraction of orders touched per stream")
+	flag.Parse()
+
+	cfg := bench.TPCHConfig{SF: *sf, Streams: *streams, UpdateFrac: *frac, BlockRows: 8192}
+	switch *profile {
+	case "server":
+		cfg.Compressed = true
+		cfg.BandwidthMB = 3000
+	case "workstation":
+		cfg.Compressed = false
+		cfg.BandwidthMB = 150
+	default:
+		fmt.Fprintf(os.Stderr, "tpchbench: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Figure 19 (%s): TPC-H SF-%g, compressed=%v, %d update streams, %.2f%% of orders each\n",
+		*profile, *sf, cfg.Compressed, *streams, *frac*100)
+	rows, err := bench.TPCH(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpchbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	type cell struct {
+		hot, cold float64
+		io        uint64
+	}
+	byQuery := map[int]map[table.DeltaMode]cell{}
+	for _, r := range rows {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[table.DeltaMode]cell{}
+		}
+		byQuery[r.Query][r.Mode] = cell{r.HotMS, r.ColdMS, r.IOBytes}
+	}
+	fmt.Printf("%4s | %9s %9s %9s | %9s %9s %9s | %8s %8s %8s | %6s %6s\n",
+		"Q", "none hot", "VDT hot", "PDT hot",
+		"none cold", "VDT cold", "PDT cold",
+		"none MB", "VDT MB", "PDT MB", "hotN", "coldN")
+	for q := 1; q <= 22; q++ {
+		c := byQuery[q]
+		n, v, p := c[table.ModeNone], c[table.ModeVDT], c[table.ModePDT]
+		hotNorm, coldNorm := 0.0, 0.0
+		if v.hot > 0 {
+			hotNorm = p.hot / v.hot
+		}
+		if v.cold > 0 {
+			coldNorm = p.cold / v.cold
+		}
+		fmt.Printf("%4d | %9.2f %9.2f %9.2f | %9.2f %9.2f %9.2f | %8.2f %8.2f %8.2f | %6.2f %6.2f\n",
+			q, n.hot, v.hot, p.hot, n.cold, v.cold, p.cold,
+			float64(n.io)/1e6, float64(v.io)/1e6, float64(p.io)/1e6,
+			hotNorm, coldNorm)
+	}
+	fmt.Println("\nhotN/coldN = PDT time normalized to the VDT run (the paper's bar heights; <1 means PDT wins).")
+}

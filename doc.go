@@ -1,0 +1,10 @@
+// Package pdtstore is a from-scratch Go reproduction of "Positional Update
+// Handling in Column Stores" (Héman, Zukowski, Nes, Sidirourgos, Boncz —
+// SIGMOD 2010): the Positional Delta Tree (PDT), its value-based baseline
+// (VDT), the columnar storage and query substrate they run on, layered-PDT
+// snapshot-isolation transactions, and the paper's full evaluation harness.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced evaluation. The benchmarks in
+// bench_test.go regenerate every figure of the paper's §4.
+package pdtstore

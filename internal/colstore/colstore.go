@@ -1,0 +1,511 @@
+// Package colstore implements the read-optimized stable table image: each
+// column is stored as a sequence of independently encoded blocks (compressed
+// or plain), all columns block-aligned by row position, together with a
+// sparse min-key index on the sort key (the paper's "Sparse Index") and a
+// simulated block device that accounts every byte fetched.
+//
+// The device substitutes for the paper's hard-disk/SSD testbeds: queries
+// report exact I/O volume (bytes of encoded blocks fetched cold), and the
+// benchmark harness models cold execution time as CPU time plus
+// bytes/bandwidth. Stable IDs (SIDs) are implicit: the value at position i of
+// every column belongs to the tuple with SID i.
+package colstore
+
+import (
+	"fmt"
+	"sync"
+
+	"pdtstore/internal/compress"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+// DefaultBlockRows is the default number of values per column block.
+const DefaultBlockRows = 8192
+
+// Device simulates the disk + buffer pool boundary. The first fetch of any
+// block is a cold read and is charged to the byte counter; subsequent
+// fetches hit the (unbounded) buffer pool and are free, so a benchmark can
+// measure a query's cold I/O volume by calling DropCaches and ResetStats
+// first, and its hot time by re-running with the pool warm.
+type Device struct {
+	mu        sync.Mutex
+	bytesRead uint64
+	reads     uint64
+	cached    map[devKey]struct{}
+	nextStore uint64
+}
+
+type blockKey struct{ col, blk int }
+
+// devKey identifies a block globally: stores sharing a device get distinct
+// ids so their blocks never alias in the pool.
+type devKey struct {
+	store    uint64
+	col, blk int
+}
+
+// NewDevice returns a device with an empty buffer pool.
+func NewDevice() *Device {
+	return &Device{cached: make(map[devKey]struct{})}
+}
+
+func (d *Device) register() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextStore++
+	return d.nextStore
+}
+
+func (d *Device) fetch(store uint64, col, blk, size int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := devKey{store, col, blk}
+	if _, ok := d.cached[k]; ok {
+		return
+	}
+	d.cached[k] = struct{}{}
+	d.bytesRead += uint64(size)
+	d.reads++
+}
+
+// DropCaches empties the simulated buffer pool, so the next fetch of every
+// block is cold again.
+func (d *Device) DropCaches() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cached = make(map[devKey]struct{})
+}
+
+// ResetStats zeroes the byte/read counters without touching the pool.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bytesRead, d.reads = 0, 0
+}
+
+// Stats returns the bytes and block reads charged since the last ResetStats.
+func (d *Device) Stats() (bytesRead, reads uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytesRead, d.reads
+}
+
+// Store is one table's immutable stable image.
+type Store struct {
+	schema     *types.Schema
+	id         uint64 // identity within the device's buffer pool
+	blockRows  int
+	compressed bool
+	nrows      uint64
+	blocks     [][][]byte // blocks[col][blk] = encoded bytes
+	sparse     []types.Row
+	dev        *Device
+
+	cacheMu sync.Mutex
+	decoded map[blockKey]*vector.Vector // small point-read decode cache
+}
+
+// Builder accumulates rows in sort-key order and produces a Store.
+type Builder struct {
+	store   *Store
+	pending *vector.Batch
+	lastKey types.Row
+	err     error
+}
+
+// NewBuilder starts building a store. blockRows <= 0 selects
+// DefaultBlockRows. The device may be shared across stores (one device per
+// benchmark "machine").
+func NewBuilder(schema *types.Schema, dev *Device, blockRows int, compressed bool) *Builder {
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	if dev == nil {
+		dev = NewDevice()
+	}
+	kinds := make([]types.Kind, schema.NumCols())
+	for i, c := range schema.Cols {
+		kinds[i] = c.Kind
+	}
+	return &Builder{
+		store: &Store{
+			schema:     schema,
+			id:         dev.register(),
+			blockRows:  blockRows,
+			compressed: compressed,
+			blocks:     make([][][]byte, schema.NumCols()),
+			dev:        dev,
+			decoded:    make(map[blockKey]*vector.Vector),
+		},
+		pending: vector.NewBatch(kinds, blockRows),
+	}
+}
+
+// Add appends one row; rows must arrive in strictly ascending sort-key order
+// (the sort key is a key, so duplicates are rejected too).
+func (b *Builder) Add(row types.Row) error {
+	if b.err != nil {
+		return b.err
+	}
+	s := b.store
+	if err := s.schema.ValidateRow(row); err != nil {
+		b.err = err
+		return err
+	}
+	key := s.schema.KeyOf(row)
+	if b.lastKey != nil && types.CompareRows(b.lastKey, key) >= 0 {
+		b.err = fmt.Errorf("colstore: rows not in strict sort-key order (%v then %v)", b.lastKey, key)
+		return b.err
+	}
+	b.lastKey = key
+	if b.pending.Len() == 0 {
+		s.sparse = append(s.sparse, key)
+	}
+	b.pending.AppendRow(row)
+	if b.pending.Len() == s.blockRows {
+		b.flush()
+	}
+	return b.err
+}
+
+// AddBatch appends all rows of a schema-aligned batch (fast path for
+// checkpointing); ordering is validated on block boundaries only, plus the
+// first row of every batch, which suffices because batch producers are
+// merge scans that emit in order.
+func (b *Builder) AddBatch(batch *vector.Batch) error {
+	if b.err != nil {
+		return b.err
+	}
+	for i := 0; i < batch.Len(); i++ {
+		s := b.store
+		if b.pending.Len() == 0 || i == 0 {
+			row := batch.Row(i)
+			key := s.schema.KeyOf(row)
+			if b.lastKey != nil && types.CompareRows(b.lastKey, key) >= 0 {
+				b.err = fmt.Errorf("colstore: batch rows not in sort-key order")
+				return b.err
+			}
+			if b.pending.Len() == 0 {
+				s.sparse = append(s.sparse, key)
+			}
+		}
+		for c, v := range b.pending.Vecs {
+			switch v.Kind {
+			case types.Float64:
+				v.F = append(v.F, batch.Vecs[c].F[i])
+			case types.String:
+				v.S = append(v.S, batch.Vecs[c].S[i])
+			default:
+				v.I = append(v.I, batch.Vecs[c].I[i])
+			}
+		}
+		if b.pending.Len() == s.blockRows {
+			lastIdx := s.blockRows - 1
+			b.lastKey = s.schema.KeyOf(b.pending.Row(lastIdx))
+			b.flush()
+		}
+	}
+	if b.pending.Len() > 0 {
+		b.lastKey = b.store.schema.KeyOf(b.pending.Row(b.pending.Len() - 1))
+	}
+	return nil
+}
+
+func (b *Builder) flush() {
+	s := b.store
+	n := b.pending.Len()
+	for c, v := range b.pending.Vecs {
+		var enc []byte
+		switch v.Kind {
+		case types.Float64:
+			enc = compress.EncodeFloat64s(v.F)
+		case types.String:
+			enc = compress.EncodeStrings(v.S, s.compressed)
+		case types.Bool:
+			enc = compress.EncodeBools(v.I)
+		default:
+			enc = compress.EncodeInt64s(v.I, s.compressed)
+		}
+		s.blocks[c] = append(s.blocks[c], enc)
+	}
+	s.nrows += uint64(n)
+	b.pending.Reset()
+}
+
+// Finish seals the store. The builder must not be used afterwards.
+func (b *Builder) Finish() (*Store, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.pending.Len() > 0 {
+		b.flush()
+	}
+	return b.store, nil
+}
+
+// BulkLoad builds a store from pre-sorted rows in one call.
+func BulkLoad(schema *types.Schema, dev *Device, blockRows int, compressed bool, rows []types.Row) (*Store, error) {
+	b := NewBuilder(schema, dev, blockRows, compressed)
+	for _, r := range rows {
+		if err := b.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}
+
+// Schema returns the store's schema.
+func (s *Store) Schema() *types.Schema { return s.schema }
+
+// NRows returns the number of stable tuples.
+func (s *Store) NRows() uint64 { return s.nrows }
+
+// BlockRows returns the number of rows per block.
+func (s *Store) BlockRows() int { return s.blockRows }
+
+// Compressed reports whether blocks were compressed at load time.
+func (s *Store) Compressed() bool { return s.compressed }
+
+// Device returns the block device this store charges reads to.
+func (s *Store) Device() *Device { return s.dev }
+
+// NumBlocks returns the per-column block count.
+func (s *Store) NumBlocks() int {
+	if len(s.blocks) == 0 {
+		return 0
+	}
+	return len(s.blocks[0])
+}
+
+// EncodedSize returns the on-"disk" size in bytes of the given column, or of
+// the whole table when col is negative.
+func (s *Store) EncodedSize(col int) uint64 {
+	var total uint64
+	for c, blks := range s.blocks {
+		if col >= 0 && c != col {
+			continue
+		}
+		for _, b := range blks {
+			total += uint64(len(b))
+		}
+	}
+	return total
+}
+
+// decodeBlock fetches (charging the device) and decodes one column block.
+func (s *Store) decodeBlock(col, blk int) (*vector.Vector, error) {
+	enc := s.blocks[col][blk]
+	s.dev.fetch(s.id, col, blk, len(enc))
+	kind := s.schema.Cols[col].Kind
+	v := vector.New(kind, s.blockRows)
+	var err error
+	switch kind {
+	case types.Float64:
+		v.F, err = compress.DecodeFloat64s(enc, v.F)
+	case types.String:
+		v.S, err = compress.DecodeStrings(enc, v.S)
+	case types.Bool:
+		v.I, err = compress.DecodeBools(enc, v.I)
+	default:
+		v.I, err = compress.DecodeInt64s(enc, v.I)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("colstore: column %d block %d: %w", col, blk, err)
+	}
+	return v, nil
+}
+
+const pointCacheCap = 64
+
+// cachedBlock is decodeBlock with a small shared cache, used by point reads.
+func (s *Store) cachedBlock(col, blk int) (*vector.Vector, error) {
+	k := blockKey{col, blk}
+	s.cacheMu.Lock()
+	if v, ok := s.decoded[k]; ok {
+		s.cacheMu.Unlock()
+		return v, nil
+	}
+	s.cacheMu.Unlock()
+	v, err := s.decodeBlock(col, blk)
+	if err != nil {
+		return nil, err
+	}
+	s.cacheMu.Lock()
+	if len(s.decoded) >= pointCacheCap {
+		for victim := range s.decoded {
+			delete(s.decoded, victim)
+			break
+		}
+	}
+	s.decoded[k] = v
+	s.cacheMu.Unlock()
+	return v, nil
+}
+
+// RowAt returns the values of the given columns for the tuple at sid.
+func (s *Store) RowAt(sid uint64, cols []int) (types.Row, error) {
+	if sid >= s.nrows {
+		return nil, fmt.Errorf("colstore: SID %d out of range (nrows=%d)", sid, s.nrows)
+	}
+	blk := int(sid) / s.blockRows
+	off := int(sid) % s.blockRows
+	out := make(types.Row, len(cols))
+	for i, c := range cols {
+		v, err := s.cachedBlock(c, blk)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v.Get(off)
+	}
+	return out, nil
+}
+
+// KeyAt returns the sort-key values of the tuple at sid.
+func (s *Store) KeyAt(sid uint64) (types.Row, error) {
+	return s.RowAt(sid, s.schema.SortKey)
+}
+
+// comparePrefix orders a (possibly partial, prefix-of-sort-key) key against
+// a block's first-row key, comparing only the columns present in key.
+func comparePrefix(key, blockKey types.Row) int {
+	n := len(key)
+	if len(blockKey) < n {
+		n = len(blockKey)
+	}
+	for i := 0; i < n; i++ {
+		if c := types.Compare(key[i], blockKey[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// SIDRange returns the half-open stable-ID range [from, to) of blocks whose
+// keys may fall within [loKey, hiKey]. Either bound may be nil (unbounded)
+// or a prefix of the sort key. The range is conservative: it may include a
+// leading/trailing partial block, never excludes a qualifying tuple.
+func (s *Store) SIDRange(loKey, hiKey types.Row) (from, to uint64) {
+	nb := s.NumBlocks()
+	if nb == 0 {
+		return 0, 0
+	}
+	first, last := 0, nb-1
+	if loKey != nil {
+		// First block that could contain loKey: the last block whose first
+		// key is strictly below loKey. A block whose first key prefix-equals
+		// loKey does not exclude its predecessor — with a prefix bound, the
+		// predecessor's tail can still hold prefix-equal keys.
+		lo, hi := 0, nb-1
+		first = 0
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			if comparePrefix(loKey, s.sparse[mid]) > 0 {
+				first = mid
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+	}
+	if hiKey != nil {
+		// Last block that could contain hiKey: the last block whose first
+		// key is <= hiKey.
+		lo, hi := 0, nb-1
+		last = 0
+		found := false
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			if comparePrefix(hiKey, s.sparse[mid]) >= 0 {
+				last = mid
+				found = true
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+		if !found {
+			// hiKey sorts before the first block's first key: only inserts
+			// in front of the table can match; empty stable range.
+			return 0, 0
+		}
+	}
+	if last < first {
+		return 0, 0
+	}
+	from = uint64(first) * uint64(s.blockRows)
+	to = uint64(last+1) * uint64(s.blockRows)
+	if to > s.nrows {
+		to = s.nrows
+	}
+	return from, to
+}
+
+// Scanner iterates a SID range of the store, producing schema-typed batches
+// for a column subset.
+type Scanner struct {
+	store *Store
+	cols  []int
+	sid   uint64 // next SID to produce
+	end   uint64
+	// decoded block per requested column, covering blkStart..blkStart+blockRows
+	bufs   []*vector.Vector
+	blkIdx int // which block the bufs hold, -1 if none
+}
+
+// NewScanner returns a scanner over SIDs [from, to) producing the given
+// columns. to is clamped to the table size.
+func (s *Store) NewScanner(cols []int, from, to uint64) *Scanner {
+	if to > s.nrows {
+		to = s.nrows
+	}
+	if from > to {
+		from = to
+	}
+	return &Scanner{
+		store:  s,
+		cols:   append([]int(nil), cols...),
+		sid:    from,
+		end:    to,
+		bufs:   make([]*vector.Vector, len(cols)),
+		blkIdx: -1,
+	}
+}
+
+// NextSID returns the SID the next produced row will have.
+func (sc *Scanner) NextSID() uint64 { return sc.sid }
+
+// Next appends up to max rows to out (one vector per requested column, plus
+// nothing else) and returns the number appended; 0 means the range is done.
+// out's vectors must match the requested columns' kinds.
+func (sc *Scanner) Next(out *vector.Batch, max int) (int, error) {
+	if sc.sid >= sc.end || max <= 0 {
+		return 0, nil
+	}
+	s := sc.store
+	blk := int(sc.sid) / s.blockRows
+	if blk != sc.blkIdx {
+		for i, c := range sc.cols {
+			v, err := s.decodeBlock(c, blk)
+			if err != nil {
+				return 0, err
+			}
+			sc.bufs[i] = v
+		}
+		sc.blkIdx = blk
+	}
+	off := int(sc.sid) % s.blockRows
+	blockEnd := uint64(blk+1) * uint64(s.blockRows)
+	if blockEnd > sc.end {
+		blockEnd = sc.end
+	}
+	n := int(blockEnd - sc.sid)
+	if n > max {
+		n = max
+	}
+	for i := range sc.cols {
+		out.Vecs[i].AppendRange(sc.bufs[i], off, off+n)
+	}
+	sc.sid += uint64(n)
+	return n, nil
+}

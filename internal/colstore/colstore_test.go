@@ -1,0 +1,325 @@
+package colstore
+
+import (
+	"fmt"
+	"testing"
+
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+func testSchema() *types.Schema {
+	return types.MustSchema([]types.Column{
+		{Name: "k", Kind: types.Int64},
+		{Name: "s", Kind: types.String},
+		{Name: "f", Kind: types.Float64},
+		{Name: "b", Kind: types.Bool},
+	}, []int{0})
+}
+
+func buildStore(t *testing.T, n, blockRows int, compressed bool) *Store {
+	t.Helper()
+	b := NewBuilder(testSchema(), nil, blockRows, compressed)
+	for i := 0; i < n; i++ {
+		row := types.Row{
+			types.Int(int64(i * 2)), // even keys so gaps exist
+			types.Str(fmt.Sprintf("s%04d", i)),
+			types.Float(float64(i) / 2),
+			types.BoolVal(i%3 == 0),
+		}
+		if err := b.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildAndMeta(t *testing.T) {
+	s := buildStore(t, 100, 16, false)
+	if s.NRows() != 100 {
+		t.Errorf("NRows = %d", s.NRows())
+	}
+	if s.NumBlocks() != 7 { // ceil(100/16)
+		t.Errorf("NumBlocks = %d", s.NumBlocks())
+	}
+	if s.BlockRows() != 16 || s.Compressed() {
+		t.Error("meta broken")
+	}
+	if s.EncodedSize(-1) == 0 || s.EncodedSize(0) == 0 {
+		t.Error("EncodedSize zero")
+	}
+	if s.EncodedSize(0) >= s.EncodedSize(-1) {
+		t.Error("single column should be smaller than whole table")
+	}
+}
+
+func TestBuilderRejectsOutOfOrder(t *testing.T) {
+	b := NewBuilder(testSchema(), nil, 4, false)
+	row := func(k int64) types.Row {
+		return types.Row{types.Int(k), types.Str("x"), types.Float(0), types.BoolVal(false)}
+	}
+	if err := b.Add(row(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(row(5)); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	b2 := NewBuilder(testSchema(), nil, 4, false)
+	if err := b2.Add(row(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Add(row(3)); err == nil {
+		t.Error("descending key accepted")
+	}
+}
+
+func TestBuilderRejectsBadRow(t *testing.T) {
+	b := NewBuilder(testSchema(), nil, 4, false)
+	if err := b.Add(types.Row{types.Int(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Error("Finish should propagate builder error")
+	}
+}
+
+func TestRowAtAndKeyAt(t *testing.T) {
+	for _, compressed := range []bool{false, true} {
+		s := buildStore(t, 100, 16, compressed)
+		for _, sid := range []uint64{0, 15, 16, 99} {
+			row, err := s.RowAt(sid, []int{0, 1, 2, 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := int64(sid)
+			if row[0].I != i*2 || row[1].S != fmt.Sprintf("s%04d", i) {
+				t.Errorf("compressed=%v RowAt(%d) = %v", compressed, sid, row)
+			}
+			key, err := s.KeyAt(sid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(key) != 1 || key[0].I != i*2 {
+				t.Errorf("KeyAt(%d) = %v", sid, key)
+			}
+		}
+		if _, err := s.RowAt(100, []int{0}); err == nil {
+			t.Error("out-of-range SID accepted")
+		}
+	}
+}
+
+func scanAll(t *testing.T, s *Store, cols []int, from, to uint64, batchSize int) *vector.Batch {
+	t.Helper()
+	kinds := make([]types.Kind, len(cols))
+	for i, c := range cols {
+		kinds[i] = s.Schema().Cols[c].Kind
+	}
+	out := vector.NewBatch(kinds, 64)
+	sc := s.NewScanner(cols, from, to)
+	for {
+		n, err := sc.Next(out, batchSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return out
+}
+
+func TestScannerFullAndRange(t *testing.T) {
+	for _, compressed := range []bool{false, true} {
+		s := buildStore(t, 100, 16, compressed)
+		full := scanAll(t, s, []int{0, 2}, 0, s.NRows(), 7)
+		if full.Len() != 100 {
+			t.Fatalf("full scan returned %d rows", full.Len())
+		}
+		for i := 0; i < 100; i++ {
+			if full.Vecs[0].I[i] != int64(i*2) || full.Vecs[1].F[i] != float64(i)/2 {
+				t.Fatalf("row %d wrong: %d %f", i, full.Vecs[0].I[i], full.Vecs[1].F[i])
+			}
+		}
+		// mid-block to mid-block range
+		part := scanAll(t, s, []int{1}, 10, 35, 4)
+		if part.Len() != 25 {
+			t.Fatalf("range scan returned %d rows", part.Len())
+		}
+		if part.Vecs[0].S[0] != "s0010" || part.Vecs[0].S[24] != "s0034" {
+			t.Errorf("range scan content wrong: %q %q", part.Vecs[0].S[0], part.Vecs[0].S[24])
+		}
+	}
+}
+
+func TestScannerClampsRange(t *testing.T) {
+	s := buildStore(t, 10, 4, false)
+	got := scanAll(t, s, []int{0}, 5, 999, 100)
+	if got.Len() != 5 {
+		t.Errorf("clamped scan returned %d rows", got.Len())
+	}
+	empty := scanAll(t, s, []int{0}, 8, 3, 100)
+	if empty.Len() != 0 {
+		t.Error("inverted range should be empty")
+	}
+}
+
+func TestDeviceAccounting(t *testing.T) {
+	s := buildStore(t, 100, 16, false)
+	dev := s.Device()
+	dev.DropCaches()
+	dev.ResetStats()
+	scanAll(t, s, []int{0}, 0, s.NRows(), 50)
+	coldBytes, coldReads := dev.Stats()
+	if coldBytes != s.EncodedSize(0) {
+		t.Errorf("cold scan read %d bytes, column is %d", coldBytes, s.EncodedSize(0))
+	}
+	if coldReads != uint64(s.NumBlocks()) {
+		t.Errorf("cold scan did %d reads, want %d", coldReads, s.NumBlocks())
+	}
+	// hot rerun: no new bytes
+	dev.ResetStats()
+	scanAll(t, s, []int{0}, 0, s.NRows(), 50)
+	hotBytes, _ := dev.Stats()
+	if hotBytes != 0 {
+		t.Errorf("hot scan read %d bytes, want 0", hotBytes)
+	}
+	// cold again after DropCaches
+	dev.DropCaches()
+	dev.ResetStats()
+	scanAll(t, s, []int{0}, 0, s.NRows(), 50)
+	again, _ := dev.Stats()
+	if again != coldBytes {
+		t.Errorf("re-cold scan read %d bytes, want %d", again, coldBytes)
+	}
+}
+
+func TestIOVolumeScalesWithColumns(t *testing.T) {
+	s := buildStore(t, 1000, 64, false)
+	dev := s.Device()
+	dev.DropCaches()
+	dev.ResetStats()
+	scanAll(t, s, []int{0}, 0, s.NRows(), 128)
+	one, _ := dev.Stats()
+	dev.DropCaches()
+	dev.ResetStats()
+	scanAll(t, s, []int{0, 1, 2}, 0, s.NRows(), 128)
+	three, _ := dev.Stats()
+	if three <= one {
+		t.Errorf("3-column scan (%d B) not larger than 1-column (%d B)", three, one)
+	}
+}
+
+func TestCompressionShrinksSortedKeys(t *testing.T) {
+	raw := buildStore(t, 5000, 256, false)
+	comp := buildStore(t, 5000, 256, true)
+	if comp.EncodedSize(0) >= raw.EncodedSize(0) {
+		t.Errorf("compressed key column %d B >= raw %d B", comp.EncodedSize(0), raw.EncodedSize(0))
+	}
+}
+
+func TestSIDRange(t *testing.T) {
+	s := buildStore(t, 100, 16, false) // keys 0,2,...,198; blocks of 16 rows
+	// unbounded
+	from, to := s.SIDRange(nil, nil)
+	if from != 0 || to != 100 {
+		t.Errorf("unbounded = [%d,%d)", from, to)
+	}
+	// key 40 is row 20, in block 1 (rows 16..31)
+	from, to = s.SIDRange(types.Row{types.Int(40)}, types.Row{types.Int(40)})
+	if from != 16 || to != 32 {
+		t.Errorf("point range = [%d,%d), want [16,32)", from, to)
+	}
+	// range spanning blocks: keys 40..100 → rows 20..50 → blocks 1..3
+	from, to = s.SIDRange(types.Row{types.Int(40)}, types.Row{types.Int(100)})
+	if from != 16 || to != 64 {
+		t.Errorf("span range = [%d,%d), want [16,64)", from, to)
+	}
+	// below all keys
+	from, to = s.SIDRange(nil, types.Row{types.Int(-5)})
+	if from != 0 || to != 0 {
+		t.Errorf("below-all = [%d,%d), want empty", from, to)
+	}
+	// above all keys: lo greater than everything still lands in last block
+	from, to = s.SIDRange(types.Row{types.Int(9999)}, nil)
+	if from != 96 || to != 100 {
+		t.Errorf("above-all lo = [%d,%d), want [96,100)", from, to)
+	}
+	// range must contain every matching row even between block boundaries
+	for key := int64(0); key < 200; key += 2 {
+		f, tt := s.SIDRange(types.Row{types.Int(key)}, types.Row{types.Int(key)})
+		sid := uint64(key / 2)
+		if sid < f || sid >= tt {
+			t.Fatalf("key %d at sid %d outside range [%d,%d)", key, sid, f, tt)
+		}
+	}
+}
+
+func TestSIDRangeEmptyStore(t *testing.T) {
+	b := NewBuilder(testSchema(), nil, 4, false)
+	s, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from, to := s.SIDRange(nil, nil); from != 0 || to != 0 {
+		t.Error("empty store should give empty range")
+	}
+}
+
+func TestAddBatch(t *testing.T) {
+	src := buildStore(t, 50, 8, false)
+	all := scanAll(t, src, []int{0, 1, 2, 3}, 0, 50, 50)
+	all.Rids = nil
+
+	b := NewBuilder(testSchema(), nil, 8, true)
+	if err := b.AddBatch(all); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NRows() != 50 {
+		t.Fatalf("AddBatch store has %d rows", s2.NRows())
+	}
+	for sid := uint64(0); sid < 50; sid++ {
+		a, _ := src.RowAt(sid, []int{0, 1, 2, 3})
+		c, _ := s2.RowAt(sid, []int{0, 1, 2, 3})
+		if types.CompareRows(a, c) != 0 {
+			t.Fatalf("row %d differs: %v vs %v", sid, a, c)
+		}
+	}
+}
+
+func TestAddBatchRejectsOutOfOrder(t *testing.T) {
+	kinds := []types.Kind{types.Int64, types.String, types.Float64, types.Bool}
+	bad := vector.NewBatch(kinds, 2)
+	bad.AppendRow(types.Row{types.Int(10), types.Str("a"), types.Float(0), types.BoolVal(false)})
+	b := NewBuilder(testSchema(), nil, 8, false)
+	if err := b.AddBatch(bad); err != nil {
+		t.Fatal(err)
+	}
+	bad2 := vector.NewBatch(kinds, 2)
+	bad2.AppendRow(types.Row{types.Int(5), types.Str("b"), types.Float(0), types.BoolVal(false)})
+	if err := b.AddBatch(bad2); err == nil {
+		t.Error("out-of-order batch accepted")
+	}
+}
+
+func TestPointCacheEviction(t *testing.T) {
+	s := buildStore(t, 100*pointCacheCap, 16, false)
+	// touch more blocks than the cache holds; correctness must be unaffected
+	for i := 0; i < 100*pointCacheCap; i += 16 {
+		row, err := s.RowAt(uint64(i), []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0].I != int64(i*2) {
+			t.Fatalf("RowAt(%d) = %v", i, row)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package compress implements the lightweight column-block codecs the stable
+// store uses: plain, delta+zigzag varint and run-length encoding for
+// integers, bit-packing for booleans, and plain/dictionary encodings for
+// strings. Encoders pick the smallest applicable scheme per block (column
+// stores compress per block so scans can skip and decompress independently),
+// unless compression is disabled, in which case the plain scheme is forced —
+// that is the paper's "non-compressed" workstation configuration.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Scheme identifies the physical encoding of a block.
+type Scheme byte
+
+const (
+	// PlainInt stores each int64 little-endian in 8 bytes.
+	PlainInt Scheme = iota + 1
+	// DeltaVarint stores zigzag-encoded deltas as varints; dense sorted
+	// columns (keys!) compress extremely well.
+	DeltaVarint
+	// RLEInt stores (zigzag varint value, varint run length) pairs.
+	RLEInt
+	// PlainFloat stores each float64 bit pattern little-endian in 8 bytes.
+	PlainFloat
+	// BitBool packs eight booleans per byte.
+	BitBool
+	// PlainString stores uint32 offsets followed by the concatenated bytes.
+	PlainString
+	// DictString stores a sorted dictionary of distinct strings followed by
+	// varint codes.
+	DictString
+)
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func putHeader(scheme Scheme, n int) []byte {
+	buf := make([]byte, 0, 5+n)
+	buf = append(buf, byte(scheme))
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(n))
+	return append(buf, tmp[:]...)
+}
+
+func readHeader(buf []byte) (Scheme, int, []byte, error) {
+	if len(buf) < 5 {
+		return 0, 0, nil, fmt.Errorf("compress: truncated header (%d bytes)", len(buf))
+	}
+	return Scheme(buf[0]), int(binary.LittleEndian.Uint32(buf[1:5])), buf[5:], nil
+}
+
+// EncodeInt64s encodes vals, choosing the smallest of plain, delta-varint and
+// RLE when compress is true, plain otherwise.
+func EncodeInt64s(vals []int64, compress bool) []byte {
+	if !compress {
+		return encodePlainInt(vals)
+	}
+	plain := encodePlainInt(vals)
+	delta := encodeDeltaVarint(vals)
+	rle := encodeRLEInt(vals)
+	best := plain
+	if len(delta) < len(best) {
+		best = delta
+	}
+	if len(rle) < len(best) {
+		best = rle
+	}
+	return best
+}
+
+func encodePlainInt(vals []int64) []byte {
+	buf := putHeader(PlainInt, len(vals))
+	var tmp [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+func encodeDeltaVarint(vals []int64) []byte {
+	buf := putHeader(DeltaVarint, len(vals))
+	var tmp [binary.MaxVarintLen64]byte
+	prev := int64(0)
+	for _, v := range vals {
+		n := binary.PutUvarint(tmp[:], zigzag(v-prev))
+		buf = append(buf, tmp[:n]...)
+		prev = v
+	}
+	return buf
+}
+
+func encodeRLEInt(vals []int64) []byte {
+	buf := putHeader(RLEInt, len(vals))
+	var tmp [binary.MaxVarintLen64]byte
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		n := binary.PutUvarint(tmp[:], zigzag(vals[i]))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(j-i))
+		buf = append(buf, tmp[:n]...)
+		i = j
+	}
+	return buf
+}
+
+// DecodeInt64s decodes a block produced by EncodeInt64s, appending to out.
+func DecodeInt64s(buf []byte, out []int64) ([]int64, error) {
+	scheme, n, body, err := readHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case PlainInt:
+		if len(body) < 8*n {
+			return nil, fmt.Errorf("compress: plain int block truncated")
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(body[8*i:])))
+		}
+		return out, nil
+	case DeltaVarint:
+		prev := int64(0)
+		for i := 0; i < n; i++ {
+			u, sz := binary.Uvarint(body)
+			if sz <= 0 {
+				return nil, fmt.Errorf("compress: bad varint in delta block")
+			}
+			body = body[sz:]
+			prev += unzigzag(u)
+			out = append(out, prev)
+		}
+		return out, nil
+	case RLEInt:
+		got := 0
+		for got < n {
+			u, sz := binary.Uvarint(body)
+			if sz <= 0 {
+				return nil, fmt.Errorf("compress: bad RLE value varint")
+			}
+			body = body[sz:]
+			run, sz := binary.Uvarint(body)
+			if sz <= 0 {
+				return nil, fmt.Errorf("compress: bad RLE run varint")
+			}
+			body = body[sz:]
+			if run == 0 || got+int(run) > n {
+				return nil, fmt.Errorf("compress: RLE run overflows block")
+			}
+			v := unzigzag(u)
+			for k := uint64(0); k < run; k++ {
+				out = append(out, v)
+			}
+			got += int(run)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("compress: scheme %d is not an int encoding", scheme)
+}
+
+// EncodeFloat64s encodes vals; floats are stored plain (the paper's
+// lightweight codecs target keys and categorical data, not measures).
+func EncodeFloat64s(vals []float64) []byte {
+	buf := putHeader(PlainFloat, len(vals))
+	var tmp [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// DecodeFloat64s decodes a block produced by EncodeFloat64s, appending to out.
+func DecodeFloat64s(buf []byte, out []float64) ([]float64, error) {
+	scheme, n, body, err := readHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if scheme != PlainFloat {
+		return nil, fmt.Errorf("compress: scheme %d is not a float encoding", scheme)
+	}
+	if len(body) < 8*n {
+		return nil, fmt.Errorf("compress: float block truncated")
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:])))
+	}
+	return out, nil
+}
+
+// EncodeBools bit-packs booleans represented as 0/1 int64s (the vector
+// layer's native bool representation). The compress flag is accepted for
+// interface symmetry; bit-packing is always worthwhile and lossless.
+func EncodeBools(vals []int64) []byte {
+	buf := putHeader(BitBool, len(vals))
+	nBytes := (len(vals) + 7) / 8
+	bits := make([]byte, nBytes)
+	for i, v := range vals {
+		if v != 0 {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	return append(buf, bits...)
+}
+
+// DecodeBools decodes a block produced by EncodeBools, appending 0/1 int64s.
+func DecodeBools(buf []byte, out []int64) ([]int64, error) {
+	scheme, n, body, err := readHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if scheme != BitBool {
+		return nil, fmt.Errorf("compress: scheme %d is not a bool encoding", scheme)
+	}
+	if len(body) < (n+7)/8 {
+		return nil, fmt.Errorf("compress: bool block truncated")
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, int64(body[i/8]>>(i%8)&1))
+	}
+	return out, nil
+}
+
+// EncodeStrings encodes vals, choosing dictionary encoding when it is
+// smaller than plain (and compress is true).
+func EncodeStrings(vals []string, compress bool) []byte {
+	plain := encodePlainString(vals)
+	if !compress {
+		return plain
+	}
+	if dict := encodeDictString(vals); len(dict) < len(plain) {
+		return dict
+	}
+	return plain
+}
+
+func encodePlainString(vals []string) []byte {
+	buf := putHeader(PlainString, len(vals))
+	var tmp [4]byte
+	off := uint32(0)
+	for _, s := range vals {
+		off += uint32(len(s))
+		binary.LittleEndian.PutUint32(tmp[:], off)
+		buf = append(buf, tmp[:]...)
+	}
+	for _, s := range vals {
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+func encodeDictString(vals []string) []byte {
+	distinct := make(map[string]int, 64)
+	var dict []string
+	for _, s := range vals {
+		if _, ok := distinct[s]; !ok {
+			distinct[s] = len(dict)
+			dict = append(dict, s)
+		}
+	}
+	buf := putHeader(DictString, len(vals))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(dict)))
+	buf = append(buf, tmp[:n]...)
+	for _, s := range dict {
+		n = binary.PutUvarint(tmp[:], uint64(len(s)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, s...)
+	}
+	for _, s := range vals {
+		n = binary.PutUvarint(tmp[:], uint64(distinct[s]))
+		buf = append(buf, tmp[:n]...)
+	}
+	return buf
+}
+
+// DecodeStrings decodes a block produced by EncodeStrings, appending to out.
+func DecodeStrings(buf []byte, out []string) ([]string, error) {
+	scheme, n, body, err := readHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case PlainString:
+		if len(body) < 4*n {
+			return nil, fmt.Errorf("compress: string offsets truncated")
+		}
+		data := body[4*n:]
+		prev := uint32(0)
+		for i := 0; i < n; i++ {
+			off := binary.LittleEndian.Uint32(body[4*i:])
+			if off < prev || int(off) > len(data) {
+				return nil, fmt.Errorf("compress: bad string offset")
+			}
+			out = append(out, string(data[prev:off]))
+			prev = off
+		}
+		return out, nil
+	case DictString:
+		dictLen, sz := binary.Uvarint(body)
+		if sz <= 0 {
+			return nil, fmt.Errorf("compress: bad dict length")
+		}
+		body = body[sz:]
+		dict := make([]string, dictLen)
+		for i := range dict {
+			l, sz := binary.Uvarint(body)
+			if sz <= 0 || int(l) > len(body)-sz {
+				return nil, fmt.Errorf("compress: bad dict entry")
+			}
+			body = body[sz:]
+			dict[i] = string(body[:l])
+			body = body[l:]
+		}
+		for i := 0; i < n; i++ {
+			code, sz := binary.Uvarint(body)
+			if sz <= 0 || code >= dictLen {
+				return nil, fmt.Errorf("compress: bad dict code")
+			}
+			body = body[sz:]
+			out = append(out, dict[code])
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("compress: scheme %d is not a string encoding", scheme)
+}
+
+// BlockScheme reports the scheme tag of an encoded block (for stats/tests).
+func BlockScheme(buf []byte) Scheme {
+	if len(buf) == 0 {
+		return 0
+	}
+	return Scheme(buf[0])
+}

@@ -1,0 +1,212 @@
+package compress
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntRoundTripPlain(t *testing.T) {
+	vals := []int64{3, -1, 0, 1 << 40, -(1 << 40)}
+	buf := EncodeInt64s(vals, false)
+	if BlockScheme(buf) != PlainInt {
+		t.Fatalf("forced plain, got scheme %d", BlockScheme(buf))
+	}
+	got, err := DecodeInt64s(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Errorf("got %v want %v", got, vals)
+	}
+}
+
+func TestIntCompressedPicksDeltaForSorted(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(1000000 + i)
+	}
+	buf := EncodeInt64s(vals, true)
+	if BlockScheme(buf) != DeltaVarint {
+		t.Errorf("sorted ints should pick delta-varint, got %d", BlockScheme(buf))
+	}
+	if len(buf) >= 8*len(vals) {
+		t.Errorf("delta encoding did not shrink: %d bytes", len(buf))
+	}
+	got, err := DecodeInt64s(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Error("delta round trip broken")
+	}
+}
+
+func TestIntCompressedPicksRLEForConstant(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = 42
+	}
+	buf := EncodeInt64s(vals, true)
+	if BlockScheme(buf) != RLEInt {
+		t.Errorf("constant ints should pick RLE, got %d", BlockScheme(buf))
+	}
+	got, err := DecodeInt64s(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Error("RLE round trip broken")
+	}
+}
+
+func TestIntRoundTripQuick(t *testing.T) {
+	f := func(vals []int64, compress bool) bool {
+		buf := EncodeInt64s(vals, compress)
+		got, err := DecodeInt64s(buf, nil)
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		got, err := DecodeFloat64s(EncodeFloat64s(vals), nil)
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	f := func(raw []bool) bool {
+		vals := make([]int64, len(raw))
+		for i, b := range raw {
+			if b {
+				vals[i] = 1
+			}
+		}
+		got, err := DecodeBools(EncodeBools(vals), nil)
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// size check: 1 bit per value plus header
+	buf := EncodeBools(make([]int64, 800))
+	if len(buf) != 5+100 {
+		t.Errorf("bitpacked size = %d, want 105", len(buf))
+	}
+}
+
+func TestStringRoundTripQuick(t *testing.T) {
+	f := func(vals []string, compress bool) bool {
+		buf := EncodeStrings(vals, compress)
+		got, err := DecodeStrings(buf, nil)
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDictChosenForLowCardinality(t *testing.T) {
+	vals := make([]string, 1000)
+	for i := range vals {
+		vals[i] = []string{"alpha", "beta", "gamma"}[i%3]
+	}
+	buf := EncodeStrings(vals, true)
+	if BlockScheme(buf) != DictString {
+		t.Errorf("low-cardinality strings should pick dict, got %d", BlockScheme(buf))
+	}
+	plain := EncodeStrings(vals, false)
+	if BlockScheme(plain) != PlainString {
+		t.Errorf("uncompressed strings should be plain, got %d", BlockScheme(plain))
+	}
+	if len(buf) >= len(plain) {
+		t.Error("dict encoding not smaller than plain")
+	}
+	got, err := DecodeStrings(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Error("dict round trip broken")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeInt64s(nil, nil); err == nil {
+		t.Error("nil buffer accepted")
+	}
+	if _, err := DecodeInt64s([]byte{1, 2}, nil); err == nil {
+		t.Error("short header accepted")
+	}
+	// wrong scheme routing
+	ints := EncodeInt64s([]int64{1}, false)
+	if _, err := DecodeFloat64s(ints, nil); err == nil {
+		t.Error("float decoder accepted int block")
+	}
+	if _, err := DecodeStrings(ints, nil); err == nil {
+		t.Error("string decoder accepted int block")
+	}
+	if _, err := DecodeBools(ints, nil); err == nil {
+		t.Error("bool decoder accepted int block")
+	}
+	floats := EncodeFloat64s([]float64{1})
+	if _, err := DecodeInt64s(floats, nil); err == nil {
+		t.Error("int decoder accepted float block")
+	}
+	// truncated bodies
+	long := EncodeInt64s([]int64{1, 2, 3}, false)
+	if _, err := DecodeInt64s(long[:10], nil); err == nil {
+		t.Error("truncated int body accepted")
+	}
+	fbuf := EncodeFloat64s([]float64{1, 2})
+	if _, err := DecodeFloat64s(fbuf[:8], nil); err == nil {
+		t.Error("truncated float body accepted")
+	}
+	sbuf := EncodeStrings([]string{"hello", "world"}, false)
+	if _, err := DecodeStrings(sbuf[:7], nil); err == nil {
+		t.Error("truncated string offsets accepted")
+	}
+	bbuf := EncodeBools([]int64{1, 0, 1, 1, 1, 1, 1, 1, 1})
+	if _, err := DecodeBools(bbuf[:5], nil); err == nil {
+		t.Error("truncated bool body accepted")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 62, -(1 << 62)} {
+		if unzigzag(zigzag(v)) != v {
+			t.Errorf("zigzag round trip failed for %d", v)
+		}
+	}
+}

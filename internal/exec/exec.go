@@ -1,0 +1,214 @@
+// Package exec provides the small vectorized query-processing toolkit the
+// TPC-H workload is written against: batch streaming over any positional
+// source, filtering, hash aggregation, hash joins and ordering. It is
+// deliberately minimal — the paper's subject is the scan/merge path, and
+// these operators supply the "processing" side of each query in
+// block-at-a-time style.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+// Stream pulls batches of up to batchSize rows from src and hands each to fn
+// (the batch is reused; fn must not retain it).
+func Stream(src pdt.BatchSource, kinds []types.Kind, batchSize int, fn func(b *vector.Batch) error) error {
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	b := vector.NewBatch(kinds, batchSize)
+	for {
+		b.Reset()
+		n, err := src.Next(b, batchSize)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+}
+
+// Collect drains src into one batch.
+func Collect(src pdt.BatchSource, kinds []types.Kind) (*vector.Batch, error) {
+	out := vector.NewBatch(kinds, 1024)
+	for {
+		n, err := src.Next(out, 1024)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+// Select returns the indexes of rows in b satisfying pred.
+func Select(b *vector.Batch, pred func(i int) bool) []int {
+	sel := make([]int, 0, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		if pred(i) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// GroupKey builds a composite group key from values.
+func GroupKey(vals ...types.Value) string {
+	var sb strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteByte(0)
+		}
+		sb.WriteString(v.String())
+	}
+	return sb.String()
+}
+
+// Agg is one accumulator cell.
+type Agg struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Add folds x into the cell.
+func (a *Agg) Add(x float64) {
+	if a.Count == 0 || x < a.Min {
+		a.Min = x
+	}
+	if a.Count == 0 || x > a.Max {
+		a.Max = x
+	}
+	a.Count++
+	a.Sum += x
+}
+
+// Avg returns the running mean.
+func (a *Agg) Avg() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// GroupAgg is a hash aggregation keyed by composite string keys, holding a
+// fixed number of accumulator cells per group.
+type GroupAgg struct {
+	nAggs  int
+	groups map[string]*groupState
+}
+
+type groupState struct {
+	repr types.Row
+	aggs []Agg
+}
+
+// NewGroupAgg creates an aggregation with nAggs cells per group.
+func NewGroupAgg(nAggs int) *GroupAgg {
+	return &GroupAgg{nAggs: nAggs, groups: map[string]*groupState{}}
+}
+
+// Touch returns the accumulator cells for a group, creating it with the
+// given representative key row on first sight.
+func (g *GroupAgg) Touch(key string, repr func() types.Row) []Agg {
+	st, ok := g.groups[key]
+	if !ok {
+		st = &groupState{repr: repr(), aggs: make([]Agg, g.nAggs)}
+		g.groups[key] = st
+	}
+	return st.aggs
+}
+
+// Len returns the number of groups.
+func (g *GroupAgg) Len() int { return len(g.groups) }
+
+// Result is one output group.
+type Result struct {
+	Key  types.Row
+	Aggs []Agg
+}
+
+// Results returns all groups, sorted by their representative key rows.
+func (g *GroupAgg) Results() []Result {
+	out := make([]Result, 0, len(g.groups))
+	for _, st := range g.groups {
+		out = append(out, Result{Key: st.repr, Aggs: st.aggs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return types.CompareRows(out[i].Key, out[j].Key) < 0
+	})
+	return out
+}
+
+// IntJoinMap is a hash join build side keyed by int64 (the common TPC-H
+// case: all join keys are integer surrogates).
+type IntJoinMap struct {
+	rows map[int64][]types.Row
+}
+
+// NewIntJoinMap builds a join map from a batch: key column keyCol, payload
+// the given columns.
+func NewIntJoinMap(b *vector.Batch, keyCol int, payloadCols []int) *IntJoinMap {
+	m := &IntJoinMap{rows: make(map[int64][]types.Row, b.Len())}
+	for i := 0; i < b.Len(); i++ {
+		k := b.Vecs[keyCol].I[i]
+		payload := make(types.Row, len(payloadCols))
+		for j, c := range payloadCols {
+			payload[j] = b.Vecs[c].Get(i)
+		}
+		m.rows[k] = append(m.rows[k], payload)
+	}
+	return m
+}
+
+// Probe returns the payload rows for key.
+func (m *IntJoinMap) Probe(key int64) []types.Row { return m.rows[key] }
+
+// ProbeOne returns the single payload row for key (unique joins).
+func (m *IntJoinMap) ProbeOne(key int64) (types.Row, bool) {
+	rs := m.rows[key]
+	if len(rs) == 0 {
+		return nil, false
+	}
+	return rs[0], true
+}
+
+// Len returns the number of distinct keys.
+func (m *IntJoinMap) Len() int { return len(m.rows) }
+
+// SortBatch returns a row-index permutation of b ordered by less.
+func SortBatch(b *vector.Batch, less func(i, j int) bool) []int {
+	idx := make([]int, b.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return less(idx[x], idx[y]) })
+	return idx
+}
+
+// FormatRow renders a result row with fixed float precision, for the
+// deterministic query fingerprints the cross-mode tests compare.
+func FormatRow(vals ...interface{}) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf("%.2f", x)
+		default:
+			parts[i] = fmt.Sprint(x)
+		}
+	}
+	return strings.Join(parts, "|")
+}

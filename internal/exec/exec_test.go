@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+type fakeSource struct {
+	vals []int64
+	pos  int
+}
+
+func (f *fakeSource) Next(out *vector.Batch, max int) (int, error) {
+	n := 0
+	for f.pos < len(f.vals) && n < max {
+		out.Vecs[0].I = append(out.Vecs[0].I, f.vals[f.pos])
+		out.Rids = append(out.Rids, uint64(f.pos))
+		f.pos++
+		n++
+	}
+	return n, nil
+}
+
+func TestStreamAndCollect(t *testing.T) {
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	kinds := []types.Kind{types.Int64}
+	sum := int64(0)
+	err := Stream(&fakeSource{vals: vals}, kinds, 7, func(b *vector.Batch) error {
+		for _, v := range b.Vecs[0].I {
+			sum += v
+		}
+		return nil
+	})
+	if err != nil || sum != 4950 {
+		t.Fatalf("stream sum = %d (%v)", sum, err)
+	}
+	out, err := Collect(&fakeSource{vals: vals}, kinds)
+	if err != nil || out.Len() != 100 {
+		t.Fatalf("collect: %d rows (%v)", out.Len(), err)
+	}
+	wantErr := errors.New("stop")
+	err = Stream(&fakeSource{vals: vals}, kinds, 7, func(b *vector.Batch) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatal("stream did not propagate error")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	b := vector.NewBatch([]types.Kind{types.Int64}, 8)
+	for i := int64(0); i < 8; i++ {
+		b.AppendRow(types.Row{types.Int(i)})
+	}
+	sel := Select(b, func(i int) bool { return b.Vecs[0].I[i]%2 == 0 })
+	if len(sel) != 4 || sel[0] != 0 || sel[3] != 6 {
+		t.Fatalf("sel = %v", sel)
+	}
+}
+
+func TestAgg(t *testing.T) {
+	var a Agg
+	for _, x := range []float64{3, 1, 2} {
+		a.Add(x)
+	}
+	if a.Count != 3 || a.Sum != 6 || a.Min != 1 || a.Max != 3 || a.Avg() != 2 {
+		t.Fatalf("agg = %+v", a)
+	}
+	var empty Agg
+	if empty.Avg() != 0 {
+		t.Fatal("empty avg must be 0")
+	}
+}
+
+func TestGroupAgg(t *testing.T) {
+	g := NewGroupAgg(2)
+	data := []struct {
+		k string
+		v float64
+	}{{"b", 1}, {"a", 2}, {"b", 3}}
+	for _, d := range data {
+		d := d
+		cells := g.Touch(d.k, func() types.Row { return types.Row{types.Str(d.k)} })
+		cells[0].Add(d.v)
+		cells[1].Add(-d.v)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	rs := g.Results()
+	if rs[0].Key[0].S != "a" || rs[1].Key[0].S != "b" {
+		t.Fatal("results not key-sorted")
+	}
+	if rs[1].Aggs[0].Sum != 4 || rs[1].Aggs[1].Sum != -4 {
+		t.Fatalf("group b aggs = %+v", rs[1].Aggs)
+	}
+}
+
+func TestGroupKey(t *testing.T) {
+	a := GroupKey(types.Str("x"), types.Int(1))
+	b := GroupKey(types.Str("x"), types.Int(2))
+	if a == b {
+		t.Fatal("distinct keys collide")
+	}
+	if GroupKey(types.Str("x"), types.Int(1)) != a {
+		t.Fatal("group key not deterministic")
+	}
+}
+
+func TestIntJoinMap(t *testing.T) {
+	b := vector.NewBatch([]types.Kind{types.Int64, types.String}, 4)
+	b.AppendRow(types.Row{types.Int(1), types.Str("a")})
+	b.AppendRow(types.Row{types.Int(2), types.Str("b")})
+	b.AppendRow(types.Row{types.Int(1), types.Str("c")})
+	m := NewIntJoinMap(b, 0, []int{1})
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if rows := m.Probe(1); len(rows) != 2 || rows[1][0].S != "c" {
+		t.Fatalf("probe(1) = %v", rows)
+	}
+	if _, ok := m.ProbeOne(9); ok {
+		t.Fatal("probe of missing key")
+	}
+	if r, ok := m.ProbeOne(2); !ok || r[0].S != "b" {
+		t.Fatalf("probeOne(2) = %v", r)
+	}
+}
+
+func TestSortBatch(t *testing.T) {
+	b := vector.NewBatch([]types.Kind{types.Int64}, 4)
+	for _, v := range []int64{3, 1, 2} {
+		b.AppendRow(types.Row{types.Int(v)})
+	}
+	idx := SortBatch(b, func(i, j int) bool { return b.Vecs[0].I[i] < b.Vecs[0].I[j] })
+	if b.Vecs[0].I[idx[0]] != 1 || b.Vecs[0].I[idx[2]] != 3 {
+		t.Fatalf("sort order = %v", idx)
+	}
+}
+
+func TestFormatRow(t *testing.T) {
+	got := FormatRow("x", 1.23456, 7)
+	if got != "x|1.23|7" {
+		t.Fatalf("FormatRow = %q", got)
+	}
+}

@@ -1,0 +1,89 @@
+package pdt
+
+// bulkBuilder constructs a PDT's tree bottom-up from entries supplied in
+// (SID, RID) order, used by Copy and Serialize. It fills leaves to the
+// fanout and then stacks internal levels, computing deltas and separators in
+// one pass.
+type bulkBuilder struct {
+	t      *PDT
+	leaves []*leaf
+	cur    *leaf
+}
+
+func newBulkBuilder(t *PDT) *bulkBuilder {
+	return &bulkBuilder{t: t}
+}
+
+func (b *bulkBuilder) append(sid uint64, kind uint16, val uint64) {
+	if b.cur == nil || b.cur.count() == b.t.fanout {
+		b.cur = &leaf{}
+		b.leaves = append(b.leaves, b.cur)
+	}
+	b.cur.sids = append(b.cur.sids, sid)
+	b.cur.kinds = append(b.cur.kinds, kind)
+	b.cur.vals = append(b.cur.vals, val)
+	b.t.nEntries++
+	switch kind {
+	case KindIns:
+		b.t.nIns++
+	case KindDel:
+		b.t.nDel++
+	default:
+		b.t.nMod++
+	}
+}
+
+func (b *bulkBuilder) finish() {
+	t := b.t
+	if len(b.leaves) == 0 {
+		lf := &leaf{}
+		t.root, t.first, t.last = lf, lf, lf
+		return
+	}
+	for i, lf := range b.leaves {
+		if i > 0 {
+			lf.prev = b.leaves[i-1]
+			b.leaves[i-1].next = lf
+		}
+	}
+	t.first = b.leaves[0]
+	t.last = b.leaves[len(b.leaves)-1]
+
+	level := make([]node, len(b.leaves))
+	mins := make([]uint64, len(b.leaves))
+	deltas := make([]int64, len(b.leaves))
+	for i, lf := range b.leaves {
+		level[i] = lf
+		mins[i] = lf.sids[0]
+		deltas[i] = lf.localDelta()
+	}
+	for len(level) > 1 {
+		var nextLevel []node
+		var nextMins []uint64
+		var nextDeltas []int64
+		for i := 0; i < len(level); i += t.fanout {
+			j := i + t.fanout
+			if j > len(level) {
+				j = len(level)
+			}
+			in := &inner{
+				children: append([]node(nil), level[i:j]...),
+				seps:     append([]uint64(nil), mins[i+1:j]...),
+				deltas:   append([]int64(nil), deltas[i:j]...),
+			}
+			var sum int64
+			for _, d := range in.deltas {
+				sum += d
+			}
+			for _, c := range in.children {
+				c.setParent(in)
+			}
+			nextLevel = append(nextLevel, in)
+			nextMins = append(nextMins, mins[i])
+			nextDeltas = append(nextDeltas, sum)
+		}
+		level, mins, deltas = nextLevel, nextMins, nextDeltas
+	}
+	t.root = level[0]
+	t.root.setParent(nil)
+}

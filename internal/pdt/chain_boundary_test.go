@@ -1,0 +1,132 @@
+package pdt
+
+// Targeted tests for update chains that span leaf boundaries — the cases the
+// backward-walking rid-chain cursor exists for. A tuple's modify run (one
+// entry per column) can cross leaves at small fan-outs, and in-place
+// detection must still find the matching column on the far side.
+
+import (
+	"fmt"
+	"testing"
+
+	"pdtstore/internal/types"
+)
+
+// wideSchema has enough non-key columns to out-span any leaf at fanout 3.
+func wideSchema() *types.Schema {
+	cols := []types.Column{{Name: "k", Kind: types.Int64}}
+	for i := 0; i < 10; i++ {
+		cols = append(cols, types.Column{Name: fmt.Sprintf("c%d", i), Kind: types.Int64})
+	}
+	return types.MustSchema(cols, []int{0})
+}
+
+func wideRow(k int64) types.Row {
+	r := types.Row{types.Int(k)}
+	for i := 0; i < 10; i++ {
+		r = append(r, types.Int(k*100+int64(i)))
+	}
+	return r
+}
+
+func TestModifyRunSpanningLeaves(t *testing.T) {
+	schema := wideSchema()
+	stable := []types.Row{wideRow(10), wideRow(20), wideRow(30)}
+	p := New(schema, 3) // tiny fanout: 8 modifies of one tuple span 3 leaves
+	ref := newRefModel(schema, stable)
+
+	// Modify 8 distinct columns of the middle tuple, in shuffled order.
+	for _, col := range []int{5, 2, 9, 1, 7, 3, 8, 6} {
+		applyModify(t, p, ref, 1, col, types.Int(int64(1000+col)))
+	}
+	if _, leaves := p.DepthAndLeaves(); leaves < 3 {
+		t.Fatalf("test needs a multi-leaf chain, got %d leaves", leaves)
+	}
+	checkAgainstRef(t, p, stable, ref)
+
+	// Re-modify a LOW column whose entry now sits in an earlier leaf than
+	// the chain tail: must update in place, not duplicate.
+	before := p.Count()
+	applyModify(t, p, ref, 1, 1, types.Int(5555))
+	if p.Count() != before {
+		t.Fatalf("re-modify duplicated an entry: %d -> %d\n%s", before, p.Count(), p)
+	}
+	checkAgainstRef(t, p, stable, ref)
+
+	// Columns must still be strictly ascending along the chain.
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteCollapsesModifyRunAcrossLeaves(t *testing.T) {
+	schema := wideSchema()
+	stable := []types.Row{wideRow(10), wideRow(20), wideRow(30)}
+	p := New(schema, 3)
+	ref := newRefModel(schema, stable)
+	for col := 1; col <= 9; col++ {
+		applyModify(t, p, ref, 1, col, types.Int(int64(col)))
+	}
+	// Deleting the tuple must remove every modify entry (spanning several
+	// leaves) and leave a single DEL.
+	applyDelete(t, p, ref, 1)
+	ins, del, mod := p.Counts()
+	if ins != 0 || del != 1 || mod != 0 {
+		t.Fatalf("after delete: ins=%d del=%d mod=%d\n%s", ins, del, mod, p)
+	}
+	checkAgainstRef(t, p, stable, ref)
+}
+
+func TestGhostChainSpanningLeaves(t *testing.T) {
+	// Many ghosts at one RID, spanning leaves; SKRidToSid must walk the
+	// whole chain head-first and order a new insert among them.
+	schema := intSchema()
+	stable := buildIntTable(12) // keys 10..120
+	p := New(schema, 3)
+	ref := newRefModel(schema, stable)
+	for i := 0; i < 8; i++ { // delete keys 20..90: 8 ghosts share one RID
+		applyDelete(t, p, ref, 1)
+	}
+	checkAgainstRef(t, p, stable, ref)
+	// Insert between ghost 50 and ghost 60.
+	applyInsert(t, p, ref, types.Row{types.Int(55), types.Int(0), types.Str("mid")})
+	checkAgainstRef(t, p, stable, ref)
+	for _, e := range p.Entries() {
+		if e.IsInsert() && p.EntryTuple(e)[0].I == 55 && e.SID != 5 {
+			t.Fatalf("insert among spanning ghosts got SID %d, want 5", e.SID)
+		}
+	}
+	// And modifying the first surviving tuple (rid 1) must skip the whole
+	// ghost chain.
+	applyModify(t, p, ref, 2, 1, types.Int(777))
+	checkAgainstRef(t, p, stable, ref)
+}
+
+func TestInsertChainSpanningLeavesThenDeleteEach(t *testing.T) {
+	// A long run of inserts at one SID spans leaves; deleting them one by
+	// one exercises delete-of-insert with entry removal at leaf boundaries
+	// (including emptied-leaf collapse).
+	schema := intSchema()
+	stable := []types.Row{{types.Int(0), types.Int(0), types.Str("lo")},
+		{types.Int(1000), types.Int(0), types.Str("hi")}}
+	p := New(schema, 3)
+	ref := newRefModel(schema, stable)
+	for i := int64(1); i <= 20; i++ {
+		applyInsert(t, p, ref, types.Row{types.Int(i * 10), types.Int(i), types.Str("x")})
+	}
+	if _, leaves := p.DepthAndLeaves(); leaves < 5 {
+		t.Fatalf("expected a multi-leaf insert chain, got %d leaves", leaves)
+	}
+	checkAgainstRef(t, p, stable, ref)
+	// Delete from the middle outward.
+	rng := []int{10, 3, 15, 1, 7, 12, 2, 9, 4, 11, 1, 1, 5, 2, 3, 1, 2, 1, 1, 1}
+	for _, rid := range rng {
+		if rid < len(ref.rows)-1 && rid > 0 {
+			applyDelete(t, p, ref, rid)
+		}
+	}
+	checkAgainstRef(t, p, stable, ref)
+	if p.Delta() > 20 {
+		t.Fatalf("delta did not shrink: %d", p.Delta())
+	}
+}

@@ -1,0 +1,92 @@
+package pdt
+
+// cursor walks leaf entries left-to-right, maintaining the running delta so
+// each entry's RID is available in O(1). delta is always the accumulated
+// shift of all entries strictly before the current position.
+type cursor struct {
+	lf    *leaf
+	pos   int
+	delta int64
+}
+
+func (t *PDT) newCursorAtStart() cursor {
+	c := cursor{lf: t.first}
+	c.skipEmpty()
+	return c
+}
+
+// newCursorAtSid positions a cursor at the first entry with SID >= sid.
+func (t *PDT) newCursorAtSid(sid uint64) cursor {
+	lf, delta := t.findLeafLeftBySid(sid)
+	c := cursor{lf: lf, delta: delta}
+	c.skipEmpty()
+	for c.valid() && c.sid() < sid {
+		c.advance()
+	}
+	return c
+}
+
+// newCursorAtRidChain positions a cursor at the first entry whose RID >= rid
+// (the head of the update chain for rid, if one exists). Chains may span
+// leaves in both directions: descent lands on the rightmost leaf whose first
+// RID <= rid, the forward scan finds the first in-leaf entry at >= rid, and
+// the retreat loop walks back across leaf boundaries to the true chain head.
+func (t *PDT) newCursorAtRidChain(rid uint64) cursor {
+	lf, delta := t.findLeafRightByRid(rid)
+	c := cursor{lf: lf, delta: delta}
+	c.skipEmpty()
+	for c.valid() && c.rid() < rid {
+		c.advance()
+	}
+	for {
+		p, ok := c.peekPrev()
+		if !ok || p.rid() != rid {
+			return c
+		}
+		c = p
+	}
+}
+
+// peekPrev returns a cursor at the entry immediately before c, if any.
+func (c *cursor) peekPrev() (cursor, bool) {
+	lf, pos := c.lf, c.pos
+	if lf == nil {
+		return cursor{}, false
+	}
+	for {
+		if pos > 0 {
+			pos--
+			break
+		}
+		lf = lf.prev
+		if lf == nil {
+			return cursor{}, false
+		}
+		pos = lf.count()
+	}
+	prev := cursor{lf: lf, pos: pos}
+	prev.delta = c.delta - kindShift(lf.kinds[pos])
+	return prev, true
+}
+
+func (c *cursor) skipEmpty() {
+	for c.lf != nil && c.pos >= c.lf.count() {
+		c.lf = c.lf.next
+		c.pos = 0
+	}
+}
+
+func (c *cursor) valid() bool { return c.lf != nil && c.pos < c.lf.count() }
+
+func (c *cursor) sid() uint64  { return c.lf.sids[c.pos] }
+func (c *cursor) kind() uint16 { return c.lf.kinds[c.pos] }
+func (c *cursor) val() uint64  { return c.lf.vals[c.pos] }
+func (c *cursor) rid() uint64  { return uint64(int64(c.lf.sids[c.pos]) + c.delta) }
+
+// advance moves to the next entry, folding the current entry's shift into
+// the running delta.
+func (c *cursor) advance() {
+	c.delta += kindShift(c.lf.kinds[c.pos])
+	c.pos++
+	c.skipEmpty()
+}

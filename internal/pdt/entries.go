@@ -1,0 +1,92 @@
+package pdt
+
+import (
+	"fmt"
+	"strings"
+
+	"pdtstore/internal/types"
+)
+
+// Entry is the externally visible form of one update triplet, with the RID
+// reconstructed from the running delta.
+type Entry struct {
+	SID  uint64
+	RID  uint64
+	Kind uint16 // KindIns, KindDel, or the modified column number
+	Val  uint64 // value-space offset
+}
+
+// IsInsert reports whether the entry is an insert.
+func (e Entry) IsInsert() bool { return e.Kind == KindIns }
+
+// IsDelete reports whether the entry is a delete.
+func (e Entry) IsDelete() bool { return e.Kind == KindDel }
+
+// ModColumn returns the modified column for a modify entry, or -1.
+func (e Entry) ModColumn() int {
+	if e.Kind == KindIns || e.Kind == KindDel {
+		return -1
+	}
+	return int(e.Kind)
+}
+
+// Entries returns every update triplet in (SID, RID) order. Intended for
+// tests, tooling and the example programs; query processing uses MergeScan.
+func (t *PDT) Entries() []Entry {
+	out := make([]Entry, 0, t.nEntries)
+	for c := t.newCursorAtStart(); c.valid(); c.advance() {
+		out = append(out, Entry{SID: c.sid(), RID: c.rid(), Kind: c.kind(), Val: c.val()})
+	}
+	return out
+}
+
+// EntryTuple returns the payload of an entry rendered against the schema:
+// the inserted tuple for inserts, the ghost sort key for deletes, and the
+// single modified value for modifies.
+func (t *PDT) EntryTuple(e Entry) types.Row {
+	switch e.Kind {
+	case KindIns:
+		return t.vals.ins[e.Val]
+	case KindDel:
+		return t.vals.del[e.Val]
+	default:
+		return types.Row{t.vals.mods[e.Kind][e.Val]}
+	}
+}
+
+// String renders the PDT's entries compactly, for debugging and examples.
+func (t *PDT) String() string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("PDT{%d entries, delta=%+d}", t.nEntries, t.Delta()))
+	for _, e := range t.Entries() {
+		switch {
+		case e.IsInsert():
+			sb.WriteString(fmt.Sprintf("\n  sid=%d rid=%d INS %v", e.SID, e.RID, t.vals.ins[e.Val]))
+		case e.IsDelete():
+			sb.WriteString(fmt.Sprintf("\n  sid=%d rid=%d DEL %v", e.SID, e.RID, t.vals.del[e.Val]))
+		default:
+			col := t.schema.Cols[e.Kind]
+			sb.WriteString(fmt.Sprintf("\n  sid=%d rid=%d MOD %s=%v", e.SID, e.RID, col.Name, t.vals.mods[e.Kind][e.Val]))
+		}
+	}
+	return sb.String()
+}
+
+// DepthAndLeaves reports the tree height and leaf count (for tests and the
+// pdtdump tool).
+func (t *PDT) DepthAndLeaves() (depth, leaves int) {
+	depth = 1
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			break
+		}
+		depth++
+		n = in.children[0]
+	}
+	for lf := t.first; lf != nil; lf = lf.next {
+		leaves++
+	}
+	return depth, leaves
+}

@@ -1,0 +1,261 @@
+package pdt
+
+// MergeScan merges a stable-image scan with the updates in a PDT, purely by
+// position (the paper's Algorithm 2, in its block-oriented form: runs of
+// tuples between updates are copied through wholesale, and the sort key is
+// never read unless the query itself projects it).
+//
+// A MergeScan is itself a BatchSource, so stacked PDTs (Read/Write/Trans)
+// merge by chaining MergeScans: each layer's SIDs are the RIDs produced by
+// the layer below.
+
+import (
+	"fmt"
+
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+// BatchSource produces rows in position order, up to max per call, appending
+// to out's vectors; it returns 0 when exhausted. colstore.Scanner and
+// MergeScan both implement it.
+type BatchSource interface {
+	Next(out *vector.Batch, max int) (int, error)
+}
+
+// MergeScan applies one PDT layer on top of a positional row source.
+type MergeScan struct {
+	t    *PDT
+	src  BatchSource
+	cols []int // schema column indexes present in the batches, in order
+	proj []int // schema column -> batch index, -1 if not projected
+
+	cur        cursor
+	nextSID    uint64 // SID of the next stable row to consume from src
+	rid        uint64 // RID of the next row to emit
+	startRID   uint64
+	includeEnd bool
+
+	buf     *vector.Batch
+	bufPos  int
+	srcDone bool
+	done    bool
+}
+
+// NewMergeScan builds a merge over src, which must produce the given schema
+// columns for consecutive positions starting at startSID. includeEnd also
+// emits inserts that land exactly at the position where the source ends
+// (wanted by key-range scans, whose qualifying inserts may sit just past the
+// last stable row of the range, and by full scans for appends at the table
+// end).
+func NewMergeScan(t *PDT, src BatchSource, cols []int, startSID uint64, includeEnd bool) *MergeScan {
+	proj := make([]int, t.schema.NumCols())
+	for i := range proj {
+		proj[i] = -1
+	}
+	kinds := make([]types.Kind, len(cols))
+	for i, c := range cols {
+		proj[c] = i
+		kinds[i] = t.schema.Cols[c].Kind
+	}
+	cur := t.newCursorAtSid(startSID)
+	rid := uint64(int64(startSID) + cur.delta)
+	return &MergeScan{
+		t:          t,
+		src:        src,
+		cols:       append([]int(nil), cols...),
+		proj:       proj,
+		cur:        cur,
+		nextSID:    startSID,
+		rid:        rid,
+		startRID:   rid,
+		includeEnd: includeEnd,
+		buf:        vector.NewBatch(kinds, 1024),
+	}
+}
+
+// StartRID returns the RID of the first row this merge will emit — the
+// startSID for a further stacked layer.
+func (m *MergeScan) StartRID() uint64 { return m.startRID }
+
+// refill tops up the staging buffer; reports whether rows are available.
+func (m *MergeScan) refill() (bool, error) {
+	if m.bufPos < m.buf.Len() {
+		return true, nil
+	}
+	if m.srcDone {
+		return false, nil
+	}
+	m.buf.Reset()
+	m.bufPos = 0
+	n, err := m.src.Next(m.buf, 1024)
+	if err != nil {
+		return false, err
+	}
+	if n == 0 {
+		m.srcDone = true
+		return false, nil
+	}
+	return true, nil
+}
+
+// copyStable passes through up to n stable rows, returning how many.
+func (m *MergeScan) copyStable(out *vector.Batch, n int) (int, error) {
+	copied := 0
+	for copied < n {
+		ok, err := m.refill()
+		if err != nil {
+			return copied, err
+		}
+		if !ok {
+			break
+		}
+		avail := m.buf.Len() - m.bufPos
+		take := n - copied
+		if take > avail {
+			take = avail
+		}
+		for i := range m.cols {
+			out.Vecs[i].AppendRange(m.buf.Vecs[i], m.bufPos, m.bufPos+take)
+		}
+		for k := 0; k < take; k++ {
+			out.Rids = append(out.Rids, m.rid)
+			m.rid++
+		}
+		m.bufPos += take
+		m.nextSID += uint64(take)
+		copied += take
+	}
+	return copied, nil
+}
+
+// skipStable consumes one stable row without emitting it (a delete).
+func (m *MergeScan) skipStable() (bool, error) {
+	ok, err := m.refill()
+	if err != nil || !ok {
+		return false, err
+	}
+	m.bufPos++
+	m.nextSID++
+	return true, nil
+}
+
+// Next emits up to max merged rows into out, returning the count; 0 means
+// the scan is complete. out must have one vector per projected column, in
+// column order, plus the Rids slice, which Next always fills.
+func (m *MergeScan) Next(out *vector.Batch, max int) (int, error) {
+	if m.done {
+		return 0, nil
+	}
+	produced := 0
+	for produced < max {
+		if !m.cur.valid() {
+			n, err := m.copyStable(out, max-produced)
+			if err != nil {
+				return produced, err
+			}
+			if n == 0 {
+				m.done = true
+				break
+			}
+			produced += n
+			continue
+		}
+		usid := m.cur.sid()
+		if usid > m.nextSID {
+			// Run of unmodified tuples before the next update: pass through.
+			run := usid - m.nextSID
+			want := max - produced
+			if uint64(want) > run {
+				want = int(run)
+			}
+			n, err := m.copyStable(out, want)
+			if err != nil {
+				return produced, err
+			}
+			if n == 0 {
+				// Stable range ended before the next update applies: only
+				// trailing inserts at the boundary may still qualify, and
+				// this update is beyond it.
+				m.done = true
+				break
+			}
+			produced += n
+			continue
+		}
+		if usid < m.nextSID {
+			return produced, fmt.Errorf("pdt: merge cursor behind scan (entry sid %d, scan at %d)", usid, m.nextSID)
+		}
+		switch kind := m.cur.kind(); kind {
+		case KindIns:
+			// The insert may land exactly at the end of the stable range;
+			// peek whether a stable row remains to decide includeEnd.
+			ok, err := m.refill()
+			if err != nil {
+				return produced, err
+			}
+			if !ok && !m.includeEnd {
+				m.done = true
+				return produced, nil
+			}
+			tuple := m.t.vals.ins[m.cur.val()]
+			for i, c := range m.cols {
+				out.Vecs[i].Append(tuple[c])
+			}
+			out.Rids = append(out.Rids, m.rid)
+			m.rid++
+			produced++
+			m.cur.advance()
+		case KindDel:
+			ok, err := m.skipStable()
+			if err != nil {
+				return produced, err
+			}
+			if !ok {
+				m.done = true
+				return produced, nil
+			}
+			m.cur.advance()
+		default:
+			// Modify run for the stable tuple at nextSID: emit it with all
+			// its modified columns patched.
+			n, err := m.copyStable(out, 1)
+			if err != nil {
+				return produced, err
+			}
+			if n == 0 {
+				m.done = true
+				return produced, nil
+			}
+			rowIdx := out.Len() - 1
+			modSID := usid
+			for m.cur.valid() && m.cur.sid() == modSID {
+				k := m.cur.kind()
+				if k == KindIns || k == KindDel {
+					return produced, fmt.Errorf("pdt: malformed chain at sid %d", modSID)
+				}
+				if bi := m.proj[int(k)]; bi >= 0 {
+					out.Vecs[bi].Set(rowIdx, m.t.vals.mods[k][m.cur.val()])
+				}
+				m.cur.advance()
+			}
+			produced++
+		}
+	}
+	return produced, nil
+}
+
+// ScanAll is a convenience for tests and examples: it drains a BatchSource
+// into a single batch.
+func ScanAll(src BatchSource, kinds []types.Kind) (*vector.Batch, error) {
+	out := vector.NewBatch(kinds, 1024)
+	for {
+		n, err := src.Next(out, 1024)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}

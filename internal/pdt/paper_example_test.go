@@ -1,0 +1,162 @@
+package pdt
+
+// The paper's running example (Figures 1-13) as a golden test: the inventory
+// table receives three update batches and the test checks both the visible
+// table image after each batch and the exact PDT entry layout of Figure 11.
+
+import (
+	"testing"
+
+	"pdtstore/internal/types"
+)
+
+func TestPaperRunningExample(t *testing.T) {
+	schema := inventorySchema()
+	stable := table0() // Figure 1
+	p := New(schema, 0)
+	ref := newRefModel(schema, stable)
+
+	// BATCH1 (Figure 2): three inserts, all landing before (London,chair).
+	applyInsert(t, p, ref, inv("Berlin", "table", true, 10))
+	applyInsert(t, p, ref, inv("Berlin", "cloth", true, 5))
+	applyInsert(t, p, ref, inv("Berlin", "chair", true, 20))
+
+	// TABLE1 (Figure 5): visible image after the inserts.
+	table1 := []types.Row{
+		inv("Berlin", "chair", true, 20),
+		inv("Berlin", "cloth", true, 5),
+		inv("Berlin", "table", true, 10),
+		inv("London", "chair", false, 30),
+		inv("London", "stool", false, 10),
+		inv("London", "table", false, 20),
+		inv("Paris", "rug", false, 1),
+		inv("Paris", "stool", false, 5),
+	}
+	checkVisible(t, p, stable, table1, "TABLE1")
+	for _, e := range p.Entries() {
+		if e.SID != 0 || !e.IsInsert() {
+			t.Fatalf("PDT1 entry not an insert at SID 0: %+v", e)
+		}
+	}
+
+	// BATCH2 (Figure 6): two modifies and two deletes.
+	// UPDATE qty=1 WHERE (Berlin,cloth): rid 1, in-place on the insert.
+	applyModify(t, p, ref, 1, 3, types.Int(1))
+	// UPDATE qty=9 WHERE (London,stool): rid 4.
+	applyModify(t, p, ref, 4, 3, types.Int(9))
+	// DELETE (Berlin,table): rid 2, removes the insert outright.
+	applyDelete(t, p, ref, 2)
+	// DELETE (Paris,rug): rid 5 after the shift, becomes a ghost.
+	applyDelete(t, p, ref, 5)
+
+	// TABLE2 (Figure 9): visible image (the greyed ghost is not visible).
+	table2 := []types.Row{
+		inv("Berlin", "chair", true, 20),
+		inv("Berlin", "cloth", true, 1),
+		inv("London", "chair", false, 30),
+		inv("London", "stool", false, 9),
+		inv("London", "table", false, 20),
+		inv("Paris", "stool", false, 5),
+	}
+	checkVisible(t, p, stable, table2, "TABLE2")
+
+	// PDT2 (Figure 7): entries are INS(i2), INS(i1), MOD qty(q0), DEL(d0).
+	es := p.Entries()
+	if len(es) != 4 {
+		t.Fatalf("PDT2 has %d entries, want 4: %s", len(es), p)
+	}
+	expect2 := []struct {
+		sid  uint64
+		kind uint16
+	}{
+		{0, KindIns}, {0, KindIns}, {1, 3 /* qty */}, {3, KindDel},
+	}
+	for i, w := range expect2 {
+		if es[i].SID != w.sid || es[i].Kind != w.kind {
+			t.Fatalf("PDT2 entry %d = %+v, want sid=%d kind=%d", i, es[i], w.sid, w.kind)
+		}
+	}
+	if got := p.EntryTuple(es[3]); got[0].S != "Paris" || got[1].S != "rug" {
+		t.Fatalf("ghost key = %v, want (Paris,rug)", got)
+	}
+
+	// BATCH3 (Figure 10): three more inserts, one of them between a ghost
+	// and its predecessor.
+	applyInsert(t, p, ref, inv("Paris", "rack", true, 4))
+	applyInsert(t, p, ref, inv("London", "rack", true, 4))
+	applyInsert(t, p, ref, inv("Berlin", "rack", true, 4))
+
+	// TABLE3 (Figure 13) visible image. (The paper's figure has a typo in
+	// the last row — (Paris,stool) was never updated and keeps N/5.)
+	table3 := []types.Row{
+		inv("Berlin", "chair", true, 20),
+		inv("Berlin", "cloth", true, 1),
+		inv("Berlin", "rack", true, 4),
+		inv("London", "chair", false, 30),
+		inv("London", "rack", true, 4),
+		inv("London", "stool", false, 9),
+		inv("London", "table", false, 20),
+		inv("Paris", "rack", true, 4),
+		inv("Paris", "stool", false, 5),
+	}
+	checkVisible(t, p, stable, table3, "TABLE3")
+
+	// PDT3 (Figure 11): exact (SID, RID, kind) layout, left-to-right.
+	es = p.Entries()
+	expect3 := []struct {
+		sid, rid uint64
+		kind     uint16
+		prod     string // inserted product, for insert entries
+	}{
+		{0, 0, KindIns, "chair"}, // i2
+		{0, 1, KindIns, "cloth"}, // i1
+		{0, 2, KindIns, "rack"},  // i4
+		{1, 4, KindIns, "rack"},  // i3 (London,rack)
+		{1, 5, 3, ""},            // q0: qty of (London,stool)
+		{3, 7, KindIns, "rack"},  // i0 (Paris,rack)
+		{3, 8, KindDel, ""},      // d0: ghost (Paris,rug)
+	}
+	if len(es) != len(expect3) {
+		t.Fatalf("PDT3 has %d entries, want %d: %s", len(es), len(expect3), p)
+	}
+	for i, w := range expect3 {
+		e := es[i]
+		if e.SID != w.sid || e.RID != w.rid || e.Kind != w.kind {
+			t.Fatalf("PDT3 entry %d = %+v, want sid=%d rid=%d kind=%d", i, e, w.sid, w.rid, w.kind)
+		}
+		if w.prod != "" && p.EntryTuple(e)[1].S != w.prod {
+			t.Fatalf("PDT3 entry %d inserts %v, want prod %q", i, p.EntryTuple(e), w.prod)
+		}
+	}
+
+	// The ghost (Paris,rug) keeps the sparse index valid: its SID-3 slot
+	// still bounds keys <= (Paris,rug), and (Paris,rack) received SID 3.
+	if es[5].SID != 3 {
+		t.Fatal("(Paris,rack) must receive the ghost-respecting SID 3")
+	}
+
+	// Modify of a value modified earlier: qty of (London,stool) 9 -> 11,
+	// in place (Figure's q0 slot rewritten).
+	applyModify(t, p, ref, 5, 3, types.Int(11))
+	if p.Count() != 7 {
+		t.Fatalf("in-place remodify grew PDT to %d entries", p.Count())
+	}
+	checkAgainstRef(t, p, stable, ref)
+}
+
+// checkVisible asserts the merged visible image equals want.
+func checkVisible(t *testing.T, p *PDT, stable, want []types.Row, label string) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%s: invariant violation: %v\n%s", label, err, p)
+	}
+	out := mergeAll(t, p, stable)
+	if out.Len() != len(want) {
+		t.Fatalf("%s: %d visible rows, want %d\n%s", label, out.Len(), len(want), p)
+	}
+	for i, w := range want {
+		if types.CompareRows(out.Row(i), w) != 0 {
+			t.Fatalf("%s row %d = %v, want %v\n%s", label, i, out.Row(i), w, p)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package pdt
+
+// Propagate is the paper's Algorithm 7: it folds a consecutive, higher-layer
+// PDT W (whose SIDs are this PDT's RIDs) into the receiver, converting
+// positions as it goes. It is used when the Write-PDT outgrows its budget
+// and migrates into the Read-PDT, and at commit time to fold a serialized
+// Trans-PDT into the master Write-PDT.
+
+import "fmt"
+
+// Propagate applies every update of w to t. w must be consecutive to t:
+// w's SID domain is t's current RID domain. w is not modified.
+func (t *PDT) Propagate(w *PDT) error {
+	if w.schema.NumCols() != t.schema.NumCols() {
+		return fmt.Errorf("pdt: propagate across different schemas")
+	}
+	// The cursor's running delta is exactly Algorithm 7's δ: the net shift
+	// of w's own updates already absorbed, so each entry's RID is its
+	// position in t's evolving image.
+	for c := w.newCursorAtStart(); c.valid(); c.advance() {
+		rid := c.rid()
+		switch kind := c.kind(); kind {
+		case KindIns:
+			if err := t.Insert(rid, w.vals.ins[c.val()]); err != nil {
+				return err
+			}
+		case KindDel:
+			if err := t.AddDelete(rid, w.vals.del[c.val()]); err != nil {
+				return err
+			}
+		default:
+			if err := t.AddModify(rid, int(kind), w.vals.mods[kind][c.val()]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

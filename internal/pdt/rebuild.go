@@ -1,0 +1,72 @@
+package pdt
+
+// Rebuild reconstructs a PDT from an ordered entry dump — the write-ahead
+// log's replay path. Entries must be in (SID, RID) order, i.e. exactly the
+// order Entries() produced them in.
+
+import (
+	"fmt"
+
+	"pdtstore/internal/types"
+)
+
+// RebuildEntry is one logged update triplet with its payload inline.
+type RebuildEntry struct {
+	SID  uint64
+	Kind uint16
+	Ins  types.Row   // full tuple, for inserts
+	Del  types.Row   // ghost sort-key values, for deletes
+	Mod  types.Value // modified value, for modifies
+}
+
+// Dump flattens the PDT into rebuildable entries (the WAL's record body).
+func (t *PDT) Dump() []RebuildEntry {
+	out := make([]RebuildEntry, 0, t.nEntries)
+	for c := t.newCursorAtStart(); c.valid(); c.advance() {
+		e := RebuildEntry{SID: c.sid(), Kind: c.kind()}
+		switch c.kind() {
+		case KindIns:
+			e.Ins = t.vals.ins[c.val()].Clone()
+		case KindDel:
+			e.Del = t.vals.del[c.val()].Clone()
+		default:
+			e.Mod = t.vals.mods[c.kind()][c.val()]
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Rebuild constructs a PDT from dumped entries.
+func Rebuild(schema *types.Schema, fanout int, entries []RebuildEntry) (*PDT, error) {
+	t := New(schema, fanout)
+	b := newBulkBuilder(t)
+	for i, e := range entries {
+		switch e.Kind {
+		case KindIns:
+			if err := schema.ValidateRow(e.Ins); err != nil {
+				return nil, fmt.Errorf("pdt: rebuild entry %d: %w", i, err)
+			}
+			b.append(e.SID, KindIns, uint64(len(t.vals.ins)))
+			t.vals.ins = append(t.vals.ins, e.Ins.Clone())
+		case KindDel:
+			if len(e.Del) != len(schema.SortKey) {
+				return nil, fmt.Errorf("pdt: rebuild entry %d: ghost key arity %d", i, len(e.Del))
+			}
+			b.append(e.SID, KindDel, uint64(len(t.vals.del)))
+			t.vals.del = append(t.vals.del, e.Del.Clone())
+		default:
+			col := int(e.Kind)
+			if col >= schema.NumCols() {
+				return nil, fmt.Errorf("pdt: rebuild entry %d: column %d out of range", i, col)
+			}
+			b.append(e.SID, e.Kind, uint64(len(t.vals.mods[col])))
+			t.vals.mods[col] = append(t.vals.mods[col], e.Mod)
+		}
+	}
+	b.finish()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("pdt: rebuild produced invalid tree: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,111 @@
+package pdt
+
+// RowMerge is the paper's Algorithm 2 in its literal tuple-at-a-time form: a
+// next() method that passes stable tuples through until the skip counter
+// reaches the next update position, then applies the update blindly. The
+// block-wise MergeScan supersedes it on the query path; this operator exists
+// for fidelity, for tests (the two must agree exactly), and as the readable
+// reference for how positional merging works.
+
+import (
+	"fmt"
+
+	"pdtstore/internal/types"
+)
+
+// RowSource supplies stable tuples one at a time, in SID order.
+type RowSource interface {
+	// NextRow returns the next stable tuple, or ok=false at end of input.
+	NextRow() (row types.Row, ok bool)
+}
+
+// RowMerge merges a stable row stream with a PDT, yielding visible tuples
+// and their RIDs.
+type RowMerge struct {
+	t    *PDT
+	scan RowSource
+	cur  cursor
+	rid  uint64
+	sid  uint64 // SID of the next stable tuple the source will yield
+}
+
+// NewRowMerge positions the merge at startSID of the stable image; the
+// source must yield exactly the stable tuples from startSID onward.
+func NewRowMerge(t *PDT, scan RowSource, startSID uint64) *RowMerge {
+	cur := t.newCursorAtSid(startSID)
+	return &RowMerge{
+		t:    t,
+		scan: scan,
+		cur:  cur,
+		rid:  uint64(int64(startSID) + cur.delta),
+		sid:  startSID,
+	}
+}
+
+// Next returns the next visible tuple and its RID; ok=false at the end.
+// This is Algorithm 2's next() with the skip counter expressed as the
+// SID distance to the cursor's entry.
+func (m *RowMerge) Next() (row types.Row, rid uint64, ok bool, err error) {
+	for {
+		if !m.cur.valid() {
+			// No more updates: pure pass-through.
+			tuple, more := m.scan.NextRow()
+			if !more {
+				return nil, 0, false, nil
+			}
+			m.sid++
+			out := m.rid
+			m.rid++
+			return tuple, out, true, nil
+		}
+		switch usid := m.cur.sid(); {
+		case usid > m.sid:
+			// skip > 0: the update is further ahead; pass one tuple through.
+			tuple, more := m.scan.NextRow()
+			if !more {
+				return nil, 0, false, nil
+			}
+			m.sid++
+			out := m.rid
+			m.rid++
+			return tuple, out, true, nil
+		case usid < m.sid:
+			return nil, 0, false, fmt.Errorf("pdt: row merge cursor behind scan")
+		default:
+			switch kind := m.cur.kind(); kind {
+			case KindIns:
+				tuple := m.t.vals.ins[m.cur.val()].Clone()
+				m.cur.advance()
+				out := m.rid
+				m.rid++
+				return tuple, out, true, nil
+			case KindDel:
+				// delete: do not return the current tuple
+				if _, more := m.scan.NextRow(); !more {
+					return nil, 0, false, nil
+				}
+				m.sid++
+				m.cur.advance()
+			default:
+				// modify run: apply every modified column of this tuple
+				tuple, more := m.scan.NextRow()
+				if !more {
+					return nil, 0, false, nil
+				}
+				tuple = tuple.Clone()
+				for m.cur.valid() && m.cur.sid() == usid {
+					k := m.cur.kind()
+					if k == KindIns || k == KindDel {
+						return nil, 0, false, fmt.Errorf("pdt: malformed chain at sid %d", usid)
+					}
+					tuple[k] = m.t.vals.mods[k][m.cur.val()]
+					m.cur.advance()
+				}
+				m.sid++
+				out := m.rid
+				m.rid++
+				return tuple, out, true, nil
+			}
+		}
+	}
+}

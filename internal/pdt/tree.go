@@ -1,0 +1,394 @@
+package pdt
+
+// Tree mechanics: node layout, descent by SID / RID / (SID,RID), entry
+// insertion and removal with delta maintenance, node splits and collapses.
+//
+// The layout follows the paper's §3.1. A leaf stores parallel arrays of
+// (sid, kind, value-offset) triplets ordered by (SID, RID). An internal node
+// stores children plus, per child, the running delta contribution of that
+// subtree, and between children a separator that equals the minimum SID of
+// the right subtree (counted-B-tree style). RIDs are never materialized:
+// RID(entry) = SID(entry) + sum of deltas of all entries to its left, which
+// descent reconstructs by accumulating the per-child deltas it passes.
+
+type node interface {
+	parentNode() *inner
+	setParent(*inner)
+}
+
+type leaf struct {
+	parent *inner
+	sids   []uint64
+	kinds  []uint16
+	vals   []uint64
+	prev   *leaf
+	next   *leaf
+}
+
+func (l *leaf) parentNode() *inner { return l.parent }
+func (l *leaf) setParent(p *inner) { l.parent = p }
+func (l *leaf) count() int         { return len(l.sids) }
+func (l *leaf) localDelta() int64 {
+	var d int64
+	for _, k := range l.kinds {
+		d += kindShift(k)
+	}
+	return d
+}
+
+type inner struct {
+	parent   *inner
+	children []node
+	seps     []uint64 // len == len(children)-1; seps[i] = min SID of children[i+1]
+	deltas   []int64  // len == len(children); net inserts-deletes per subtree
+}
+
+func (in *inner) parentNode() *inner { return in.parent }
+func (in *inner) setParent(p *inner) { in.parent = p }
+
+func (in *inner) indexOf(child node) int {
+	for i, c := range in.children {
+		if c == child {
+			return i
+		}
+	}
+	panic("pdt: child not found in parent")
+}
+
+// minSID returns the smallest SID in the subtree rooted at n. Must not be
+// called on an empty tree.
+func minSID(n node) uint64 {
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return n.(*leaf).sids[0]
+		}
+		n = in.children[0]
+	}
+}
+
+// addDeltaUp adds d to the per-child delta counters of every ancestor of lf
+// (the paper's AddNodeDeltas).
+func addDeltaUp(lf *leaf, d int64) {
+	var child node = lf
+	for p := child.parentNode(); p != nil; p = child.parentNode() {
+		p.deltas[p.indexOf(child)] += d
+		child = p
+	}
+}
+
+// fixMinUp repairs the separator that records the minimum SID of the subtree
+// lf is the leftmost leaf of, after lf's first entry changed.
+func fixMinUp(lf *leaf) {
+	if lf.count() == 0 {
+		return
+	}
+	newMin := lf.sids[0]
+	var child node = lf
+	for p := child.parentNode(); p != nil; p = child.parentNode() {
+		idx := p.indexOf(child)
+		if idx > 0 {
+			p.seps[idx-1] = newMin
+			return
+		}
+		child = p
+	}
+}
+
+// descent helpers ------------------------------------------------------------
+
+// findLeafRightByRid locates the rightmost leaf whose first entry's RID is
+// <= rid (or the leftmost leaf if every entry's RID exceeds rid), returning
+// the leaf and the accumulated delta of all entries before it.
+func (t *PDT) findLeafRightByRid(rid uint64) (*leaf, int64) {
+	n := t.root
+	var delta int64
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return n.(*leaf), delta
+		}
+		chosen := 0
+		chosenDelta := delta
+		sum := delta + in.deltas[0]
+		for j := 1; j < len(in.children); j++ {
+			// minRID of children[j] = its min SID + delta entering it.
+			if int64(in.seps[j-1])+sum <= int64(rid) {
+				chosen = j
+				chosenDelta = sum
+			} else {
+				break // children's min RIDs are non-decreasing
+			}
+			sum += in.deltas[j]
+		}
+		n = in.children[chosen]
+		delta = chosenDelta
+	}
+}
+
+// findLeafLeftBySid locates the leftmost leaf that can contain entries with
+// SID >= sid, returning the leaf and the delta of all entries before it.
+// (The caller then advances within/past the leaf to the exact position.)
+func (t *PDT) findLeafLeftBySid(sid uint64) (*leaf, int64) {
+	n := t.root
+	var delta int64
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return n.(*leaf), delta
+		}
+		chosen := len(in.children) - 1
+		for j := 0; j < len(in.seps); j++ {
+			if sid <= in.seps[j] {
+				chosen = j
+				break
+			}
+		}
+		for j := 0; j < chosen; j++ {
+			delta += in.deltas[j]
+		}
+		n = in.children[chosen]
+	}
+}
+
+// findLeafBySidRid locates the rightmost leaf whose first entry precedes the
+// insertion point of a new insert at (sid, rid) — an entry precedes when its
+// SID < sid or its RID < rid (Algorithm 3's advance condition) — returning
+// the leaf and the delta before it.
+func (t *PDT) findLeafBySidRid(sid, rid uint64) (*leaf, int64) {
+	n := t.root
+	var delta int64
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return n.(*leaf), delta
+		}
+		chosen := 0
+		chosenDelta := delta
+		sum := delta + in.deltas[0]
+		for j := 1; j < len(in.children); j++ {
+			mSID := in.seps[j-1]
+			mRID := int64(mSID) + sum
+			if mSID < sid || mRID < int64(rid) {
+				chosen = j
+				chosenDelta = sum
+			} else {
+				break
+			}
+			sum += in.deltas[j]
+		}
+		n = in.children[chosen]
+		delta = chosenDelta
+	}
+}
+
+// mutation -------------------------------------------------------------------
+
+// insertEntryAt places a new triplet at position pos of lf, maintaining
+// ancestor deltas and separators and splitting on overflow.
+func (t *PDT) insertEntryAt(lf *leaf, pos int, sid uint64, kind uint16, val uint64) {
+	lf.sids = append(lf.sids, 0)
+	copy(lf.sids[pos+1:], lf.sids[pos:])
+	lf.sids[pos] = sid
+	lf.kinds = append(lf.kinds, 0)
+	copy(lf.kinds[pos+1:], lf.kinds[pos:])
+	lf.kinds[pos] = kind
+	lf.vals = append(lf.vals, 0)
+	copy(lf.vals[pos+1:], lf.vals[pos:])
+	lf.vals[pos] = val
+
+	t.nEntries++
+	if d := kindShift(kind); d != 0 {
+		addDeltaUp(lf, d)
+	}
+	if pos == 0 {
+		fixMinUp(lf)
+	}
+	if lf.count() > t.fanout {
+		t.splitLeaf(lf)
+	}
+}
+
+// removeEntryAt deletes the triplet at position pos of lf, maintaining
+// ancestor deltas/separators and collapsing emptied nodes.
+func (t *PDT) removeEntryAt(lf *leaf, pos int) {
+	kind := lf.kinds[pos]
+	lf.sids = append(lf.sids[:pos], lf.sids[pos+1:]...)
+	lf.kinds = append(lf.kinds[:pos], lf.kinds[pos+1:]...)
+	lf.vals = append(lf.vals[:pos], lf.vals[pos+1:]...)
+
+	t.nEntries--
+	if d := kindShift(kind); d != 0 {
+		addDeltaUp(lf, -d)
+	}
+	if lf.count() == 0 {
+		t.removeLeaf(lf)
+		return
+	}
+	if pos == 0 {
+		fixMinUp(lf)
+	}
+}
+
+func (t *PDT) splitLeaf(lf *leaf) {
+	mid := lf.count() / 2
+	right := &leaf{
+		sids:  append([]uint64(nil), lf.sids[mid:]...),
+		kinds: append([]uint16(nil), lf.kinds[mid:]...),
+		vals:  append([]uint64(nil), lf.vals[mid:]...),
+	}
+	lf.sids = lf.sids[:mid]
+	lf.kinds = lf.kinds[:mid]
+	lf.vals = lf.vals[:mid]
+
+	right.next = lf.next
+	right.prev = lf
+	if lf.next != nil {
+		lf.next.prev = right
+	}
+	lf.next = right
+	if t.last == lf {
+		t.last = right
+	}
+
+	rightDelta := right.localDelta()
+	leftDelta := lf.localDelta()
+	t.insertChild(lf, right, right.sids[0], leftDelta, rightDelta)
+}
+
+// insertChild links newRight as the sibling immediately after left, with the
+// given separator and the split subtree deltas, growing the tree as needed.
+func (t *PDT) insertChild(left, newRight node, sep uint64, leftDelta, rightDelta int64) {
+	p := left.parentNode()
+	if p == nil {
+		root := &inner{
+			children: []node{left, newRight},
+			seps:     []uint64{sep},
+			deltas:   []int64{leftDelta, rightDelta},
+		}
+		left.setParent(root)
+		newRight.setParent(root)
+		t.root = root
+		return
+	}
+	idx := p.indexOf(left)
+	p.children = append(p.children, nil)
+	copy(p.children[idx+2:], p.children[idx+1:])
+	p.children[idx+1] = newRight
+	p.seps = append(p.seps, 0)
+	copy(p.seps[idx+1:], p.seps[idx:])
+	p.seps[idx] = sep
+	p.deltas = append(p.deltas, 0)
+	copy(p.deltas[idx+2:], p.deltas[idx+1:])
+	p.deltas[idx] = leftDelta
+	p.deltas[idx+1] = rightDelta
+	newRight.setParent(p)
+
+	if len(p.children) > t.fanout {
+		t.splitInner(p)
+	}
+}
+
+func (t *PDT) splitInner(in *inner) {
+	mid := len(in.children) / 2
+	sepUp := in.seps[mid-1]
+	right := &inner{
+		children: append([]node(nil), in.children[mid:]...),
+		seps:     append([]uint64(nil), in.seps[mid:]...),
+		deltas:   append([]int64(nil), in.deltas[mid:]...),
+	}
+	in.children = in.children[:mid]
+	in.seps = in.seps[:mid-1]
+	in.deltas = in.deltas[:mid]
+	for _, c := range right.children {
+		c.setParent(right)
+	}
+	var leftDelta, rightDelta int64
+	for _, d := range in.deltas {
+		leftDelta += d
+	}
+	for _, d := range right.deltas {
+		rightDelta += d
+	}
+	t.insertChild(in, right, sepUp, leftDelta, rightDelta)
+}
+
+// removeLeaf unlinks an emptied leaf from the chain and the tree.
+func (t *PDT) removeLeaf(lf *leaf) {
+	if lf.prev != nil {
+		lf.prev.next = lf.next
+	}
+	if lf.next != nil {
+		lf.next.prev = lf.prev
+	}
+	if t.first == lf {
+		t.first = lf.next
+	}
+	if t.last == lf {
+		t.last = lf.prev
+	}
+	p := lf.parent
+	if p == nil {
+		// lf is the root: keep it as the canonical empty tree.
+		lf.prev, lf.next = nil, nil
+		t.first = lf
+		t.last = lf
+		return
+	}
+	t.removeChild(p, p.indexOf(lf))
+}
+
+// removeChild detaches children[idx] from in, collapsing upward as needed.
+func (t *PDT) removeChild(in *inner, idx int) {
+	in.children = append(in.children[:idx], in.children[idx+1:]...)
+	in.deltas = append(in.deltas[:idx], in.deltas[idx+1:]...)
+	switch {
+	case len(in.seps) == 0:
+		// became childless below; handled by the len(children) checks
+	case idx == 0:
+		in.seps = in.seps[1:]
+	default:
+		in.seps = append(in.seps[:idx-1], in.seps[idx:]...)
+	}
+
+	if len(in.children) == 0 {
+		p := in.parent
+		if p == nil {
+			empty := &leaf{}
+			t.root = empty
+			t.first = empty
+			t.last = empty
+			return
+		}
+		t.removeChild(p, p.indexOf(in))
+		return
+	}
+	if len(in.children) == 1 && in.parent == nil {
+		// collapse single-child root
+		child := in.children[0]
+		child.setParent(nil)
+		t.root = child
+		return
+	}
+	if idx == 0 {
+		// subtree minimum changed; repair the ancestor separator
+		fixMinFromNode(in)
+	}
+}
+
+// fixMinFromNode repairs the separator recording in's subtree minimum.
+func fixMinFromNode(in *inner) {
+	if len(in.children) == 0 {
+		return
+	}
+	newMin := minSID(in.children[0])
+	var child node = in
+	for p := child.parentNode(); p != nil; p = child.parentNode() {
+		idx := p.indexOf(child)
+		if idx > 0 {
+			p.seps[idx-1] = newMin
+			return
+		}
+		child = p
+	}
+}

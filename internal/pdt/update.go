@@ -1,0 +1,182 @@
+package pdt
+
+// Update operations: AddInsert, AddModify, AddDelete (the paper's Algorithms
+// 3–5) plus SKRidToSid (Algorithm 6) and the high-level Insert convenience
+// that combines the two. All operations identify their target purely by
+// position; the only value comparisons anywhere are the ghost-ordering
+// comparisons of SKRidToSid, which untie multiple inserts at one SID.
+
+import (
+	"fmt"
+
+	"pdtstore/internal/types"
+)
+
+// Insert records the insertion of tuple at current row position rid: every
+// existing tuple at RID >= rid shifts one position right. The tuple's sort
+// key must place it at rid; the PDT derives the stable SID, respecting the
+// order of ghost (deleted) tuples per §2.1.
+func (t *PDT) Insert(rid uint64, tuple types.Row) error {
+	if err := t.schema.ValidateRow(tuple); err != nil {
+		return err
+	}
+	sid := t.SKRidToSid(t.schema.KeyOf(tuple), rid)
+	return t.AddInsert(sid, rid, tuple)
+}
+
+// AddInsert records an insert of tuple at (sid, rid). Most callers want
+// Insert; AddInsert exists for Propagate and for callers that already know
+// the ghost-respecting SID.
+func (t *PDT) AddInsert(sid, rid uint64, tuple types.Row) error {
+	lf, delta := t.findLeafBySidRid(sid, rid)
+	c := cursor{lf: lf, delta: delta}
+	c.skipEmpty()
+	// Algorithm 3: advance while the entry precedes the insertion point.
+	for c.valid() && (c.sid() < sid || c.rid() < rid) {
+		c.advance()
+	}
+	storedSID := uint64(int64(rid) - c.delta)
+	if storedSID != sid {
+		return fmt.Errorf("pdt: AddInsert(sid=%d, rid=%d) derives SID %d; caller's SID is inconsistent with ghost order", sid, rid, storedSID)
+	}
+	off := uint64(len(t.vals.ins))
+	t.vals.ins = append(t.vals.ins, tuple.Clone())
+	t.placeEntry(c, storedSID, KindIns, off)
+	t.nIns++
+	return nil
+}
+
+// placeEntry inserts a triplet at the cursor position, materializing the
+// position into a concrete (leaf, pos) even when the cursor ran off the end.
+func (t *PDT) placeEntry(c cursor, sid uint64, kind uint16, val uint64) {
+	if c.lf != nil {
+		t.insertEntryAt(c.lf, c.pos, sid, kind, val)
+		return
+	}
+	// Past the last entry: append to the last leaf.
+	t.insertEntryAt(t.last, t.last.count(), sid, kind, val)
+}
+
+// Modify records setting column col of the tuple at current row position rid
+// to value v. Sort-key columns cannot be modified this way (callers express
+// that as delete+insert, as §2.1 prescribes).
+func (t *PDT) Modify(rid uint64, col int, v types.Value) error {
+	return t.AddModify(rid, col, v)
+}
+
+// AddModify is Algorithm 4. If the target tuple is an insert or already has
+// a modify entry for col, the value space is updated in place; otherwise a
+// new modify triplet enters the tree, keeping a tuple's modify entries
+// ordered by column number.
+func (t *PDT) AddModify(rid uint64, col int, v types.Value) error {
+	if col < 0 || col >= t.schema.NumCols() {
+		return fmt.Errorf("pdt: modify of column %d out of range", col)
+	}
+	if t.schema.IsSortKeyCol(col) {
+		return fmt.Errorf("pdt: column %q is a sort-key column; modify must be expressed as delete+insert", t.schema.Cols[col].Name)
+	}
+	if v.K != t.schema.Cols[col].Kind {
+		return fmt.Errorf("pdt: column %q expects %v, got %v", t.schema.Cols[col].Name, t.schema.Cols[col].Kind, v.K)
+	}
+	c := t.newCursorAtRidChain(rid)
+	// Ghost tuples share the RID of their successor and cannot be modified:
+	// skip the chain's delete entries.
+	for c.valid() && c.rid() == rid && c.kind() == KindDel {
+		c.advance()
+	}
+	if c.valid() && c.rid() == rid && c.kind() == KindIns {
+		// The visible tuple at rid is a fresh insert: rewrite its value.
+		t.vals.ins[c.val()][col] = v
+		return nil
+	}
+	// Walk the tuple's modify run (ordered by column) to the col slot.
+	for c.valid() && c.rid() == rid && c.kind() != KindIns && int(c.kind()) < col {
+		c.advance()
+	}
+	if c.valid() && c.rid() == rid && int(c.kind()) == col {
+		// Second modify of the same column: overwrite in the value space.
+		t.vals.mods[col][c.val()] = v
+		return nil
+	}
+	off := uint64(len(t.vals.mods[col]))
+	t.vals.mods[col] = append(t.vals.mods[col], v)
+	t.placeEntry(c, uint64(int64(rid)-c.delta), uint16(col), off)
+	t.nMod++
+	return nil
+}
+
+// Delete records the deletion of the tuple at current row position rid.
+// skVals must hold the tuple's sort-key values; for a stable tuple they
+// become the ghost key (kept so sparse indexes built on the stable image
+// stay valid), and for an inserted tuple they are ignored because the insert
+// is simply removed. Tuples at RID > rid shift one position left.
+func (t *PDT) Delete(rid uint64, skVals types.Row) error {
+	return t.AddDelete(rid, skVals)
+}
+
+// AddDelete is Algorithm 5, extended with the §2.1 collapse rules: deleting
+// an inserted tuple removes the insert outright, and deleting a tuple that
+// has modify entries removes those entries before adding the delete.
+func (t *PDT) AddDelete(rid uint64, skVals types.Row) error {
+	if len(skVals) != len(t.schema.SortKey) {
+		return fmt.Errorf("pdt: delete needs %d sort-key values, got %d", len(t.schema.SortKey), len(skVals))
+	}
+	c := t.newCursorAtRidChain(rid)
+	for c.valid() && c.rid() == rid && c.kind() == KindDel {
+		c.advance()
+	}
+	if c.valid() && c.rid() == rid && c.kind() == KindIns {
+		// Delete of an insert: remove all trace of it.
+		t.nIns--
+		t.deadIns++
+		t.removeEntryAt(c.lf, c.pos)
+		return nil
+	}
+	// Remove any modify entries of the doomed stable tuple.
+	for c.valid() && c.rid() == rid && c.kind() != KindIns && c.kind() != KindDel {
+		t.nMod--
+		t.removeEntryAt(c.lf, c.pos)
+		// Removal keeps the cursor pointing at the next entry, but the leaf
+		// may have been collapsed away; renormalize.
+		if c.lf.count() == 0 || c.pos >= c.lf.count() {
+			c = t.newCursorAtRidChain(rid)
+			for c.valid() && c.rid() == rid && c.kind() == KindDel {
+				c.advance()
+			}
+		}
+	}
+	off := uint64(len(t.vals.del))
+	t.vals.del = append(t.vals.del, skVals.Clone())
+	t.placeEntry(c, uint64(int64(rid)-c.delta), KindDel, off)
+	t.nDel++
+	return nil
+}
+
+// SKRidToSid is Algorithm 6: given the sort-key values of a tuple to be
+// placed at current row position rid, it returns the SID the tuple should
+// receive in the stable image, positioning it among any ghost tuples that
+// share rid by comparing sort keys (the only value-based step in the PDT).
+func (t *PDT) SKRidToSid(skVals types.Row, rid uint64) uint64 {
+	c := t.newCursorAtRidChain(rid)
+	for c.valid() && c.rid() == rid && c.kind() == KindDel &&
+		types.CompareRows(t.vals.del[c.val()], skVals) < 0 {
+		c.advance()
+	}
+	return uint64(int64(rid) - c.delta)
+}
+
+// SidToRid maps a stable tuple's SID to its current RID. ghost reports
+// whether the tuple has been deleted (its RID is then the RID of the next
+// visible tuple, per the paper's ghost convention).
+func (t *PDT) SidToRid(sid uint64) (rid uint64, ghost bool) {
+	c := t.newCursorAtSid(sid)
+	// Entries at this SID: first inserts (which precede the stable tuple and
+	// so shift it), then the stable tuple's own modify entries or delete.
+	for c.valid() && c.sid() == sid && c.kind() == KindIns {
+		c.advance()
+	}
+	if c.valid() && c.sid() == sid && c.kind() == KindDel {
+		return c.rid(), true
+	}
+	return uint64(int64(sid) + c.delta), false
+}

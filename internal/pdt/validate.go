@@ -1,0 +1,169 @@
+package pdt
+
+// Validate performs a full structural and semantic audit of the PDT. It is
+// meant for tests (property tests call it after every mutation) and for the
+// pdtdump tool; it is never needed on the query path.
+
+import "fmt"
+
+// Validate checks every invariant the algorithms rely on: tree shape,
+// separator and delta bookkeeping, leaf-chain integrity, global (SID,RID)
+// ordering, chain well-formedness (Corollaries 3 and 4), value-space offset
+// bounds, and counter consistency. It returns the first violation found.
+func (t *PDT) Validate() error {
+	// Collect leaves through the tree and check node-local invariants.
+	var leaves []*leaf
+	var walk func(n node, parent *inner) (min uint64, delta int64, err error)
+	walk = func(n node, parent *inner) (uint64, int64, error) {
+		if n.parentNode() != parent {
+			return 0, 0, fmt.Errorf("pdt: bad parent pointer")
+		}
+		switch x := n.(type) {
+		case *leaf:
+			if x.count() == 0 && t.root != n {
+				return 0, 0, fmt.Errorf("pdt: empty non-root leaf")
+			}
+			if x.count() > t.fanout {
+				return 0, 0, fmt.Errorf("pdt: leaf overflow (%d > %d)", x.count(), t.fanout)
+			}
+			leaves = append(leaves, x)
+			var min uint64
+			if x.count() > 0 {
+				min = x.sids[0]
+			}
+			return min, x.localDelta(), nil
+		case *inner:
+			if len(x.children) == 0 {
+				return 0, 0, fmt.Errorf("pdt: childless inner node")
+			}
+			if len(x.children) > t.fanout {
+				return 0, 0, fmt.Errorf("pdt: inner overflow (%d > %d)", len(x.children), t.fanout)
+			}
+			if len(x.seps) != len(x.children)-1 || len(x.deltas) != len(x.children) {
+				return 0, 0, fmt.Errorf("pdt: inner arity mismatch (%d children, %d seps, %d deltas)",
+					len(x.children), len(x.seps), len(x.deltas))
+			}
+			var subMin uint64
+			var total int64
+			for i, c := range x.children {
+				m, d, err := walk(c, x)
+				if err != nil {
+					return 0, 0, err
+				}
+				if d != x.deltas[i] {
+					return 0, 0, fmt.Errorf("pdt: delta of child %d is %d, recomputed %d", i, x.deltas[i], d)
+				}
+				if i == 0 {
+					subMin = m
+				} else {
+					if x.seps[i-1] != m {
+						return 0, 0, fmt.Errorf("pdt: separator %d is %d, min SID of right subtree is %d", i-1, x.seps[i-1], m)
+					}
+					if m < x.seps[i-1] {
+						return 0, 0, fmt.Errorf("pdt: separators not aligned")
+					}
+				}
+				total += d
+			}
+			for i := 1; i < len(x.seps); i++ {
+				if x.seps[i] < x.seps[i-1] {
+					return 0, 0, fmt.Errorf("pdt: separators decreasing")
+				}
+			}
+			return subMin, total, nil
+		}
+		return 0, 0, fmt.Errorf("pdt: unknown node type")
+	}
+	if _, _, err := walk(t.root, nil); err != nil {
+		return err
+	}
+
+	// Leaf chain must visit exactly the tree's leaves, in order.
+	i := 0
+	for lf := t.first; lf != nil; lf = lf.next {
+		if i >= len(leaves) || leaves[i] != lf {
+			return fmt.Errorf("pdt: leaf chain diverges from tree at leaf %d", i)
+		}
+		if lf.next != nil && lf.next.prev != lf {
+			return fmt.Errorf("pdt: broken prev pointer at leaf %d", i)
+		}
+		i++
+	}
+	if i != len(leaves) {
+		return fmt.Errorf("pdt: leaf chain has %d leaves, tree has %d", i, len(leaves))
+	}
+	if t.last != leaves[len(leaves)-1] {
+		return fmt.Errorf("pdt: last pointer stale")
+	}
+
+	// Global entry ordering, chain shape, offsets, counters.
+	var nIns, nDel, nMod, n int
+	var prevSID, prevRID uint64
+	var prevKind uint16
+	havePrev := false
+	for c := t.newCursorAtStart(); c.valid(); c.advance() {
+		sid, rid, kind := c.sid(), c.rid(), c.kind()
+		if havePrev {
+			if sid < prevSID {
+				return fmt.Errorf("pdt: SIDs decrease (%d after %d)", sid, prevSID)
+			}
+			if rid < prevRID {
+				return fmt.Errorf("pdt: RIDs decrease (%d after %d)", rid, prevRID)
+			}
+			if sid == prevSID {
+				// Corollary 3: inserts come first in an equal-SID chain.
+				if prevKind != KindIns && kind == KindIns {
+					return fmt.Errorf("pdt: insert after non-insert at sid %d", sid)
+				}
+				// A stable tuple is deleted at most once and a delete
+				// replaces its modifies.
+				if prevKind == KindDel {
+					return fmt.Errorf("pdt: entry follows delete of the same stable tuple at sid %d", sid)
+				}
+				if prevKind != KindIns && kind != KindDel && kind != KindIns && kind <= prevKind {
+					return fmt.Errorf("pdt: modify columns not strictly ascending at sid %d", sid)
+				}
+			}
+			if rid == prevRID {
+				// Corollary 4: only deletes may be followed by more entries
+				// with the same RID.
+				if prevKind != KindDel && !(prevKind < KindDel && kind < KindDel) {
+					return fmt.Errorf("pdt: non-delete entry followed at rid %d", rid)
+				}
+			}
+		}
+		switch kind {
+		case KindIns:
+			nIns++
+			if c.val() >= uint64(len(t.vals.ins)) {
+				return fmt.Errorf("pdt: insert offset %d out of range", c.val())
+			}
+		case KindDel:
+			nDel++
+			if c.val() >= uint64(len(t.vals.del)) {
+				return fmt.Errorf("pdt: delete offset %d out of range", c.val())
+			}
+		default:
+			nMod++
+			if int(kind) >= len(t.vals.mods) {
+				return fmt.Errorf("pdt: modify column %d out of range", kind)
+			}
+			if c.val() >= uint64(len(t.vals.mods[kind])) {
+				return fmt.Errorf("pdt: modify offset %d out of range", c.val())
+			}
+		}
+		n++
+		prevSID, prevRID, prevKind, havePrev = sid, rid, kind, true
+	}
+	if n != t.nEntries {
+		return fmt.Errorf("pdt: entry count %d, counter says %d", n, t.nEntries)
+	}
+	if nIns != t.nIns || nDel != t.nDel || nMod != t.nMod {
+		return fmt.Errorf("pdt: kind counters stale (ins %d/%d del %d/%d mod %d/%d)",
+			nIns, t.nIns, nDel, t.nDel, nMod, t.nMod)
+	}
+	if t.Delta() != int64(nIns)-int64(nDel) {
+		return fmt.Errorf("pdt: Delta() = %d, expected %d", t.Delta(), int64(nIns)-int64(nDel))
+	}
+	return nil
+}

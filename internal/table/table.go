@@ -1,0 +1,452 @@
+// Package table provides the updatable ordered table: a read-optimized
+// stable column store image plus a differential structure buffering updates
+// (a PDT, a VDT, or none — the three configurations the paper evaluates
+// against each other), a key-level SQL-ish update API, range scans through
+// the sparse index with on-the-fly merging, and checkpointing that folds the
+// deltas into a fresh stable image.
+package table
+
+import (
+	"fmt"
+
+	"pdtstore/internal/colstore"
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vdt"
+	"pdtstore/internal/vector"
+)
+
+// DeltaMode selects the differential structure buffering updates.
+type DeltaMode int
+
+const (
+	// ModePDT buffers updates positionally (the paper's contribution).
+	ModePDT DeltaMode = iota
+	// ModeVDT buffers updates by sort-key value (the baseline).
+	ModeVDT
+	// ModeNone forbids updates; scans read the stable image only (the
+	// paper's "no-updates" reference runs).
+	ModeNone
+)
+
+func (m DeltaMode) String() string {
+	switch m {
+	case ModePDT:
+		return "PDT"
+	case ModeVDT:
+		return "VDT"
+	case ModeNone:
+		return "none"
+	}
+	return "?"
+}
+
+// Options configures a table.
+type Options struct {
+	Mode       DeltaMode
+	BlockRows  int              // values per column block (0 = default)
+	Compressed bool             // compress stable blocks
+	Fanout     int              // PDT fanout (0 = paper default of 8)
+	Device     *colstore.Device // shared "disk"; nil = private device
+}
+
+// Table is an updatable ordered table.
+type Table struct {
+	schema *types.Schema
+	opts   Options
+	store  *colstore.Store
+	pdt    *pdt.PDT
+	vdt    *vdt.VDT
+}
+
+// Load bulk-loads rows (must be in strict sort-key order) into a new table.
+func Load(schema *types.Schema, rows []types.Row, opts Options) (*Table, error) {
+	store, err := colstore.BulkLoad(schema, opts.Device, opts.BlockRows, opts.Compressed, rows)
+	if err != nil {
+		return nil, err
+	}
+	return FromStore(store, opts)
+}
+
+// LoadBatches bulk-loads from a batch source producing all schema columns in
+// sort-key order (the fast path for generated datasets).
+func LoadBatches(schema *types.Schema, src pdt.BatchSource, opts Options) (*Table, error) {
+	b := colstore.NewBuilder(schema, opts.Device, opts.BlockRows, opts.Compressed)
+	kinds := make([]types.Kind, schema.NumCols())
+	for i, c := range schema.Cols {
+		kinds[i] = c.Kind
+	}
+	buf := vector.NewBatch(kinds, 4096)
+	for {
+		buf.Reset()
+		n, err := src.Next(buf, 4096)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		if err := b.AddBatch(buf); err != nil {
+			return nil, err
+		}
+	}
+	store, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return FromStore(store, opts)
+}
+
+// FromStore wraps an existing stable image in a table.
+func FromStore(store *colstore.Store, opts Options) (*Table, error) {
+	t := &Table{schema: store.Schema(), opts: opts, store: store}
+	switch opts.Mode {
+	case ModePDT:
+		t.pdt = pdt.New(t.schema, opts.Fanout)
+	case ModeVDT:
+		t.vdt = vdt.New(t.schema)
+	case ModeNone:
+	default:
+		return nil, fmt.Errorf("table: unknown delta mode %d", opts.Mode)
+	}
+	return t, nil
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() *types.Schema { return t.schema }
+
+// Mode returns the delta mode.
+func (t *Table) Mode() DeltaMode { return t.opts.Mode }
+
+// Store returns the stable image (read-only).
+func (t *Table) Store() *colstore.Store { return t.store }
+
+// PDT returns the positional delta tree, or nil outside ModePDT. The
+// transaction layer builds its layered snapshots on top of this.
+func (t *Table) PDT() *pdt.PDT { return t.pdt }
+
+// VDT returns the value-based delta tree, or nil outside ModeVDT.
+func (t *Table) VDT() *vdt.VDT { return t.vdt }
+
+// NRows returns the visible row count (stable rows plus net delta).
+func (t *Table) NRows() uint64 {
+	n := int64(t.store.NRows())
+	switch t.opts.Mode {
+	case ModePDT:
+		n += t.pdt.Delta()
+	case ModeVDT:
+		n += t.vdt.Delta()
+	}
+	return uint64(n)
+}
+
+// DeltaMemBytes reports the memory held by the differential structure.
+func (t *Table) DeltaMemBytes() uint64 {
+	switch t.opts.Mode {
+	case ModePDT:
+		return t.pdt.MemBytes()
+	case ModeVDT:
+		return t.vdt.MemBytes()
+	}
+	return 0
+}
+
+// allCols returns [0..numCols).
+func (t *Table) allCols() []int {
+	cols := make([]int, t.schema.NumCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+// Kinds returns the vector kinds for a column projection.
+func (t *Table) Kinds(cols []int) []types.Kind {
+	kinds := make([]types.Kind, len(cols))
+	for i, c := range cols {
+		kinds[i] = t.schema.Cols[c].Kind
+	}
+	return kinds
+}
+
+// Scan returns a batch source producing the projected columns of all visible
+// rows whose sort key lies in [loKey, hiKey] (nil bounds are open; bounds
+// may be prefixes of the sort key). The source also emits RIDs. Range
+// restriction uses the sparse index, so the scan may produce rows just
+// outside the bounds (partial blocks); predicates re-filter downstream,
+// exactly as with real zone maps.
+func (t *Table) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error) {
+	from, to := t.store.SIDRange(loKey, hiKey)
+	switch t.opts.Mode {
+	case ModeNone:
+		return &plainSource{sc: t.store.NewScanner(cols, from, to)}, nil
+	case ModePDT:
+		if t.pdt.Empty() {
+			// No buffered updates: scan the stable image directly (tables
+			// the update streams never touch behave exactly like clean
+			// runs, as the paper's footnote on Q2/Q11/Q16 requires).
+			return &plainSource{sc: t.store.NewScanner(cols, from, to)}, nil
+		}
+		src := t.store.NewScanner(cols, from, to)
+		return pdt.NewMergeScan(t.pdt, src, cols, from, true), nil
+	case ModeVDT:
+		if t.vdt.Empty() {
+			return &plainSource{sc: t.store.NewScanner(cols, from, to)}, nil
+		}
+		// The value-based merge must read the sort-key columns no matter
+		// what the query projects — the core cost the paper measures.
+		srcCols := append([]int(nil), cols...)
+		for _, k := range t.schema.SortKey {
+			present := false
+			for _, c := range srcCols {
+				if c == k {
+					present = true
+					break
+				}
+			}
+			if !present {
+				srcCols = append(srcCols, k)
+			}
+		}
+		src := t.store.NewScanner(srcCols, from, to)
+		startRID := t.vdt.RangeStartRID(from, loKey)
+		return vdt.NewMergeScan(t.vdt, src, srcCols, cols, loKey, hiKey, startRID)
+	}
+	return nil, fmt.Errorf("table: unknown mode")
+}
+
+// plainSource adapts a stable scanner to the BatchSource contract, emitting
+// RID == SID.
+type plainSource struct {
+	sc *colstore.Scanner
+}
+
+func (p *plainSource) Next(out *vector.Batch, max int) (int, error) {
+	sid := p.sc.NextSID()
+	n, err := p.sc.Next(out, max)
+	for i := 0; i < n; i++ {
+		out.Rids = append(out.Rids, sid+uint64(i))
+	}
+	return n, err
+}
+
+// FindByKey locates the visible tuple with the given (full) sort key,
+// returning its RID and current column values.
+func (t *Table) FindByKey(key types.Row) (rid uint64, row types.Row, found bool, err error) {
+	if len(key) != len(t.schema.SortKey) {
+		return 0, nil, false, fmt.Errorf("table: FindByKey needs the full %d-column sort key", len(t.schema.SortKey))
+	}
+	src, err := t.Scan(t.allCols(), key, key)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	out := vector.NewBatch(t.Kinds(t.allCols()), 256)
+	for {
+		out.Reset()
+		n, err := src.Next(out, 256)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if n == 0 {
+			return 0, nil, false, nil
+		}
+		for i := 0; i < n; i++ {
+			r := out.Row(i)
+			cmp := t.schema.CompareKeyToRow(key, r)
+			if cmp == 0 {
+				return out.Rids[i], r, true, nil
+			}
+			if cmp < 0 {
+				return 0, nil, false, nil // passed the key's position
+			}
+		}
+	}
+}
+
+// insertPosition returns the RID where a tuple with the given key belongs
+// (the RID of the first visible tuple with a greater key) and whether an
+// equal key is already visible.
+func (t *Table) insertPosition(key types.Row) (rid uint64, dup bool, err error) {
+	src, err := t.Scan(t.schema.SortKey, key, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	kinds := t.Kinds(t.schema.SortKey)
+	out := vector.NewBatch(kinds, 256)
+	last := t.NRows()
+	for {
+		out.Reset()
+		n, err := src.Next(out, 256)
+		if err != nil {
+			return 0, false, err
+		}
+		if n == 0 {
+			return last, false, nil
+		}
+		for i := 0; i < n; i++ {
+			rowKey := out.Row(i)
+			cmp := types.CompareRows(key, rowKey)
+			if cmp == 0 {
+				return out.Rids[i], true, nil
+			}
+			if cmp < 0 {
+				return out.Rids[i], false, nil
+			}
+		}
+	}
+}
+
+// stableHasKey reports whether the stable image contains the key.
+func (t *Table) stableHasKey(key types.Row) (bool, error) {
+	from, to := t.store.SIDRange(key, key)
+	sc := t.store.NewScanner(t.schema.SortKey, from, to)
+	out := vector.NewBatch(t.Kinds(t.schema.SortKey), 256)
+	for {
+		out.Reset()
+		n, err := sc.Next(out, 256)
+		if err != nil {
+			return false, err
+		}
+		if n == 0 {
+			return false, nil
+		}
+		for i := 0; i < n; i++ {
+			if types.CompareRows(key, out.Row(i)) == 0 {
+				return true, nil
+			}
+		}
+	}
+}
+
+// Insert adds a new tuple; its sort key must not be visible.
+func (t *Table) Insert(row types.Row) error {
+	if err := t.schema.ValidateRow(row); err != nil {
+		return err
+	}
+	key := t.schema.KeyOf(row)
+	switch t.opts.Mode {
+	case ModeNone:
+		return fmt.Errorf("table: read-only (ModeNone)")
+	case ModePDT:
+		rid, dup, err := t.insertPosition(key)
+		if err != nil {
+			return err
+		}
+		if dup {
+			return fmt.Errorf("table: duplicate key %v", key)
+		}
+		return t.pdt.Insert(rid, row)
+	case ModeVDT:
+		if _, ok := t.vdt.HasInsert(key); ok {
+			return fmt.Errorf("table: duplicate key %v", key)
+		}
+		stable, err := t.stableHasKey(key)
+		if err != nil {
+			return err
+		}
+		if stable && !t.vdt.IsDeleted(key) {
+			return fmt.Errorf("table: duplicate key %v", key)
+		}
+		return t.vdt.Insert(row)
+	}
+	return fmt.Errorf("table: unknown mode")
+}
+
+// DeleteByKey removes the visible tuple with the given sort key, reporting
+// whether it existed.
+func (t *Table) DeleteByKey(key types.Row) (bool, error) {
+	switch t.opts.Mode {
+	case ModeNone:
+		return false, fmt.Errorf("table: read-only (ModeNone)")
+	case ModePDT:
+		rid, row, found, err := t.FindByKey(key)
+		if err != nil || !found {
+			return false, err
+		}
+		return true, t.pdt.Delete(rid, t.schema.KeyOf(row))
+	case ModeVDT:
+		_, inIns := t.vdt.HasInsert(key)
+		stable, err := t.stableHasKey(key)
+		if err != nil {
+			return false, err
+		}
+		if !inIns && (!stable || t.vdt.IsDeleted(key)) {
+			return false, nil
+		}
+		t.vdt.Delete(key, stable)
+		return true, nil
+	}
+	return false, fmt.Errorf("table: unknown mode")
+}
+
+// UpdateByKey sets one column of the visible tuple with the given sort key.
+// Updating a sort-key column is expressed as delete+insert, per the paper.
+func (t *Table) UpdateByKey(key types.Row, col int, val types.Value) (bool, error) {
+	if t.opts.Mode == ModeNone {
+		return false, fmt.Errorf("table: read-only (ModeNone)")
+	}
+	rid, row, found, err := t.FindByKey(key)
+	if err != nil || !found {
+		return false, err
+	}
+	if t.schema.IsSortKeyCol(col) {
+		newRow := row.Clone()
+		newRow[col] = val
+		if _, err := t.DeleteByKey(key); err != nil {
+			return false, err
+		}
+		return true, t.Insert(newRow)
+	}
+	switch t.opts.Mode {
+	case ModePDT:
+		return true, t.pdt.Modify(rid, col, val)
+	case ModeVDT:
+		stable, err := t.stableHasKey(key)
+		if err != nil {
+			return false, err
+		}
+		return true, t.vdt.Modify(row, col, val, stable)
+	}
+	return false, fmt.Errorf("table: unknown mode")
+}
+
+// Checkpoint folds the buffered deltas into a brand-new stable image and
+// resets the differential structure (the paper's checkpointing step: the
+// table image with all updates applied replaces TABLE0, and query
+// processing switches over).
+func (t *Table) Checkpoint() error {
+	if t.opts.Mode == ModeNone {
+		return nil
+	}
+	src, err := t.Scan(t.allCols(), nil, nil)
+	if err != nil {
+		return err
+	}
+	b := colstore.NewBuilder(t.schema, t.store.Device(), t.opts.BlockRows, t.opts.Compressed)
+	buf := vector.NewBatch(t.Kinds(t.allCols()), 4096)
+	for {
+		buf.Reset()
+		n, err := src.Next(buf, 4096)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		if err := b.AddBatch(buf); err != nil {
+			return err
+		}
+	}
+	store, err := b.Finish()
+	if err != nil {
+		return err
+	}
+	t.store = store
+	switch t.opts.Mode {
+	case ModePDT:
+		t.pdt = pdt.New(t.schema, t.opts.Fanout)
+	case ModeVDT:
+		t.vdt = vdt.New(t.schema)
+	}
+	return nil
+}

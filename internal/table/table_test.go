@@ -1,0 +1,342 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pdtstore/internal/colstore"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+func testSchema() *types.Schema {
+	return types.MustSchema([]types.Column{
+		{Name: "k1", Kind: types.Int64},
+		{Name: "k2", Kind: types.String},
+		{Name: "a", Kind: types.Int64},
+		{Name: "b", Kind: types.Float64},
+	}, []int{0, 1})
+}
+
+func genRows(n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{
+			types.Int(int64(i / 3 * 10)),
+			types.Str(fmt.Sprintf("s%02d", i%3)),
+			types.Int(int64(i)),
+			types.Float(float64(i) / 4),
+		}
+	}
+	return rows
+}
+
+func newTable(t *testing.T, mode DeltaMode, n int) *Table {
+	t.Helper()
+	tbl, err := Load(testSchema(), genRows(n), Options{Mode: mode, BlockRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func scanKeys(t *testing.T, tbl *Table, lo, hi types.Row) []types.Row {
+	t.Helper()
+	cols := []int{0, 1}
+	src, err := tbl.Scan(cols, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := vector.NewBatch(tbl.Kinds(cols), 64)
+	for {
+		n, err := src.Next(out, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	rows := make([]types.Row, out.Len())
+	for i := range rows {
+		rows[i] = out.Row(i)
+	}
+	return rows
+}
+
+func TestAllModesBasicLifecycle(t *testing.T) {
+	for _, mode := range []DeltaMode{ModePDT, ModeVDT} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			tbl := newTable(t, mode, 60)
+			if tbl.NRows() != 60 {
+				t.Fatalf("NRows = %d", tbl.NRows())
+			}
+
+			// insert a fresh key
+			row := types.Row{types.Int(55), types.Str("zz"), types.Int(-1), types.Float(0)}
+			if err := tbl.Insert(row); err != nil {
+				t.Fatal(err)
+			}
+			if tbl.NRows() != 61 {
+				t.Fatalf("NRows after insert = %d", tbl.NRows())
+			}
+			rid, got, found, err := tbl.FindByKey(types.Row{types.Int(55), types.Str("zz")})
+			if err != nil || !found {
+				t.Fatalf("inserted key not found: %v", err)
+			}
+			if types.CompareRows(got, row) != 0 {
+				t.Fatalf("FindByKey row = %v", got)
+			}
+			_ = rid
+
+			// duplicate insert rejected
+			if err := tbl.Insert(row); err == nil {
+				t.Fatal("duplicate insert accepted")
+			}
+
+			// update a stable tuple
+			key := types.Row{types.Int(0), types.Str("s01")}
+			ok, err := tbl.UpdateByKey(key, 2, types.Int(999))
+			if err != nil || !ok {
+				t.Fatalf("update: %v %v", ok, err)
+			}
+			_, got, _, err = tbl.FindByKey(key)
+			if err != nil || got[2].I != 999 {
+				t.Fatalf("update not visible: %v %v", got, err)
+			}
+
+			// delete it
+			ok, err = tbl.DeleteByKey(key)
+			if err != nil || !ok {
+				t.Fatalf("delete: %v %v", ok, err)
+			}
+			if _, _, found, _ := tbl.FindByKey(key); found {
+				t.Fatal("deleted key still visible")
+			}
+			if ok, _ := tbl.DeleteByKey(key); ok {
+				t.Fatal("double delete reported success")
+			}
+			if tbl.NRows() != 60 {
+				t.Fatalf("NRows after delete = %d", tbl.NRows())
+			}
+
+			// update of missing key
+			if ok, _ := tbl.UpdateByKey(types.Row{types.Int(-5), types.Str("no")}, 2, types.Int(0)); ok {
+				t.Fatal("update of missing key reported success")
+			}
+			if tbl.DeltaMemBytes() == 0 {
+				t.Fatal("delta memory should be positive")
+			}
+		})
+	}
+}
+
+func TestModeNoneRejectsUpdates(t *testing.T) {
+	tbl := newTable(t, ModeNone, 10)
+	if err := tbl.Insert(genRows(10)[0]); err == nil {
+		t.Error("ModeNone insert accepted")
+	}
+	if _, err := tbl.DeleteByKey(types.Row{types.Int(0), types.Str("s00")}); err == nil {
+		t.Error("ModeNone delete accepted")
+	}
+	if _, err := tbl.UpdateByKey(types.Row{types.Int(0), types.Str("s00")}, 2, types.Int(1)); err == nil {
+		t.Error("ModeNone update accepted")
+	}
+	keys := scanKeys(t, tbl, nil, nil)
+	if len(keys) != 10 {
+		t.Errorf("scan returned %d rows", len(keys))
+	}
+}
+
+func TestSortKeyUpdateBecomesDeleteInsert(t *testing.T) {
+	for _, mode := range []DeltaMode{ModePDT, ModeVDT} {
+		tbl := newTable(t, mode, 30)
+		key := types.Row{types.Int(30), types.Str("s00")}
+		ok, err := tbl.UpdateByKey(key, 0, types.Int(31))
+		if err != nil || !ok {
+			t.Fatalf("%v: sort-key update: %v", mode, err)
+		}
+		if _, _, found, _ := tbl.FindByKey(key); found {
+			t.Fatalf("%v: old key still visible", mode)
+		}
+		_, row, found, err := tbl.FindByKey(types.Row{types.Int(31), types.Str("s00")})
+		if err != nil || !found {
+			t.Fatalf("%v: new key missing", mode)
+		}
+		if row[0].I != 31 {
+			t.Fatalf("%v: moved row = %v", mode, row)
+		}
+	}
+}
+
+func TestRangeScanWithUpdates(t *testing.T) {
+	for _, mode := range []DeltaMode{ModePDT, ModeVDT} {
+		tbl := newTable(t, mode, 90) // k1 in 0,10,...,290
+		// insert inside a future range
+		if err := tbl.Insert(types.Row{types.Int(105), types.Str("aa"), types.Int(0), types.Float(0)}); err != nil {
+			t.Fatal(err)
+		}
+		// delete one row inside the range
+		if ok, err := tbl.DeleteByKey(types.Row{types.Int(110), types.Str("s00")}); err != nil || !ok {
+			t.Fatal(err)
+		}
+		keys := scanKeys(t, tbl, types.Row{types.Int(100)}, types.Row{types.Int(120)})
+		// qualifying visible keys: (100,s00..s02), (105,aa), (110,s01),
+		// (110,s02), (120,s00..s02) — nine in total.
+		count := 0
+		for _, k := range keys {
+			if k[0].I >= 100 && k[0].I <= 120 {
+				count++
+			}
+		}
+		if count != 9 {
+			t.Fatalf("%v: range scan has %d qualifying keys, want 9: %v", mode, count, keys)
+		}
+	}
+}
+
+func TestCheckpointEquivalence(t *testing.T) {
+	for _, mode := range []DeltaMode{ModePDT, ModeVDT} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			tbl := newTable(t, mode, 60)
+			// random updates
+			for i := 0; i < 120; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					k := types.Row{types.Int(int64(rng.Intn(300))), types.Str(fmt.Sprintf("n%03d", i)), types.Int(int64(i)), types.Float(1)}
+					_ = tbl.Insert(k) // duplicates rejected, fine
+				case 1:
+					keys := scanKeys(t, tbl, nil, nil)
+					if len(keys) > 0 {
+						k := keys[rng.Intn(len(keys))]
+						if _, err := tbl.DeleteByKey(k); err != nil {
+							t.Fatal(err)
+						}
+					}
+				case 2:
+					keys := scanKeys(t, tbl, nil, nil)
+					if len(keys) > 0 {
+						k := keys[rng.Intn(len(keys))]
+						if _, err := tbl.UpdateByKey(k, 2, types.Int(int64(i))); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			before := scanAllRows(t, tbl)
+			nBefore := tbl.NRows()
+			if err := tbl.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			if tbl.DeltaMemBytes() != 0 {
+				t.Error("delta not reset after checkpoint")
+			}
+			if tbl.NRows() != nBefore {
+				t.Errorf("NRows changed across checkpoint: %d -> %d", nBefore, tbl.NRows())
+			}
+			after := scanAllRows(t, tbl)
+			if len(before) != len(after) {
+				t.Fatalf("row count changed: %d -> %d", len(before), len(after))
+			}
+			for i := range before {
+				if types.CompareRows(before[i], after[i]) != 0 {
+					t.Fatalf("row %d changed: %v -> %v", i, before[i], after[i])
+				}
+			}
+			// the table remains updatable after checkpointing
+			if err := tbl.Insert(types.Row{types.Int(9999), types.Str("post"), types.Int(0), types.Float(0)}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func scanAllRows(t *testing.T, tbl *Table) []types.Row {
+	t.Helper()
+	cols := []int{0, 1, 2, 3}
+	src, err := tbl.Scan(cols, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := vector.NewBatch(tbl.Kinds(cols), 64)
+	for {
+		n, err := src.Next(out, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	rows := make([]types.Row, out.Len())
+	for i := range rows {
+		rows[i] = out.Row(i)
+	}
+	return rows
+}
+
+func TestVDTScanReadsSortKeysPDTDoesNot(t *testing.T) {
+	// The paper's central I/O claim: scanning a non-key column must fetch
+	// the sort-key columns under VDT but not under PDT.
+	dev := colstore.NewDevice()
+	rows := genRows(3000)
+	mk := func(mode DeltaMode) *Table {
+		tbl, err := Load(testSchema(), rows, Options{Mode: mode, BlockRows: 64, Device: dev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	pdtTbl, vdtTbl := mk(ModePDT), mk(ModeVDT)
+	// buffer one update in each so the merge path is active
+	if err := pdtTbl.Insert(types.Row{types.Int(5), types.Str("x"), types.Int(0), types.Float(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vdtTbl.Insert(types.Row{types.Int(5), types.Str("x"), types.Int(0), types.Float(0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(tbl *Table) uint64 {
+		dev.DropCaches()
+		dev.ResetStats()
+		cols := []int{2} // non-key column only
+		src, err := tbl.Scan(cols, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := vector.NewBatch(tbl.Kinds(cols), 1024)
+		for {
+			n, err := src.Next(out, 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			out.Reset()
+		}
+		bytes, _ := dev.Stats()
+		return bytes
+	}
+	pdtBytes := measure(pdtTbl)
+	vdtBytes := measure(vdtTbl)
+	if vdtBytes <= pdtBytes {
+		t.Fatalf("VDT scan read %d bytes, PDT %d — VDT must read more (sort keys)", vdtBytes, pdtBytes)
+	}
+	// PDT reads exactly the projected column.
+	if want := pdtTbl.Store().EncodedSize(2); pdtBytes != want {
+		t.Fatalf("PDT scan read %d bytes, column is %d", pdtBytes, want)
+	}
+}
+
+func TestLoadRejectsUnsortedRows(t *testing.T) {
+	rows := genRows(10)
+	rows[3], rows[4] = rows[4], rows[3]
+	if _, err := Load(testSchema(), rows, Options{Mode: ModePDT}); err == nil {
+		t.Fatal("unsorted load accepted")
+	}
+}

@@ -1,0 +1,416 @@
+package tpch
+
+// The deterministic data generator. Sizes follow dbgen's scaling rules
+// (suppliers 10k·SF, customers 150k·SF, parts 200k·SF, partsupp 4 per part,
+// orders 10 per customer, 1–7 lineitems per order), and order keys are
+// sparse — 8 used slots per 32-key block — so the refresh streams can insert
+// new orders *between* existing keys, scattering updates across the
+// date-ordered orders table and the key-ordered lineitem table exactly as
+// the paper's update workload requires.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pdtstore/internal/types"
+)
+
+// OrderMeta records what the refresh streams need to know about an order.
+type OrderMeta struct {
+	Key   int64
+	Date  int64
+	Lines int
+}
+
+// Gen holds generator state for one scale factor.
+type Gen struct {
+	SF        float64
+	rng       *rand.Rand
+	Suppliers int
+	Customers int
+	Parts     int
+	NOrders   int
+
+	Orders      []OrderMeta // generation-order metadata, indexed densely
+	usedRefresh map[int64]bool
+}
+
+// NewGen creates a generator. Scale factors below ~0.0005 are clamped so
+// every table has at least a handful of rows.
+func NewGen(sf float64, seed int64) *Gen {
+	atLeast := func(n int) int {
+		if n < 3 {
+			return 3
+		}
+		return n
+	}
+	g := &Gen{
+		SF:          sf,
+		rng:         rand.New(rand.NewSource(seed)),
+		Suppliers:   atLeast(int(10000 * sf)),
+		Customers:   atLeast(int(150000 * sf)),
+		Parts:       atLeast(int(200000 * sf)),
+		usedRefresh: map[int64]bool{},
+	}
+	g.NOrders = 10 * g.Customers
+	return g
+}
+
+func (g *Gen) text(words int) string {
+	out := ""
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out += " "
+		}
+		switch g.rng.Intn(3) {
+		case 0:
+			out += colors[g.rng.Intn(len(colors))]
+		case 1:
+			out += nouns[g.rng.Intn(len(nouns))]
+		default:
+			out += verbs[g.rng.Intn(len(verbs))]
+		}
+	}
+	return out
+}
+
+func (g *Gen) phone(nation int64) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nation, g.rng.Intn(900)+100, g.rng.Intn(900)+100, g.rng.Intn(9000)+1000)
+}
+
+func (g *Gen) money(lo, hi float64) float64 {
+	cents := g.rng.Int63n(int64((hi-lo)*100) + 1)
+	return lo + float64(cents)/100
+}
+
+// orderKeyAt maps a dense order index to its sparse key (8 used per 32).
+func orderKeyAt(i int) int64 {
+	return int64(i/8)*32 + int64(i%8) + 1
+}
+
+// pickCustkey draws an ordering customer. Following dbgen, customers whose
+// key is divisible by three never place orders (Q13/Q22 depend on this).
+func (g *Gen) pickCustkey() int64 {
+	for {
+		k := int64(g.rng.Intn(g.Customers) + 1)
+		if k%3 != 0 {
+			return k
+		}
+	}
+}
+
+// RegionRows generates the region table.
+func (g *Gen) RegionRows() []types.Row {
+	rows := make([]types.Row, len(regionNames))
+	for i, name := range regionNames {
+		rows[i] = types.Row{types.Int(int64(i)), types.Str(name), types.Str(g.text(4))}
+	}
+	return rows
+}
+
+// NationRows generates the nation table.
+func (g *Gen) NationRows() []types.Row {
+	rows := make([]types.Row, len(nationDefs))
+	for i, n := range nationDefs {
+		rows[i] = types.Row{types.Int(int64(i)), types.Str(n.name), types.Int(n.region), types.Str(g.text(5))}
+	}
+	return rows
+}
+
+// SupplierRows generates the supplier table.
+func (g *Gen) SupplierRows() []types.Row {
+	rows := make([]types.Row, g.Suppliers)
+	for i := range rows {
+		key := int64(i + 1)
+		nation := int64(g.rng.Intn(25))
+		comment := g.text(6)
+		// a deterministic sprinkling of the Q16 complaint marker
+		if i%113 == 7 {
+			comment += " Customer Complaints " + g.text(2)
+		}
+		rows[i] = types.Row{
+			types.Int(key),
+			types.Str(fmt.Sprintf("Supplier#%09d", key)),
+			types.Str(g.text(3)),
+			types.Int(nation),
+			types.Str(g.phone(nation)),
+			types.Float(g.money(-999.99, 9999.99)),
+			types.Str(comment),
+		}
+	}
+	return rows
+}
+
+// CustomerRows generates the customer table.
+func (g *Gen) CustomerRows() []types.Row {
+	rows := make([]types.Row, g.Customers)
+	for i := range rows {
+		key := int64(i + 1)
+		nation := int64(g.rng.Intn(25))
+		comment := g.text(8)
+		if i%97 == 13 {
+			comment += " special requests " + g.text(2)
+		}
+		rows[i] = types.Row{
+			types.Int(key),
+			types.Str(fmt.Sprintf("Customer#%09d", key)),
+			types.Str(g.text(3)),
+			types.Int(nation),
+			types.Str(g.phone(nation)),
+			types.Float(g.money(-999.99, 9999.99)),
+			types.Str(segments[g.rng.Intn(len(segments))]),
+			types.Str(comment),
+		}
+	}
+	return rows
+}
+
+// PartRows generates the part table.
+func (g *Gen) PartRows() []types.Row {
+	rows := make([]types.Row, g.Parts)
+	for i := range rows {
+		key := int64(i + 1)
+		mfgr := g.rng.Intn(5) + 1
+		brand := mfgr*10 + g.rng.Intn(5) + 1
+		ptype := typeSyl1[g.rng.Intn(len(typeSyl1))] + " " +
+			typeSyl2[g.rng.Intn(len(typeSyl2))] + " " +
+			typeSyl3[g.rng.Intn(len(typeSyl3))]
+		rows[i] = types.Row{
+			types.Int(key),
+			types.Str(colors[g.rng.Intn(len(colors))] + " " + colors[g.rng.Intn(len(colors))]),
+			types.Str(fmt.Sprintf("Manufacturer#%d", mfgr)),
+			types.Str(fmt.Sprintf("Brand#%d", brand)),
+			types.Str(ptype),
+			types.Int(int64(g.rng.Intn(50) + 1)),
+			types.Str(containers[g.rng.Intn(len(containers))]),
+			types.Float(900 + float64(key%1000)/10),
+			types.Str(g.text(4)),
+		}
+	}
+	return rows
+}
+
+// PartSuppRows generates partsupp: up to four distinct suppliers per part.
+func (g *Gen) PartSuppRows() []types.Row {
+	perPart := 4
+	if perPart > g.Suppliers {
+		perPart = g.Suppliers
+	}
+	rows := make([]types.Row, 0, g.Parts*perPart)
+	for p := 1; p <= g.Parts; p++ {
+		seen := map[int64]bool{}
+		for j := 0; len(seen) < perPart; j++ {
+			s := int64((p+j*(g.Suppliers/4+1))%g.Suppliers + 1)
+			if seen[s] {
+				s = s%int64(g.Suppliers) + 1
+				for seen[s] {
+					s = s%int64(g.Suppliers) + 1
+				}
+			}
+			seen[s] = true
+			rows = append(rows, types.Row{
+				types.Int(int64(p)),
+				types.Int(s),
+				types.Int(int64(g.rng.Intn(9999) + 1)),
+				types.Float(g.money(1, 1000)),
+				types.Str(g.text(6)),
+			})
+		}
+	}
+	// fix per-part supplier ordering (the formula emits out-of-order keys)
+	sortRowsByKey(rows, PartSuppSchema)
+	return rows
+}
+
+// orderRow materializes the orders tuple for meta (minus totalprice, which
+// callers derive from the lineitems).
+func (g *Gen) orderRow(meta OrderMeta, custkey int64, totalprice float64, anyOpen, allClosed bool) types.Row {
+	status := "P"
+	if allClosed {
+		status = "F"
+	} else if anyOpen {
+		status = "O"
+	}
+	return types.Row{
+		types.DateVal(meta.Date),
+		types.Int(meta.Key),
+		types.Int(custkey),
+		types.Str(status),
+		types.Float(totalprice),
+		types.Str(priorities[g.rng.Intn(len(priorities))]),
+		types.Str(fmt.Sprintf("Clerk#%09d", g.rng.Intn(1000)+1)),
+		types.Int(0),
+		types.Str(g.text(5)),
+	}
+}
+
+// lineitemRows generates the lineitems of one order.
+func (g *Gen) lineitemRows(meta OrderMeta) ([]types.Row, bool, bool) {
+	rows := make([]types.Row, meta.Lines)
+	anyOpen, allClosed := false, true
+	for ln := 0; ln < meta.Lines; ln++ {
+		qty := float64(g.rng.Intn(50) + 1)
+		partkey := int64(g.rng.Intn(g.Parts) + 1)
+		price := (900 + float64(partkey%1000)/10) * qty / 10
+		shipdate := meta.Date + int64(g.rng.Intn(121)+1)
+		commitdate := meta.Date + int64(g.rng.Intn(91)+30)
+		receiptdate := shipdate + int64(g.rng.Intn(30)+1)
+		returnflag := "N"
+		if receiptdate <= Days(1995, 6, 17) {
+			if g.rng.Intn(2) == 0 {
+				returnflag = "R"
+			} else {
+				returnflag = "A"
+			}
+		}
+		linestatus := "O"
+		if shipdate <= Days(1995, 6, 17) {
+			linestatus = "F"
+		} else {
+			anyOpen = true
+		}
+		if linestatus == "O" {
+			allClosed = false
+		}
+		rows[ln] = types.Row{
+			types.Int(meta.Key),
+			types.Int(int64(ln + 1)),
+			types.Int(partkey),
+			types.Int(int64((partkey+int64(ln))%int64(g.Suppliers) + 1)),
+			types.Float(qty),
+			types.Float(price),
+			types.Float(float64(g.rng.Intn(11)) / 100),
+			types.Float(float64(g.rng.Intn(9)) / 100),
+			types.Str(returnflag),
+			types.Str(linestatus),
+			types.DateVal(shipdate),
+			types.DateVal(commitdate),
+			types.DateVal(receiptdate),
+			types.Str(instructs[g.rng.Intn(len(instructs))]),
+			types.Str(shipmodes[g.rng.Intn(len(shipmodes))]),
+			types.Str(g.text(4)),
+		}
+	}
+	return rows, anyOpen, allClosed
+}
+
+// OrdersAndLineitems generates both big tables, each sorted by its sort key.
+func (g *Gen) OrdersAndLineitems() (orders, lineitems []types.Row) {
+	g.Orders = make([]OrderMeta, g.NOrders)
+	lineitems = make([]types.Row, 0, g.NOrders*4)
+	orders = make([]types.Row, 0, g.NOrders)
+	for i := 0; i < g.NOrders; i++ {
+		meta := OrderMeta{
+			Key:   orderKeyAt(i),
+			Date:  startDate + g.rng.Int63n(endDate-151-startDate+1),
+			Lines: g.rng.Intn(7) + 1,
+		}
+		g.Orders[i] = meta
+		lrows, anyOpen, allClosed := g.lineitemRows(meta)
+		total := 0.0
+		for _, lr := range lrows {
+			total += lr[LExtendedprice].F * (1 + lr[LTax].F) * (1 - lr[LDiscount].F)
+		}
+		custkey := g.pickCustkey()
+		orders = append(orders, g.orderRow(meta, custkey, total, anyOpen, allClosed))
+		lineitems = append(lineitems, lrows...)
+	}
+	sortRowsByKey(orders, OrdersSchema) // (o_orderdate, o_orderkey) order
+	return orders, lineitems            // lineitems are already key-ordered
+}
+
+// sortRowsByKey sorts rows by a schema's sort key.
+func sortRowsByKey(rows []types.Row, schema *types.Schema) {
+	sortSlice(rows, func(a, b types.Row) bool {
+		return schema.CompareKeyRows(a, b) < 0
+	})
+}
+
+func sortSlice(rows []types.Row, less func(a, b types.Row) bool) {
+	// insertion-free: delegate to sort.Slice via a tiny wrapper to keep the
+	// generator dependency-light
+	quickSortRows(rows, less)
+}
+
+func quickSortRows(rows []types.Row, less func(a, b types.Row) bool) {
+	if len(rows) < 2 {
+		return
+	}
+	pivot := rows[len(rows)/2]
+	left, right := 0, len(rows)-1
+	for left <= right {
+		for less(rows[left], pivot) {
+			left++
+		}
+		for less(pivot, rows[right]) {
+			right--
+		}
+		if left <= right {
+			rows[left], rows[right] = rows[right], rows[left]
+			left++
+			right--
+		}
+	}
+	quickSortRows(rows[:right+1], less)
+	quickSortRows(rows[left:], less)
+}
+
+// RefreshOrder is one new order produced by RF1.
+type RefreshOrder struct {
+	Order     types.Row
+	Lineitems []types.Row
+}
+
+// RF1 generates n new orders with keys drawn from the unused gap slots of
+// existing 32-key blocks, so inserts scatter positionally across both big
+// tables (the worst case §2 motivates).
+func (g *Gen) RF1(n int) []RefreshOrder {
+	out := make([]RefreshOrder, 0, n)
+	for i := 0; i < n; i++ {
+		var key int64
+		for {
+			block := g.rng.Intn((g.NOrders + 7) / 8)
+			slot := 8 + g.rng.Intn(8) // gap slots 8..15 of the block
+			key = int64(block)*32 + int64(slot) + 1
+			if !g.usedRefresh[key] {
+				g.usedRefresh[key] = true
+				break
+			}
+		}
+		meta := OrderMeta{
+			Key:   key,
+			Date:  startDate + g.rng.Int63n(endDate-151-startDate+1),
+			Lines: g.rng.Intn(7) + 1,
+		}
+		lrows, anyOpen, allClosed := g.lineitemRows(meta)
+		total := 0.0
+		for _, lr := range lrows {
+			total += lr[LExtendedprice].F * (1 + lr[LTax].F) * (1 - lr[LDiscount].F)
+		}
+		custkey := g.pickCustkey()
+		out = append(out, RefreshOrder{
+			Order:     g.orderRow(meta, custkey, total, anyOpen, allClosed),
+			Lineitems: lrows,
+		})
+	}
+	return out
+}
+
+// RF2 picks n distinct existing orders to delete.
+func (g *Gen) RF2(n int) []OrderMeta {
+	picked := map[int]bool{}
+	out := make([]OrderMeta, 0, n)
+	for len(out) < n && len(picked) < g.NOrders {
+		i := g.rng.Intn(g.NOrders)
+		if picked[i] {
+			continue
+		}
+		picked[i] = true
+		if g.Orders[i].Lines < 0 {
+			continue // already deleted by an earlier stream
+		}
+		out = append(out, g.Orders[i])
+		g.Orders[i].Lines = -1
+	}
+	return out
+}

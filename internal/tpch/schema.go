@@ -1,0 +1,244 @@
+// Package tpch is the benchmark substrate for the paper's §4 evaluation: a
+// deterministic dbgen-style data generator for the eight TPC-H tables, the
+// RF1/RF2 refresh (update) streams, and column-accurate implementations of
+// the 22 read queries. Table sort orders follow the paper's setup: lineitem
+// on (l_orderkey, l_linenumber) and orders on (o_orderdate, o_orderkey), so
+// refresh-stream inserts scatter across both tables.
+package tpch
+
+import (
+	"time"
+
+	"pdtstore/internal/types"
+)
+
+// Days converts a calendar date to the day-number representation stored in
+// Date columns (days since the Unix epoch).
+func Days(y int, m time.Month, d int) int64 {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC).Unix() / 86400
+}
+
+// Column index constants, one block per table, in schema order.
+const (
+	RRegionkey = iota
+	RName
+	RComment
+)
+
+const (
+	NNationkey = iota
+	NName
+	NRegionkey
+	NComment
+)
+
+const (
+	SSuppkey = iota
+	SName
+	SAddress
+	SNationkey
+	SPhone
+	SAcctbal
+	SComment
+)
+
+const (
+	CCustkey = iota
+	CName
+	CAddress
+	CNationkey
+	CPhone
+	CAcctbal
+	CMktsegment
+	CComment
+)
+
+const (
+	PPartkey = iota
+	PName
+	PMfgr
+	PBrand
+	PType
+	PSize
+	PContainer
+	PRetailprice
+	PComment
+)
+
+const (
+	PSPartkey = iota
+	PSSuppkey
+	PSAvailqty
+	PSSupplycost
+	PSComment
+)
+
+const (
+	OOrderdate = iota // leading sort column, per the paper's clustering
+	OOrderkey
+	OCustkey
+	OOrderstatus
+	OTotalprice
+	OOrderpriority
+	OClerk
+	OShippriority
+	OComment
+)
+
+const (
+	LOrderkey = iota
+	LLinenumber
+	LPartkey
+	LSuppkey
+	LQuantity
+	LExtendedprice
+	LDiscount
+	LTax
+	LReturnflag
+	LLinestatus
+	LShipdate
+	LCommitdate
+	LReceiptdate
+	LShipinstruct
+	LShipmode
+	LComment
+)
+
+// Schemas for the eight tables.
+var (
+	RegionSchema = types.MustSchema([]types.Column{
+		{Name: "r_regionkey", Kind: types.Int64},
+		{Name: "r_name", Kind: types.String},
+		{Name: "r_comment", Kind: types.String},
+	}, []int{RRegionkey})
+
+	NationSchema = types.MustSchema([]types.Column{
+		{Name: "n_nationkey", Kind: types.Int64},
+		{Name: "n_name", Kind: types.String},
+		{Name: "n_regionkey", Kind: types.Int64},
+		{Name: "n_comment", Kind: types.String},
+	}, []int{NNationkey})
+
+	SupplierSchema = types.MustSchema([]types.Column{
+		{Name: "s_suppkey", Kind: types.Int64},
+		{Name: "s_name", Kind: types.String},
+		{Name: "s_address", Kind: types.String},
+		{Name: "s_nationkey", Kind: types.Int64},
+		{Name: "s_phone", Kind: types.String},
+		{Name: "s_acctbal", Kind: types.Float64},
+		{Name: "s_comment", Kind: types.String},
+	}, []int{SSuppkey})
+
+	CustomerSchema = types.MustSchema([]types.Column{
+		{Name: "c_custkey", Kind: types.Int64},
+		{Name: "c_name", Kind: types.String},
+		{Name: "c_address", Kind: types.String},
+		{Name: "c_nationkey", Kind: types.Int64},
+		{Name: "c_phone", Kind: types.String},
+		{Name: "c_acctbal", Kind: types.Float64},
+		{Name: "c_mktsegment", Kind: types.String},
+		{Name: "c_comment", Kind: types.String},
+	}, []int{CCustkey})
+
+	PartSchema = types.MustSchema([]types.Column{
+		{Name: "p_partkey", Kind: types.Int64},
+		{Name: "p_name", Kind: types.String},
+		{Name: "p_mfgr", Kind: types.String},
+		{Name: "p_brand", Kind: types.String},
+		{Name: "p_type", Kind: types.String},
+		{Name: "p_size", Kind: types.Int64},
+		{Name: "p_container", Kind: types.String},
+		{Name: "p_retailprice", Kind: types.Float64},
+		{Name: "p_comment", Kind: types.String},
+	}, []int{PPartkey})
+
+	PartSuppSchema = types.MustSchema([]types.Column{
+		{Name: "ps_partkey", Kind: types.Int64},
+		{Name: "ps_suppkey", Kind: types.Int64},
+		{Name: "ps_availqty", Kind: types.Int64},
+		{Name: "ps_supplycost", Kind: types.Float64},
+		{Name: "ps_comment", Kind: types.String},
+	}, []int{PSPartkey, PSSuppkey})
+
+	OrdersSchema = types.MustSchema([]types.Column{
+		{Name: "o_orderdate", Kind: types.Date},
+		{Name: "o_orderkey", Kind: types.Int64},
+		{Name: "o_custkey", Kind: types.Int64},
+		{Name: "o_orderstatus", Kind: types.String},
+		{Name: "o_totalprice", Kind: types.Float64},
+		{Name: "o_orderpriority", Kind: types.String},
+		{Name: "o_clerk", Kind: types.String},
+		{Name: "o_shippriority", Kind: types.Int64},
+		{Name: "o_comment", Kind: types.String},
+	}, []int{OOrderdate, OOrderkey})
+
+	LineitemSchema = types.MustSchema([]types.Column{
+		{Name: "l_orderkey", Kind: types.Int64},
+		{Name: "l_linenumber", Kind: types.Int64},
+		{Name: "l_partkey", Kind: types.Int64},
+		{Name: "l_suppkey", Kind: types.Int64},
+		{Name: "l_quantity", Kind: types.Float64},
+		{Name: "l_extendedprice", Kind: types.Float64},
+		{Name: "l_discount", Kind: types.Float64},
+		{Name: "l_tax", Kind: types.Float64},
+		{Name: "l_returnflag", Kind: types.String},
+		{Name: "l_linestatus", Kind: types.String},
+		{Name: "l_shipdate", Kind: types.Date},
+		{Name: "l_commitdate", Kind: types.Date},
+		{Name: "l_receiptdate", Kind: types.Date},
+		{Name: "l_shipinstruct", Kind: types.String},
+		{Name: "l_shipmode", Kind: types.String},
+		{Name: "l_comment", Kind: types.String},
+	}, []int{LOrderkey, LLinenumber})
+)
+
+// Fixed dimension vocabularies (the official lists).
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nationDefs  = []struct {
+		name   string
+		region int64
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	containers = []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX",
+		"MED PKG", "MED PACK", "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+		"JUMBO BAG", "JUMBO BOX", "JUMBO CASE", "JUMBO PKG", "WRAP BAG", "WRAP CASE"}
+	typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	colors   = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque",
+		"black", "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+		"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+		"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+		"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+		"grey", "honeydew", "hot", "hazel", "indian", "ivory", "khaki", "lace",
+		"lavender", "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon",
+		"medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo",
+		"navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
+		"pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy",
+		"royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky",
+		"slate", "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato",
+		"turquoise", "violet", "wheat", "white", "yellow"}
+	nouns = []string{"packages", "requests", "accounts", "deposits", "foxes",
+		"ideas", "theodolites", "instructions", "dependencies", "excuses",
+		"platelets", "asymptotes", "courts", "dolphins", "multipliers"}
+	verbs = []string{"sleep", "wake", "are", "cajole", "haggle", "nag", "use",
+		"boost", "affix", "detect", "integrate", "maintain", "nod", "was", "lose"}
+)
+
+// Benchmark period boundaries.
+var (
+	startDate = Days(1992, time.January, 1)
+	endDate   = Days(1998, time.December, 31)
+)

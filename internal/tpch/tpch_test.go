@@ -1,0 +1,252 @@
+package tpch
+
+import (
+	"testing"
+
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+const testSF = 0.002 // ~30 customers, 300 orders, ~1200 lineitems
+
+func loadTest(t *testing.T, mode table.DeltaMode) *DB {
+	t.Helper()
+	db, err := Load(testSF, mode, false, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	g := NewGen(testSF, 1)
+	if g.Customers < 3 || g.Suppliers < 3 || g.Parts < 3 {
+		t.Fatal("clamping failed")
+	}
+	orders, lineitems := g.OrdersAndLineitems()
+	if len(orders) != g.NOrders {
+		t.Fatalf("orders = %d, want %d", len(orders), g.NOrders)
+	}
+	if len(lineitems) < len(orders) {
+		t.Fatal("fewer lineitems than orders")
+	}
+	// orders sorted by (date, key); keys sparse with gaps
+	for i := 1; i < len(orders); i++ {
+		if OrdersSchema.CompareKeyRows(orders[i-1], orders[i]) >= 0 {
+			t.Fatalf("orders unsorted at %d", i)
+		}
+	}
+	seen := map[int64]bool{}
+	for _, o := range orders {
+		k := o[OOrderkey].I
+		if seen[k] {
+			t.Fatalf("duplicate orderkey %d", k)
+		}
+		seen[k] = true
+		if (k-1)%32 >= 8 {
+			t.Fatalf("orderkey %d not in the 8-per-32 base range", k)
+		}
+	}
+	// lineitems sorted by (orderkey, linenumber)
+	for i := 1; i < len(lineitems); i++ {
+		if LineitemSchema.CompareKeyRows(lineitems[i-1], lineitems[i]) >= 0 {
+			t.Fatalf("lineitems unsorted at %d", i)
+		}
+	}
+	// RF1 keys land in gaps and never duplicate
+	rf := g.RF1(20)
+	for _, ro := range rf {
+		k := ro.Order[OOrderkey].I
+		if (k-1)%32 < 8 {
+			t.Fatalf("refresh key %d collides with base range", k)
+		}
+		if seen[k] {
+			t.Fatalf("refresh key %d duplicated", k)
+		}
+		seen[k] = true
+		if len(ro.Lineitems) < 1 {
+			t.Fatal("refresh order without lineitems")
+		}
+	}
+	// RF2 picks distinct existing orders
+	dels := g.RF2(10)
+	seenDel := map[int64]bool{}
+	for _, m := range dels {
+		if seenDel[m.Key] {
+			t.Fatalf("RF2 picked order %d twice", m.Key)
+		}
+		seenDel[m.Key] = true
+	}
+}
+
+func TestLoadAndRowCounts(t *testing.T) {
+	db := loadTest(t, table.ModePDT)
+	if db.Region.NRows() != 5 || db.Nation.NRows() != 25 {
+		t.Fatal("dimension tables wrong size")
+	}
+	if db.Orders.NRows() == 0 || db.Lineitem.NRows() == 0 {
+		t.Fatal("big tables empty")
+	}
+	for name, tbl := range db.Tables() {
+		if tbl == nil {
+			t.Fatalf("table %s nil", name)
+		}
+	}
+}
+
+func TestRefreshStreamsChangeData(t *testing.T) {
+	db := loadTest(t, table.ModePDT)
+	if err := db.ApplyRefresh(2, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	// RF1 and RF2 roughly balance, so check the delta structures directly.
+	oi, od, _ := db.Orders.PDT().Counts()
+	if oi == 0 || od == 0 {
+		t.Fatalf("orders PDT after refresh: ins=%d del=%d", oi, od)
+	}
+	li, ld, _ := db.Lineitem.PDT().Counts()
+	if li == 0 || ld == 0 {
+		t.Fatalf("lineitem PDT after refresh: ins=%d del=%d", li, ld)
+	}
+	if db.Orders.DeltaMemBytes() == 0 || db.Lineitem.DeltaMemBytes() == 0 {
+		t.Fatal("deltas empty after refresh")
+	}
+	if err := db.Orders.PDT().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Lineitem.PDT().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueriesAgreeAcrossModes(t *testing.T) {
+	// The decisive correctness test: after identical refresh streams, every
+	// query must give identical answers under PDT, VDT, and under PDT after
+	// a checkpoint (clean stable image).
+	pdtDB := loadTest(t, table.ModePDT)
+	vdtDB := loadTest(t, table.ModeVDT)
+	if err := pdtDB.ApplyRefresh(2, 0.005); err != nil {
+		t.Fatal(err)
+	}
+	if err := vdtDB.ApplyRefresh(2, 0.005); err != nil {
+		t.Fatal(err)
+	}
+
+	pdtResults := make([]string, len(Queries))
+	for qi, q := range Queries {
+		got, err := q.Run(pdtDB)
+		if err != nil {
+			t.Fatalf("Q%d (PDT): %v", q.ID, err)
+		}
+		pdtResults[qi] = got
+	}
+	for qi, q := range Queries {
+		got, err := q.Run(vdtDB)
+		if err != nil {
+			t.Fatalf("Q%d (VDT): %v", q.ID, err)
+		}
+		if got != pdtResults[qi] {
+			t.Errorf("Q%d differs between PDT and VDT:\nPDT:\n%s\nVDT:\n%s", q.ID, pdtResults[qi], got)
+		}
+	}
+	// checkpoint the PDT database and re-ask
+	if err := pdtDB.Orders.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pdtDB.Lineitem.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range Queries {
+		got, err := q.Run(pdtDB)
+		if err != nil {
+			t.Fatalf("Q%d (checkpointed): %v", q.ID, err)
+		}
+		if got != pdtResults[qi] {
+			t.Errorf("Q%d changed across checkpoint:\nbefore:\n%s\nafter:\n%s", q.ID, pdtResults[qi], got)
+		}
+	}
+}
+
+func TestQueriesNonTrivial(t *testing.T) {
+	// Guard against queries silently selecting nothing: the broad-filter
+	// queries must produce output at test scale.
+	db := loadTest(t, table.ModePDT)
+	mustProduce := []int{1, 4, 5, 6, 7, 9, 10, 12, 13, 22}
+	byID := map[int]Query{}
+	for _, q := range Queries {
+		byID[q.ID] = q
+	}
+	for _, id := range mustProduce {
+		got, err := byID[id].Run(db)
+		if err != nil {
+			t.Fatalf("Q%d: %v", id, err)
+		}
+		if got == "" {
+			t.Errorf("Q%d produced no rows at SF %v", id, testSF)
+		}
+	}
+}
+
+func TestScanIOAsymmetryOnLineitem(t *testing.T) {
+	// Q6-style projection (4 non-key columns): VDT must read the key
+	// columns, PDT must not.
+	pdtDB := loadTest(t, table.ModePDT)
+	vdtDB := loadTest(t, table.ModeVDT)
+	if err := pdtDB.ApplyRefresh(1, 0.005); err != nil {
+		t.Fatal(err)
+	}
+	if err := vdtDB.ApplyRefresh(1, 0.005); err != nil {
+		t.Fatal(err)
+	}
+	cols := []int{LQuantity, LExtendedprice, LDiscount, LShipdate}
+	measure := func(db *DB) uint64 {
+		db.Device.DropCaches()
+		db.Device.ResetStats()
+		src, err := db.Lineitem.Scan(cols, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := vector.NewBatch(db.Lineitem.Kinds(cols), 1024)
+		for {
+			n, err := src.Next(out, 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			out.Reset()
+		}
+		b, _ := db.Device.Stats()
+		return b
+	}
+	p, v := measure(pdtDB), measure(vdtDB)
+	if v <= p {
+		t.Fatalf("VDT I/O (%d) must exceed PDT I/O (%d)", v, p)
+	}
+}
+
+func TestDatesHelper(t *testing.T) {
+	if Days(1970, 1, 1) != 0 {
+		t.Fatal("epoch wrong")
+	}
+	if Days(1992, 1, 1) <= 0 || yearOf(Days(1992, 1, 1)) != 1992 {
+		t.Fatal("date math wrong")
+	}
+	if yearOf(Days(1998, 12, 31)) != 1998 {
+		t.Fatal("year extraction wrong")
+	}
+}
+
+func TestOrderKeySparsity(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		k := orderKeyAt(i)
+		if (k-1)/32 != int64(i/8) {
+			t.Fatalf("orderKeyAt(%d) = %d in wrong block", i, k)
+		}
+	}
+	g := NewGen(0.002, 3)
+	_, _ = g.OrdersAndLineitems()
+	_ = types.Row{} // keep types import for helpers above
+}

@@ -1,0 +1,155 @@
+package txn
+
+// The Query-PDT: the paper's optional fourth layer (§3.3, footnote 5). Some
+// statements — e.g. an UPDATE whose scan must not observe the rows it is
+// itself inserting (the "Halloween problem") — need protection from their
+// own writes. Such a statement stacks a private, initially empty Query-PDT
+// on top of the Trans-PDT, reads through the frozen four-layer view, writes
+// only into the Query-PDT, and on Finish propagates it into the Trans-PDT.
+
+import (
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+// Query is one self-protected statement inside a transaction.
+type Query struct {
+	txn  *Txn
+	qpdt *pdt.PDT
+	done bool
+}
+
+// BeginQuery starts a statement whose reads are frozen at the transaction's
+// current state and whose writes buffer privately until Finish.
+func (t *Txn) BeginQuery() (*Query, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	return &Query{txn: t, qpdt: pdt.New(t.mgr.tbl.Schema(), 0)}, nil
+}
+
+// Scan reads through the statement's frozen view: the transaction's three
+// layers — Equation 9 — without the statement's own pending writes. (The
+// Query-PDT is deliberately absent from the stack; that is its purpose.)
+func (q *Query) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error) {
+	if q.done {
+		return nil, ErrTxnDone
+	}
+	return q.txn.Scan(cols, loKey, hiKey)
+}
+
+// Insert buffers an insert in the Query-PDT, positioned against the frozen
+// view — repeated scans will not observe it, so a statement that inserts
+// what it selects cannot chase its own output.
+func (q *Query) Insert(row types.Row) error {
+	if q.done {
+		return ErrTxnDone
+	}
+	schema := q.txn.mgr.tbl.Schema()
+	if err := schema.ValidateRow(row); err != nil {
+		return err
+	}
+	key := schema.KeyOf(row)
+	rid, dup, err := q.insertPosition(key)
+	if err != nil {
+		return err
+	}
+	if dup {
+		return errDuplicate(key)
+	}
+	return q.qpdt.Insert(rid, row)
+}
+
+// DeleteByKey buffers a delete of a tuple visible in the frozen view.
+// Deleting the same tuple twice within one statement reports not-found the
+// second time (it is already a ghost in the Query-PDT).
+func (q *Query) DeleteByKey(key types.Row) (bool, error) {
+	if q.done {
+		return false, ErrTxnDone
+	}
+	rid, row, found, err := q.txn.findByKey(key)
+	if err != nil || !found {
+		return false, err
+	}
+	cur, ghost := q.qpdt.SidToRid(rid)
+	if ghost {
+		return false, nil
+	}
+	return true, q.qpdt.Delete(cur, q.txn.mgr.tbl.Schema().KeyOf(row))
+}
+
+// UpdateByKey buffers a single-column update of a frozen-view tuple.
+func (q *Query) UpdateByKey(key types.Row, col int, val types.Value) (bool, error) {
+	if q.done {
+		return false, ErrTxnDone
+	}
+	rid, _, found, err := q.txn.findByKey(key)
+	if err != nil || !found {
+		return false, err
+	}
+	cur, ghost := q.qpdt.SidToRid(rid)
+	if ghost {
+		return false, nil
+	}
+	return true, q.qpdt.Modify(cur, col, val)
+}
+
+// insertPosition locates key's slot in the statement's *current* domain
+// (frozen view plus this statement's own buffered updates): a four-layer
+// stacked merge over the sort-key columns.
+func (q *Query) insertPosition(key types.Row) (rid uint64, dup bool, err error) {
+	t := q.txn
+	schema := t.mgr.tbl.Schema()
+	// Rebuild the transaction's three-layer stack (mirrors Txn.Scan) and put
+	// the Query-PDT on top as the fourth layer.
+	from, _ := t.mgr.tbl.Store().SIDRange(key, nil)
+	base := t.mgr.tbl.Store().NewScanner(schema.SortKey, from, t.mgr.tbl.Store().NRows())
+	m1 := pdt.NewMergeScan(t.readPDT, base, schema.SortKey, from, true)
+	m2 := pdt.NewMergeScan(t.writeSnap, m1, schema.SortKey, m1.StartRID(), true)
+	m3 := pdt.NewMergeScan(t.trans, m2, schema.SortKey, m2.StartRID(), true)
+	m4 := pdt.NewMergeScan(q.qpdt, m3, schema.SortKey, m3.StartRID(), true)
+	out := vector.NewBatch(t.mgr.tbl.Kinds(schema.SortKey), 256)
+	last := uint64(int64(t.visibleRows()) + q.qpdt.Delta())
+	for {
+		out.Reset()
+		n, err := m4.Next(out, 256)
+		if err != nil {
+			return 0, false, err
+		}
+		if n == 0 {
+			return last, false, nil
+		}
+		for i := 0; i < n; i++ {
+			cmp := types.CompareRows(key, out.Row(i))
+			if cmp == 0 {
+				return out.Rids[i], true, nil
+			}
+			if cmp < 0 {
+				return out.Rids[i], false, nil
+			}
+		}
+	}
+}
+
+// Pending returns the number of updates buffered so far.
+func (q *Query) Pending() int { return q.qpdt.Count() }
+
+// Finish propagates the statement's buffered updates into the Trans-PDT,
+// making them visible to the rest of the transaction.
+func (q *Query) Finish() error {
+	if q.done {
+		return ErrTxnDone
+	}
+	q.done = true
+	return q.txn.trans.Propagate(q.qpdt)
+}
+
+// Discard drops the statement's buffered updates (statement-level rollback).
+func (q *Query) Discard() {
+	q.done = true
+}
+
+type errDuplicate types.Row
+
+func (e errDuplicate) Error() string { return "txn: duplicate key " + types.Row(e).String() }

@@ -1,0 +1,398 @@
+// Package txn implements the paper's three-layer PDT transaction scheme
+// (§3.3, Figure 14): a disk-resident stable table, a large RAM-resident
+// Read-PDT, a small master Write-PDT that committing transactions modify,
+// and per-transaction Trans-PDTs holding uncommitted updates.
+//
+// Transactions get snapshot isolation without locks: starting a transaction
+// copies the Write-PDT (sharing the copy when nothing committed in between)
+// and stacks a private, initially empty Trans-PDT on top. Commit serializes
+// the Trans-PDT against every transaction that committed during its lifetime
+// (Algorithm 9's TZ set, with reference counting) — aborting on write-write
+// conflict — and propagates the result into the master Write-PDT. When the
+// Write-PDT outgrows its budget, its contents migrate to the Read-PDT via
+// Propagate.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+	"pdtstore/internal/wal"
+)
+
+// ErrTxnDone is returned when using a committed or aborted transaction.
+var ErrTxnDone = errors.New("txn: transaction already finished")
+
+// ErrConflict wraps the PDT-level conflict detected at commit.
+var ErrConflict = errors.New("txn: write-write conflict, transaction aborted")
+
+// Manager coordinates transactions over one PDT-mode table.
+type Manager struct {
+	mu  sync.Mutex
+	tbl *table.Table
+
+	readPDT  *pdt.PDT
+	writePDT *pdt.PDT
+
+	lsn       uint64 // logical commit clock
+	snapLSN   uint64 // lsn at which snapCache was taken
+	snapCache *pdt.PDT
+
+	running   map[*Txn]struct{}
+	committed []*committedTxn // Algorithm 9's TZ, in commit order
+
+	writeBudget uint64 // bytes before Write→Read propagation
+	log         *wal.Writer
+}
+
+type committedTxn struct {
+	serialized *pdt.PDT
+	commitLSN  uint64
+	refcnt     int
+}
+
+// Options configures the manager.
+type Options struct {
+	// WriteBudget caps the Write-PDT's memory before its contents migrate
+	// to the Read-PDT (the paper keeps the Write-PDT smaller than the CPU
+	// cache). Zero selects 256 KiB.
+	WriteBudget uint64
+	// Log, when set, receives one record per commit (the WAL).
+	Log *wal.Writer
+}
+
+// NewManager wraps a ModePDT table. The table's own PDT becomes the
+// Read-PDT; direct table updates must stop once a manager owns it.
+func NewManager(tbl *table.Table, opts Options) (*Manager, error) {
+	if tbl.Mode() != table.ModePDT {
+		return nil, fmt.Errorf("txn: manager requires a ModePDT table, got %v", tbl.Mode())
+	}
+	budget := opts.WriteBudget
+	if budget == 0 {
+		budget = 256 << 10
+	}
+	return &Manager{
+		tbl:         tbl,
+		readPDT:     tbl.PDT(),
+		writePDT:    pdt.New(tbl.Schema(), 0),
+		running:     map[*Txn]struct{}{},
+		writeBudget: budget,
+		log:         opts.Log,
+	}, nil
+}
+
+// Table returns the underlying table.
+func (m *Manager) Table() *table.Table { return m.tbl }
+
+// ReadPDT returns the current Read-PDT (for stats and tests).
+func (m *Manager) ReadPDT() *pdt.PDT { return m.readPDT }
+
+// WritePDT returns the current master Write-PDT (for stats and tests).
+func (m *Manager) WritePDT() *pdt.PDT { return m.writePDT }
+
+// Begin starts a transaction with a private snapshot.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.snapCache == nil || m.snapLSN != m.lsn {
+		// A commit happened since the last snapshot copy (or none exists):
+		// take a fresh copy. Transactions starting at the same logical time
+		// share it, as §3.3 prescribes.
+		m.snapCache = m.writePDT.Copy()
+		m.snapLSN = m.lsn
+	}
+	t := &Txn{
+		mgr:       m,
+		startLSN:  m.lsn,
+		readPDT:   m.readPDT,
+		writeSnap: m.snapCache,
+		trans:     pdt.New(m.tbl.Schema(), 0),
+	}
+	m.running[t] = struct{}{}
+	return t
+}
+
+// finish removes t from the running set and releases TZ references.
+func (m *Manager) finish(t *Txn) {
+	delete(m.running, t)
+	kept := m.committed[:0]
+	for _, c := range m.committed {
+		if c.commitLSN > t.startLSN {
+			c.refcnt--
+		}
+		if c.refcnt > 0 {
+			kept = append(kept, c)
+		}
+	}
+	m.committed = kept
+}
+
+// maybePropagateLocked migrates the Write-PDT into the Read-PDT when it
+// outgrows its budget and no transaction is active (active snapshots share
+// the Read-PDT, which must therefore stay immutable under them).
+func (m *Manager) maybePropagateLocked() error {
+	if m.writePDT.MemBytes() < m.writeBudget || len(m.running) > 0 {
+		return nil
+	}
+	if err := m.readPDT.Propagate(m.writePDT); err != nil {
+		return err
+	}
+	m.writePDT = pdt.New(m.tbl.Schema(), 0)
+	m.snapCache = nil
+	return nil
+}
+
+// Checkpoint folds all committed state (Read- and Write-PDT) into a new
+// stable image. It requires quiescence (no running transactions).
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.running) > 0 {
+		return fmt.Errorf("txn: checkpoint requires no running transactions (%d active)", len(m.running))
+	}
+	if err := m.readPDT.Propagate(m.writePDT); err != nil {
+		return err
+	}
+	m.writePDT = pdt.New(m.tbl.Schema(), 0)
+	m.snapCache = nil
+	if err := m.tbl.Checkpoint(); err != nil {
+		return err
+	}
+	m.readPDT = m.tbl.PDT()
+	return nil
+}
+
+// Recover rebuilds the committed state from WAL records (applied on top of
+// the manager's current checkpointed state, in LSN order).
+func (m *Manager) Recover(records []wal.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range records {
+		p, err := pdt.Rebuild(m.tbl.Schema(), 0, rec.Entries)
+		if err != nil {
+			return fmt.Errorf("txn: recover LSN %d: %w", rec.LSN, err)
+		}
+		if err := m.writePDT.Propagate(p); err != nil {
+			return fmt.Errorf("txn: recover LSN %d: %w", rec.LSN, err)
+		}
+		m.lsn = rec.LSN
+	}
+	return nil
+}
+
+// Txn is one transaction: a snapshot (Read-PDT + Write-PDT copy) plus a
+// private Trans-PDT of uncommitted updates.
+type Txn struct {
+	mgr       *Manager
+	startLSN  uint64
+	readPDT   *pdt.PDT
+	writeSnap *pdt.PDT
+	trans     *pdt.PDT
+	done      bool
+}
+
+// Scan returns the transaction's view: stable image merged with the three
+// PDT layers (Equation 9: TABLE₀ ∘ R ∘ W ∘ T).
+func (t *Txn) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	from, to := t.mgr.tbl.Store().SIDRange(loKey, hiKey)
+	base := t.mgr.tbl.Store().NewScanner(cols, from, to)
+	m1 := pdt.NewMergeScan(t.readPDT, base, cols, from, true)
+	m2 := pdt.NewMergeScan(t.writeSnap, m1, cols, m1.StartRID(), true)
+	m3 := pdt.NewMergeScan(t.trans, m2, cols, m2.StartRID(), true)
+	return m3, nil
+}
+
+// findByKey locates a visible tuple in the transaction's view.
+func (t *Txn) findByKey(key types.Row) (rid uint64, row types.Row, found bool, err error) {
+	schema := t.mgr.tbl.Schema()
+	if len(key) != len(schema.SortKey) {
+		return 0, nil, false, fmt.Errorf("txn: need the full %d-column sort key", len(schema.SortKey))
+	}
+	cols := make([]int, schema.NumCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	src, err := t.Scan(cols, key, key)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	out := vector.NewBatch(t.mgr.tbl.Kinds(cols), 256)
+	for {
+		out.Reset()
+		n, err := src.Next(out, 256)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if n == 0 {
+			return 0, nil, false, nil
+		}
+		for i := 0; i < n; i++ {
+			r := out.Row(i)
+			cmp := schema.CompareKeyToRow(key, r)
+			if cmp == 0 {
+				return out.Rids[i], r, true, nil
+			}
+			if cmp < 0 {
+				return 0, nil, false, nil
+			}
+		}
+	}
+}
+
+// visibleRows returns the transaction's current row count.
+func (t *Txn) visibleRows() uint64 {
+	n := int64(t.mgr.tbl.Store().NRows())
+	n += t.readPDT.Delta() + t.writeSnap.Delta() + t.trans.Delta()
+	return uint64(n)
+}
+
+// insertPosition finds the RID where key belongs in this transaction's view.
+func (t *Txn) insertPosition(key types.Row) (rid uint64, dup bool, err error) {
+	schema := t.mgr.tbl.Schema()
+	src, err := t.Scan(schema.SortKey, key, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	out := vector.NewBatch(t.mgr.tbl.Kinds(schema.SortKey), 256)
+	last := t.visibleRows()
+	for {
+		out.Reset()
+		n, err := src.Next(out, 256)
+		if err != nil {
+			return 0, false, err
+		}
+		if n == 0 {
+			return last, false, nil
+		}
+		for i := 0; i < n; i++ {
+			cmp := types.CompareRows(key, out.Row(i))
+			if cmp == 0 {
+				return out.Rids[i], true, nil
+			}
+			if cmp < 0 {
+				return out.Rids[i], false, nil
+			}
+		}
+	}
+}
+
+// Insert adds a tuple within the transaction.
+func (t *Txn) Insert(row types.Row) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	schema := t.mgr.tbl.Schema()
+	if err := schema.ValidateRow(row); err != nil {
+		return err
+	}
+	key := schema.KeyOf(row)
+	rid, dup, err := t.insertPosition(key)
+	if err != nil {
+		return err
+	}
+	if dup {
+		return fmt.Errorf("txn: duplicate key %v", key)
+	}
+	return t.trans.Insert(rid, row)
+}
+
+// DeleteByKey removes the visible tuple with the given key.
+func (t *Txn) DeleteByKey(key types.Row) (bool, error) {
+	if t.done {
+		return false, ErrTxnDone
+	}
+	rid, row, found, err := t.findByKey(key)
+	if err != nil || !found {
+		return false, err
+	}
+	return true, t.trans.Delete(rid, t.mgr.tbl.Schema().KeyOf(row))
+}
+
+// UpdateByKey sets one column of the visible tuple with the given key.
+func (t *Txn) UpdateByKey(key types.Row, col int, val types.Value) (bool, error) {
+	if t.done {
+		return false, ErrTxnDone
+	}
+	schema := t.mgr.tbl.Schema()
+	rid, row, found, err := t.findByKey(key)
+	if err != nil || !found {
+		return false, err
+	}
+	if schema.IsSortKeyCol(col) {
+		newRow := row.Clone()
+		newRow[col] = val
+		if _, err := t.DeleteByKey(key); err != nil {
+			return false, err
+		}
+		return true, t.Insert(newRow)
+	}
+	return true, t.trans.Modify(rid, col, val)
+}
+
+// Commit serializes the transaction against everything that committed during
+// its lifetime and folds it into the master Write-PDT (Algorithm 9). On
+// conflict the transaction aborts and ErrConflict (wrapping the PDT-level
+// detail) is returned.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t.done = true
+
+	serialized := t.trans
+	for _, c := range m.committed {
+		if c.commitLSN <= t.startLSN {
+			continue
+		}
+		next, err := serialized.Serialize(c.serialized)
+		if err != nil {
+			m.finish(t)
+			return fmt.Errorf("%w: %v", ErrConflict, err)
+		}
+		serialized = next
+	}
+	if m.log != nil && serialized.Count() > 0 {
+		if _, err := m.log.Append("table", serialized.Dump()); err != nil {
+			m.finish(t)
+			return fmt.Errorf("txn: WAL append failed, aborting: %w", err)
+		}
+	}
+	if err := m.writePDT.Propagate(serialized); err != nil {
+		m.finish(t)
+		return err
+	}
+	m.lsn++
+	m.finish(t)
+	if refs := len(m.running); refs > 0 && serialized.Count() > 0 {
+		m.committed = append(m.committed, &committedTxn{
+			serialized: serialized,
+			commitLSN:  m.lsn,
+			refcnt:     refs,
+		})
+	}
+	return m.maybePropagateLocked()
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t.done = true
+	m.finish(t)
+	_ = m.maybePropagateLocked()
+}

@@ -1,0 +1,454 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+	"pdtstore/internal/wal"
+)
+
+func testSchema() *types.Schema {
+	return types.MustSchema([]types.Column{
+		{Name: "k", Kind: types.Int64},
+		{Name: "a", Kind: types.Int64},
+		{Name: "b", Kind: types.String},
+	}, []int{0})
+}
+
+func newManager(t *testing.T, n int, opts Options) *Manager {
+	t.Helper()
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{types.Int(int64((i + 1) * 10)), types.Int(int64(i)), types.Str(fmt.Sprintf("s%d", i))}
+	}
+	tbl, err := table.Load(testSchema(), rows, table.Options{Mode: table.ModePDT, BlockRows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(tbl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func txnKeys(t *testing.T, tx *Txn) []int64 {
+	t.Helper()
+	src, err := tx.Scan([]int{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := vector.NewBatch([]types.Kind{types.Int64}, 64)
+	for {
+		n, err := src.Next(out, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return append([]int64(nil), out.Vecs[0].I...)
+}
+
+func TestManagerRequiresPDTMode(t *testing.T) {
+	tbl, err := table.Load(testSchema(), nil, table.Options{Mode: table.ModeVDT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewManager(tbl, Options{}); err == nil {
+		t.Fatal("VDT table accepted")
+	}
+}
+
+func TestCommitVisibility(t *testing.T) {
+	m := newManager(t, 10, Options{})
+
+	tx := m.Begin()
+	if err := tx.Insert(types.Row{types.Int(15), types.Int(0), types.Str("new")}); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted: other transactions must not see it.
+	other := m.Begin()
+	if len(txnKeys(t, other)) != 10 {
+		t.Fatal("uncommitted insert visible to concurrent snapshot")
+	}
+	// The inserting transaction sees its own write.
+	if len(txnKeys(t, tx)) != 11 {
+		t.Fatal("transaction does not see its own insert")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots taken before the commit still don't see it.
+	if len(txnKeys(t, other)) != 10 {
+		t.Fatal("commit leaked into older snapshot")
+	}
+	other.Abort()
+	// New transactions do.
+	after := m.Begin()
+	defer after.Abort()
+	if len(txnKeys(t, after)) != 11 {
+		t.Fatal("committed insert not visible to new snapshot")
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	m := newManager(t, 10, Options{})
+	tx := m.Begin()
+	defer tx.Abort()
+	key := types.Row{types.Int(30)}
+	if ok, err := tx.UpdateByKey(key, 1, types.Int(999)); err != nil || !ok {
+		t.Fatalf("update: %v %v", ok, err)
+	}
+	_, row, found, err := tx.findByKey(key)
+	if err != nil || !found || row[1].I != 999 {
+		t.Fatalf("own write invisible: %v %v %v", row, found, err)
+	}
+	if ok, err := tx.DeleteByKey(key); err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if _, _, found, _ := tx.findByKey(key); found {
+		t.Fatal("own delete invisible")
+	}
+	if err := tx.Insert(types.Row{types.Int(30), types.Int(7), types.Str("re")}); err != nil {
+		t.Fatalf("reinsert of own-deleted key: %v", err)
+	}
+}
+
+func TestWriteWriteConflictAborts(t *testing.T) {
+	m := newManager(t, 10, Options{})
+	a := m.Begin()
+	b := m.Begin()
+	key := types.Row{types.Int(50)}
+	if _, err := a.UpdateByKey(key, 1, types.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.UpdateByKey(key, 1, types.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	err := b.Commit()
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("expected conflict, got %v", err)
+	}
+	// Loser's changes must not be visible.
+	check := m.Begin()
+	defer check.Abort()
+	_, row, _, _ := check.findByKey(key)
+	if row[1].I != 1 {
+		t.Fatalf("final value = %d, want winner's 1", row[1].I)
+	}
+}
+
+func TestDifferentColumnsReconcile(t *testing.T) {
+	m := newManager(t, 10, Options{})
+	a := m.Begin()
+	b := m.Begin()
+	key := types.Row{types.Int(50)}
+	if _, err := a.UpdateByKey(key, 1, types.Int(11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.UpdateByKey(key, 2, types.Str("bb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatalf("different-column commits must reconcile: %v", err)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	_, row, _, _ := check.findByKey(key)
+	if row[1].I != 11 || row[2].S != "bb" {
+		t.Fatalf("reconciled row = %v", row)
+	}
+}
+
+func TestThreeTransactionPaperExample(t *testing.T) {
+	// Figure 15: a and b start from the same snapshot; b commits, then a
+	// commits (serializing against b), then c (started after b's commit)
+	// commits, serializing against a only.
+	m := newManager(t, 20, Options{})
+	a := m.Begin()
+	b := m.Begin()
+	if err := b.Insert(types.Row{types.Int(15), types.Int(0), types.Str("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Begin()
+	if _, err := a.UpdateByKey(types.Row{types.Int(100)}, 1, types.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatalf("a: %v", err)
+	}
+	if _, err := c.UpdateByKey(types.Row{types.Int(200)}, 1, types.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatalf("c: %v", err)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	keys := txnKeys(t, check)
+	if len(keys) != 21 {
+		t.Fatalf("final row count = %d", len(keys))
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	m := newManager(t, 10, Options{})
+	tx := m.Begin()
+	if err := tx.Insert(types.Row{types.Int(15), types.Int(0), types.Str("x")}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("commit after abort: %v", err)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	if len(txnKeys(t, check)) != 10 {
+		t.Fatal("aborted insert visible")
+	}
+}
+
+func TestSnapshotSharing(t *testing.T) {
+	m := newManager(t, 10, Options{})
+	a := m.Begin()
+	b := m.Begin()
+	if a.writeSnap != b.writeSnap {
+		t.Fatal("transactions without intervening commits must share the Write-PDT copy")
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Begin()
+	if c.writeSnap == b.writeSnap {
+		t.Fatal("post-commit transaction must get a fresh snapshot")
+	}
+	b.Abort()
+	c.Abort()
+}
+
+func TestWritePDTPropagationToRead(t *testing.T) {
+	m := newManager(t, 50, Options{WriteBudget: 1}) // propagate after every commit
+	for i := 0; i < 20; i++ {
+		tx := m.Begin()
+		if err := tx.Insert(types.Row{types.Int(int64(1000 + i)), types.Int(0), types.Str("w")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.WritePDT().Count() != 0 {
+		t.Fatalf("write-PDT holds %d entries; should have migrated", m.WritePDT().Count())
+	}
+	if m.ReadPDT().Count() == 0 {
+		t.Fatal("read-PDT empty after propagation")
+	}
+	check := m.Begin()
+	defer check.Abort()
+	if len(txnKeys(t, check)) != 70 {
+		t.Fatalf("row count = %d, want 70", len(txnKeys(t, check)))
+	}
+	if err := m.ReadPDT().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointQuiescence(t *testing.T) {
+	m := newManager(t, 10, Options{})
+	tx := m.Begin()
+	if err := m.Checkpoint(); err == nil {
+		t.Fatal("checkpoint with running transaction accepted")
+	}
+	tx.Abort()
+	tx2 := m.Begin()
+	if err := tx2.Insert(types.Row{types.Int(999), types.Int(0), types.Str("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Table().Store().NRows() != 11 {
+		t.Fatalf("stable rows after checkpoint = %d", m.Table().Store().NRows())
+	}
+	check := m.Begin()
+	defer check.Abort()
+	if len(txnKeys(t, check)) != 11 {
+		t.Fatal("data lost across checkpoint")
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	var logBuf bytes.Buffer
+	m := newManager(t, 10, Options{Log: wal.NewWriter(&logBuf)})
+	// Run a few committing transactions.
+	for i := 0; i < 5; i++ {
+		tx := m.Begin()
+		if err := tx.Insert(types.Row{types.Int(int64(500 + i)), types.Int(int64(i)), types.Str("w")}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.UpdateByKey(types.Row{types.Int(10)}, 1, types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One aborted transaction must leave no trace in the log.
+	tx := m.Begin()
+	if err := tx.Insert(types.Row{types.Int(9999), types.Int(0), types.Str("gone")}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+
+	wantKeys := txnKeys(t, m.Begin())
+	wantWrite := m.WritePDT().Entries()
+
+	// "Crash": rebuild a fresh manager over the same initial table and
+	// replay the log.
+	m2 := newManager(t, 10, Options{})
+	records, err := wal.Replay(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(records))
+	}
+	if err := m2.Recover(records); err != nil {
+		t.Fatal(err)
+	}
+	gotKeys := txnKeys(t, m2.Begin())
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("recovered %d rows, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("row %d: %d != %d", i, gotKeys[i], wantKeys[i])
+		}
+	}
+	gotWrite := m2.WritePDT().Entries()
+	if len(gotWrite) != len(wantWrite) {
+		t.Fatalf("recovered write-PDT has %d entries, want %d", len(gotWrite), len(wantWrite))
+	}
+	for i := range wantWrite {
+		if gotWrite[i].SID != wantWrite[i].SID || gotWrite[i].Kind != wantWrite[i].Kind {
+			t.Fatalf("write-PDT entry %d differs: %+v vs %+v", i, gotWrite[i], wantWrite[i])
+		}
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	w := wal.NewWriter(&buf)
+	if _, err := w.Append("t", []pdt.RebuildEntry{{SID: 1, Kind: pdt.KindDel, Del: types.Row{types.Int(1)}}}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Len()
+	if _, err := w.Append("t", []pdt.RebuildEntry{{SID: 2, Kind: pdt.KindDel, Del: types.Row{types.Int(2)}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-second-record.
+	torn := buf.Bytes()[:full+5]
+	records, err := wal.Replay(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("torn replay returned %d records, want 1", len(records))
+	}
+	// Corrupt a byte in the surviving record's body.
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[12] ^= 0xFF
+	records, err = wal.Replay(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("corrupt head accepted: %d records", len(records))
+	}
+}
+
+func TestConcurrentCommitsStress(t *testing.T) {
+	// Goroutines hammer disjoint key ranges: every commit must succeed and
+	// the final state must contain every insert exactly once.
+	m := newManager(t, 0, Options{WriteBudget: 1 << 20})
+	const workers, perWorker = 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				tx := m.Begin()
+				key := int64(w*1000 + i)
+				if err := tx.Insert(types.Row{types.Int(key), types.Int(int64(w)), types.Str("c")}); err != nil {
+					errs <- err
+					tx.Abort()
+					continue
+				}
+				if rng.Intn(8) == 0 {
+					tx.Abort()
+					// aborted inserts are retried under a new key space slot
+					tx2 := m.Begin()
+					if err := tx2.Insert(types.Row{types.Int(key), types.Int(int64(w)), types.Str("r")}); err != nil {
+						errs <- err
+						tx2.Abort()
+						continue
+					}
+					if err := tx2.Commit(); err != nil {
+						errs <- err
+					}
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("worker error: %v", err)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	keys := txnKeys(t, check)
+	if len(keys) != workers*perWorker {
+		t.Fatalf("final count = %d, want %d", len(keys), workers*perWorker)
+	}
+	seen := map[int64]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	if err := m.WritePDT().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

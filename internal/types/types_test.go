@@ -1,0 +1,255 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Int64: "int64", Float64: "float64", String: "string", Bool: "bool", Date: "date",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestFixedWidth(t *testing.T) {
+	for _, k := range []Kind{Int64, Float64, Date} {
+		w, ok := k.FixedWidth()
+		if !ok || w != 8 {
+			t.Errorf("%v.FixedWidth() = %d,%v want 8,true", k, w, ok)
+		}
+	}
+	if w, ok := Bool.FixedWidth(); !ok || w != 1 {
+		t.Errorf("Bool.FixedWidth() = %d,%v want 1,true", w, ok)
+	}
+	if _, ok := String.FixedWidth(); ok {
+		t.Error("String.FixedWidth() reported fixed")
+	}
+}
+
+func TestValueConstructorsAndString(t *testing.T) {
+	if v := Int(7); v.K != Int64 || v.I != 7 || v.String() != "7" {
+		t.Errorf("Int(7) = %#v", v)
+	}
+	if v := Float(2.5); v.K != Float64 || v.F != 2.5 || v.String() != "2.5" {
+		t.Errorf("Float(2.5) = %#v", v)
+	}
+	if v := Str("x"); v.K != String || v.S != "x" || v.String() != "x" {
+		t.Errorf("Str = %#v", v)
+	}
+	if v := BoolVal(true); !v.Bool() || v.String() != "true" {
+		t.Errorf("BoolVal(true) = %#v", v)
+	}
+	if v := BoolVal(false); v.Bool() || v.String() != "false" {
+		t.Errorf("BoolVal(false) = %#v", v)
+	}
+	if v := DateVal(100); v.K != Date || v.I != 100 || v.String() != "100" {
+		t.Errorf("DateVal = %#v", v)
+	}
+}
+
+func TestCompareInt(t *testing.T) {
+	if Compare(Int(1), Int(2)) != -1 || Compare(Int(2), Int(1)) != 1 || Compare(Int(3), Int(3)) != 0 {
+		t.Error("int comparison broken")
+	}
+}
+
+func TestCompareFloat(t *testing.T) {
+	if Compare(Float(1.5), Float(2.5)) != -1 || Compare(Float(2.5), Float(1.5)) != 1 || Compare(Float(1.5), Float(1.5)) != 0 {
+		t.Error("float comparison broken")
+	}
+}
+
+func TestCompareString(t *testing.T) {
+	if Compare(Str("a"), Str("b")) != -1 || Compare(Str("b"), Str("a")) != 1 || Compare(Str("a"), Str("a")) != 0 {
+		t.Error("string comparison broken")
+	}
+}
+
+func TestCompareBoolDate(t *testing.T) {
+	if Compare(BoolVal(false), BoolVal(true)) != -1 {
+		t.Error("bool comparison broken")
+	}
+	if Compare(DateVal(1), DateVal(2)) != -1 {
+		t.Error("date comparison broken")
+	}
+}
+
+func TestCompareMixedKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic comparing mixed kinds")
+		}
+	}()
+	Compare(Int(1), Str("1"))
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareStringTotalOrder(t *testing.T) {
+	f := func(a, b, c string) bool {
+		// transitivity spot check: a<=b && b<=c => a<=c
+		if Compare(Str(a), Str(b)) <= 0 && Compare(Str(b), Str(c)) <= 0 {
+			return Compare(Str(a), Str(c)) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(5), Int(5)) || Equal(Int(5), Int(6)) {
+		t.Error("Equal on ints broken")
+	}
+	if Equal(Int(5), Str("5")) {
+		t.Error("Equal across kinds must be false")
+	}
+}
+
+func TestRowCloneProjectString(t *testing.T) {
+	r := Row{Int(1), Str("x"), Float(2.0)}
+	c := r.Clone()
+	c[0] = Int(9)
+	if r[0].I != 1 {
+		t.Error("Clone aliases original")
+	}
+	p := r.Project([]int{2, 0})
+	if len(p) != 2 || p[0].F != 2.0 || p[1].I != 1 {
+		t.Errorf("Project = %v", p)
+	}
+	if got := r.String(); got != "(1,x,2)" {
+		t.Errorf("Row.String() = %q", got)
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	a := Row{Int(1), Str("b")}
+	b := Row{Int(1), Str("c")}
+	if CompareRows(a, b) != -1 || CompareRows(b, a) != 1 || CompareRows(a, a) != 0 {
+		t.Error("CompareRows broken")
+	}
+	// prefix ordering
+	if CompareRows(Row{Int(1)}, a) != -1 {
+		t.Error("shorter row should sort first on equal prefix")
+	}
+	if CompareRows(a, Row{Int(1)}) != 1 {
+		t.Error("longer row should sort last on equal prefix")
+	}
+}
+
+func TestCompareRowsAt(t *testing.T) {
+	a := Row{Int(9), Str("a"), Int(1)}
+	b := Row{Int(0), Str("a"), Int(2)}
+	if CompareRowsAt(a, b, []int{1}) != 0 {
+		t.Error("equal on col 1")
+	}
+	if CompareRowsAt(a, b, []int{1, 2}) != -1 {
+		t.Error("tie-break on col 2")
+	}
+}
+
+func inventorySchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema([]Column{
+		{"store", String}, {"prod", String}, {"new", Bool}, {"qty", Int64},
+	}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := inventorySchema(t)
+	if s.NumCols() != 4 {
+		t.Errorf("NumCols = %d", s.NumCols())
+	}
+	if s.ColIndex("qty") != 3 || s.ColIndex("nope") != -1 {
+		t.Error("ColIndex broken")
+	}
+	if !s.IsSortKeyCol(0) || !s.IsSortKeyCol(1) || s.IsSortKeyCol(3) {
+		t.Error("IsSortKeyCol broken")
+	}
+	names := s.ColNames()
+	if len(names) != 4 || names[0] != "store" || names[3] != "qty" {
+		t.Errorf("ColNames = %v", names)
+	}
+	want := "store string, prod string, new bool, qty int64 ORDER BY (store,prod)"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q want %q", got, want)
+	}
+}
+
+func TestSchemaKeyOps(t *testing.T) {
+	s := inventorySchema(t)
+	row := Row{Str("Paris"), Str("rug"), BoolVal(false), Int(1)}
+	key := s.KeyOf(row)
+	if len(key) != 2 || key[0].S != "Paris" || key[1].S != "rug" {
+		t.Errorf("KeyOf = %v", key)
+	}
+	other := Row{Str("Paris"), Str("stool"), BoolVal(false), Int(5)}
+	if s.CompareKeyRows(row, other) != -1 {
+		t.Error("CompareKeyRows broken")
+	}
+	if s.CompareKeyToRow(key, other) != -1 || s.CompareKeyToRow(key, row) != 0 {
+		t.Error("CompareKeyToRow broken")
+	}
+}
+
+func TestSchemaValidateRow(t *testing.T) {
+	s := inventorySchema(t)
+	good := Row{Str("a"), Str("b"), BoolVal(true), Int(1)}
+	if err := s.ValidateRow(good); err != nil {
+		t.Errorf("good row rejected: %v", err)
+	}
+	if err := s.ValidateRow(good[:3]); err == nil {
+		t.Error("short row accepted")
+	}
+	bad := Row{Str("a"), Str("b"), BoolVal(true), Str("1")}
+	if err := s.ValidateRow(bad); err == nil {
+		t.Error("wrong-kind row accepted")
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := NewSchema([]Column{{"a", Int64}, {"a", Int64}}, []int{0}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewSchema([]Column{{"", Int64}}, []int{0}); err == nil {
+		t.Error("empty column name accepted")
+	}
+	if _, err := NewSchema([]Column{{"a", Int64}}, nil); err == nil {
+		t.Error("missing sort key accepted")
+	}
+	if _, err := NewSchema([]Column{{"a", Int64}}, []int{1}); err == nil {
+		t.Error("out-of-range sort key accepted")
+	}
+	if _, err := NewSchema([]Column{{"a", Int64}}, []int{0, 0}); err == nil {
+		t.Error("duplicate sort key accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema should panic on bad schema")
+		}
+	}()
+	MustSchema([]Column{{"a", Int64}}, nil)
+}

@@ -1,0 +1,251 @@
+package vdt
+
+// A counted in-memory B+-tree keyed by sort-key rows. This is the "RAM
+// friendly B-tree" substrate the paper assumes for value-based delta trees:
+// the insert and delete tables are kept organized in sort-key order so they
+// can be merge-joined with the stable table. Subtree counts support
+// rank queries (how many delta rows precede a key), which RID accounting in
+// range scans needs.
+
+import (
+	"pdtstore/internal/types"
+)
+
+const btreeFanout = 16
+
+type bnode struct {
+	leaf     bool
+	keys     []types.Row // leaf: one per row; inner: separators (min of right subtree)
+	vals     []types.Row // leaf payloads (nil rows allowed)
+	children []*bnode    // inner
+	counts   []int       // inner: rows per child subtree
+	next     *bnode      // leaf chain
+}
+
+// btree maps sort-key rows to payload rows, ordered by types.CompareRows.
+type btree struct {
+	root *bnode
+	size int
+}
+
+func newBTree() *btree {
+	return &btree{root: &bnode{leaf: true}}
+}
+
+// Len returns the number of entries.
+func (t *btree) Len() int { return t.size }
+
+// get returns the payload for key, if present.
+func (t *btree) get(key types.Row) (types.Row, bool) {
+	n := t.root
+	for !n.leaf {
+		i := 0
+		for i < len(n.keys) && types.CompareRows(key, n.keys[i]) >= 0 {
+			i++
+		}
+		n = n.children[i]
+	}
+	for i, k := range n.keys {
+		if types.CompareRows(key, k) == 0 {
+			return n.vals[i], true
+		}
+	}
+	return nil, false
+}
+
+// countLess returns the number of entries with key strictly less than key.
+func (t *btree) countLess(key types.Row) int {
+	n := t.root
+	total := 0
+	for !n.leaf {
+		i := 0
+		for i < len(n.keys) && types.CompareRows(key, n.keys[i]) >= 0 {
+			total += n.counts[i]
+			i++
+		}
+		n = n.children[i]
+	}
+	for _, k := range n.keys {
+		if types.CompareRows(k, key) < 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// set inserts or replaces the payload for key; it reports whether the key
+// was newly inserted.
+func (t *btree) set(key, val types.Row) bool {
+	added, split, sepKey, right := t.insertInto(t.root, key, val)
+	if split {
+		t.root = &bnode{
+			keys:     []types.Row{sepKey},
+			children: []*bnode{t.root, right},
+			counts:   []int{subtreeCount(t.root), subtreeCount(right)},
+		}
+	}
+	if added {
+		t.size++
+	}
+	return added
+}
+
+func subtreeCount(n *bnode) int {
+	if n.leaf {
+		return len(n.keys)
+	}
+	total := 0
+	for _, c := range n.counts {
+		total += c
+	}
+	return total
+}
+
+func (t *btree) insertInto(n *bnode, key, val types.Row) (added, split bool, sepKey types.Row, right *bnode) {
+	if n.leaf {
+		i := 0
+		for i < len(n.keys) && types.CompareRows(n.keys[i], key) < 0 {
+			i++
+		}
+		if i < len(n.keys) && types.CompareRows(n.keys[i], key) == 0 {
+			n.vals[i] = val
+			return false, false, nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		if len(n.keys) > btreeFanout {
+			mid := len(n.keys) / 2
+			r := &bnode{leaf: true,
+				keys: append([]types.Row(nil), n.keys[mid:]...),
+				vals: append([]types.Row(nil), n.vals[mid:]...),
+				next: n.next,
+			}
+			n.keys = n.keys[:mid]
+			n.vals = n.vals[:mid]
+			n.next = r
+			return true, true, r.keys[0], r
+		}
+		return true, false, nil, nil
+	}
+	i := 0
+	for i < len(n.keys) && types.CompareRows(key, n.keys[i]) >= 0 {
+		i++
+	}
+	added, childSplit, sep, newRight := t.insertInto(n.children[i], key, val)
+	if added {
+		n.counts[i]++
+	}
+	if childSplit {
+		n.counts[i] = subtreeCount(n.children[i])
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = sep
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = newRight
+		n.counts = append(n.counts, 0)
+		copy(n.counts[i+2:], n.counts[i+1:])
+		n.counts[i+1] = subtreeCount(newRight)
+		if len(n.children) > btreeFanout {
+			mid := len(n.children) / 2
+			sepUp := n.keys[mid-1]
+			r := &bnode{
+				keys:     append([]types.Row(nil), n.keys[mid:]...),
+				children: append([]*bnode(nil), n.children[mid:]...),
+				counts:   append([]int(nil), n.counts[mid:]...),
+			}
+			n.keys = n.keys[:mid-1]
+			n.children = n.children[:mid]
+			n.counts = n.counts[:mid]
+			return added, true, sepUp, r
+		}
+	}
+	return added, false, nil, nil
+}
+
+// remove deletes key, reporting whether it was present. Leaves may underflow
+// (delta trees shrink only at checkpoints, so rebalancing is not worth its
+// complexity); empty leaves are tolerated by iteration and search.
+func (t *btree) remove(key types.Row) bool {
+	removed := t.removeFrom(t.root, key)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func (t *btree) removeFrom(n *bnode, key types.Row) bool {
+	if n.leaf {
+		for i, k := range n.keys {
+			if types.CompareRows(k, key) == 0 {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.vals = append(n.vals[:i], n.vals[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	i := 0
+	for i < len(n.keys) && types.CompareRows(key, n.keys[i]) >= 0 {
+		i++
+	}
+	if t.removeFrom(n.children[i], key) {
+		n.counts[i]--
+		return true
+	}
+	return false
+}
+
+// iter is an in-order iterator over the tree.
+type iter struct {
+	n   *bnode
+	pos int
+}
+
+// iterAll starts at the smallest key.
+func (t *btree) iterAll() iter {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	it := iter{n: n}
+	it.norm()
+	return it
+}
+
+// iterFrom starts at the first key >= key.
+func (t *btree) iterFrom(key types.Row) iter {
+	n := t.root
+	for !n.leaf {
+		i := 0
+		for i < len(n.keys) && types.CompareRows(key, n.keys[i]) >= 0 {
+			i++
+		}
+		n = n.children[i]
+	}
+	it := iter{n: n}
+	for it.pos < len(it.n.keys) && types.CompareRows(it.n.keys[it.pos], key) < 0 {
+		it.pos++
+	}
+	it.norm()
+	return it
+}
+
+func (it *iter) norm() {
+	for it.n != nil && it.pos >= len(it.n.keys) {
+		it.n = it.n.next
+		it.pos = 0
+	}
+}
+
+func (it *iter) valid() bool      { return it.n != nil && it.pos < len(it.n.keys) }
+func (it *iter) key() types.Row   { return it.n.keys[it.pos] }
+func (it *iter) value() types.Row { return it.n.vals[it.pos] }
+func (it *iter) advance() {
+	it.pos++
+	it.norm()
+}

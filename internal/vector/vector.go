@@ -1,0 +1,176 @@
+// Package vector provides typed column vectors and row batches, the unit of
+// block-at-a-time query processing used throughout the store (in the spirit
+// of MonetDB/X100 vectorized execution, which the paper's MergeScan operator
+// is built on).
+package vector
+
+import (
+	"fmt"
+
+	"pdtstore/internal/types"
+)
+
+// Vector is a typed column of values. Exactly one of the payload slices is
+// in use, selected by Kind: I for Int64/Date/Bool, F for Float64, S for
+// String. The payload fields are exported so hot loops can iterate natively
+// typed data without interface boxing.
+type Vector struct {
+	Kind types.Kind
+	I    []int64
+	F    []float64
+	S    []string
+}
+
+// New returns an empty vector of the given kind with room for capHint values.
+func New(kind types.Kind, capHint int) *Vector {
+	v := &Vector{Kind: kind}
+	switch kind {
+	case types.Int64, types.Date, types.Bool:
+		v.I = make([]int64, 0, capHint)
+	case types.Float64:
+		v.F = make([]float64, 0, capHint)
+	case types.String:
+		v.S = make([]string, 0, capHint)
+	default:
+		panic(fmt.Sprintf("vector: unknown kind %v", kind))
+	}
+	return v
+}
+
+// Len returns the number of values in the vector.
+func (v *Vector) Len() int {
+	switch v.Kind {
+	case types.Float64:
+		return len(v.F)
+	case types.String:
+		return len(v.S)
+	default:
+		return len(v.I)
+	}
+}
+
+// Reset truncates the vector to zero length, keeping capacity.
+func (v *Vector) Reset() {
+	v.I = v.I[:0]
+	v.F = v.F[:0]
+	v.S = v.S[:0]
+}
+
+// Append adds a single Value, which must match the vector's kind.
+func (v *Vector) Append(val types.Value) {
+	if val.K != v.Kind {
+		panic(fmt.Sprintf("vector: appending %v to %v vector", val.K, v.Kind))
+	}
+	switch v.Kind {
+	case types.Float64:
+		v.F = append(v.F, val.F)
+	case types.String:
+		v.S = append(v.S, val.S)
+	default:
+		v.I = append(v.I, val.I)
+	}
+}
+
+// Get returns the value at index i as a types.Value.
+func (v *Vector) Get(i int) types.Value {
+	switch v.Kind {
+	case types.Float64:
+		return types.Value{K: v.Kind, F: v.F[i]}
+	case types.String:
+		return types.Value{K: v.Kind, S: v.S[i]}
+	default:
+		return types.Value{K: v.Kind, I: v.I[i]}
+	}
+}
+
+// Set overwrites the value at index i, which must match the vector's kind.
+func (v *Vector) Set(i int, val types.Value) {
+	if val.K != v.Kind {
+		panic(fmt.Sprintf("vector: setting %v into %v vector", val.K, v.Kind))
+	}
+	switch v.Kind {
+	case types.Float64:
+		v.F[i] = val.F
+	case types.String:
+		v.S[i] = val.S
+	default:
+		v.I[i] = val.I
+	}
+}
+
+// AppendRange appends src[from:to] to v. Both vectors must share a kind.
+func (v *Vector) AppendRange(src *Vector, from, to int) {
+	if src.Kind != v.Kind {
+		panic("vector: AppendRange kind mismatch")
+	}
+	switch v.Kind {
+	case types.Float64:
+		v.F = append(v.F, src.F[from:to]...)
+	case types.String:
+		v.S = append(v.S, src.S[from:to]...)
+	default:
+		v.I = append(v.I, src.I[from:to]...)
+	}
+}
+
+// Batch is a set of equal-length column vectors plus an optional RID column.
+// It is the unit that flows between scan, merge, and query operators.
+type Batch struct {
+	Vecs []*Vector
+	Rids []uint64
+}
+
+// NewBatch allocates a batch with one vector per kind and the given capacity
+// hint per vector.
+func NewBatch(kinds []types.Kind, capHint int) *Batch {
+	b := &Batch{Vecs: make([]*Vector, len(kinds)), Rids: make([]uint64, 0, capHint)}
+	for i, k := range kinds {
+		b.Vecs[i] = New(k, capHint)
+	}
+	return b
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int {
+	if len(b.Vecs) == 0 {
+		return len(b.Rids)
+	}
+	return b.Vecs[0].Len()
+}
+
+// Reset truncates all vectors (and RIDs) to zero length.
+func (b *Batch) Reset() {
+	for _, v := range b.Vecs {
+		v.Reset()
+	}
+	b.Rids = b.Rids[:0]
+}
+
+// AppendRow appends one row; r must have one value per vector, kind-aligned.
+func (b *Batch) AppendRow(r types.Row) {
+	if len(r) != len(b.Vecs) {
+		panic(fmt.Sprintf("vector: row arity %d, batch arity %d", len(r), len(b.Vecs)))
+	}
+	for i, v := range b.Vecs {
+		v.Append(r[i])
+	}
+}
+
+// Row materializes row i as a types.Row (allocates; use typed access in hot
+// paths).
+func (b *Batch) Row(i int) types.Row {
+	r := make(types.Row, len(b.Vecs))
+	for c, v := range b.Vecs {
+		r[c] = v.Get(i)
+	}
+	return r
+}
+
+// Kinds returns the kind of each column vector.
+func (b *Batch) Kinds() []types.Kind {
+	out := make([]types.Kind, len(b.Vecs))
+	for i, v := range b.Vecs {
+		out[i] = v.Kind
+	}
+	return out
+}

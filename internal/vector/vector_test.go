@@ -1,0 +1,165 @@
+package vector
+
+import (
+	"testing"
+
+	"pdtstore/internal/types"
+)
+
+func TestNewAndLen(t *testing.T) {
+	for _, k := range []types.Kind{types.Int64, types.Float64, types.String, types.Bool, types.Date} {
+		v := New(k, 4)
+		if v.Len() != 0 {
+			t.Errorf("new %v vector has len %d", k, v.Len())
+		}
+	}
+}
+
+func TestAppendGetSet(t *testing.T) {
+	vi := New(types.Int64, 0)
+	vi.Append(types.Int(7))
+	if vi.Len() != 1 || vi.Get(0).I != 7 {
+		t.Error("int append/get broken")
+	}
+	vi.Set(0, types.Int(9))
+	if vi.I[0] != 9 {
+		t.Error("int set broken")
+	}
+
+	vf := New(types.Float64, 0)
+	vf.Append(types.Float(1.5))
+	if vf.Get(0).F != 1.5 {
+		t.Error("float append/get broken")
+	}
+	vf.Set(0, types.Float(2.5))
+	if vf.F[0] != 2.5 {
+		t.Error("float set broken")
+	}
+
+	vs := New(types.String, 0)
+	vs.Append(types.Str("a"))
+	if vs.Get(0).S != "a" {
+		t.Error("string append/get broken")
+	}
+	vs.Set(0, types.Str("b"))
+	if vs.S[0] != "b" {
+		t.Error("string set broken")
+	}
+
+	vb := New(types.Bool, 0)
+	vb.Append(types.BoolVal(true))
+	if !vb.Get(0).Bool() {
+		t.Error("bool append/get broken")
+	}
+}
+
+func TestAppendKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	New(types.Int64, 0).Append(types.Str("x"))
+}
+
+func TestSetKindMismatchPanics(t *testing.T) {
+	v := New(types.Int64, 0)
+	v.Append(types.Int(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	v.Set(0, types.Float(1))
+}
+
+func TestReset(t *testing.T) {
+	v := New(types.Int64, 0)
+	v.Append(types.Int(1))
+	v.Reset()
+	if v.Len() != 0 {
+		t.Error("Reset did not truncate")
+	}
+}
+
+func TestAppendRange(t *testing.T) {
+	src := New(types.Int64, 0)
+	for i := 0; i < 10; i++ {
+		src.Append(types.Int(int64(i)))
+	}
+	dst := New(types.Int64, 0)
+	dst.AppendRange(src, 3, 7)
+	if dst.Len() != 4 || dst.I[0] != 3 || dst.I[3] != 6 {
+		t.Errorf("AppendRange got %v", dst.I)
+	}
+
+	ss := New(types.String, 0)
+	ss.Append(types.Str("a"))
+	ss.Append(types.Str("b"))
+	ds := New(types.String, 0)
+	ds.AppendRange(ss, 0, 2)
+	if ds.Len() != 2 || ds.S[1] != "b" {
+		t.Error("string AppendRange broken")
+	}
+
+	sf := New(types.Float64, 0)
+	sf.Append(types.Float(1))
+	df := New(types.Float64, 0)
+	df.AppendRange(sf, 0, 1)
+	if df.Len() != 1 || df.F[0] != 1 {
+		t.Error("float AppendRange broken")
+	}
+}
+
+func TestAppendRangeKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(types.Int64, 0).AppendRange(New(types.String, 0), 0, 0)
+}
+
+func TestBatchBasics(t *testing.T) {
+	kinds := []types.Kind{types.Int64, types.String}
+	b := NewBatch(kinds, 8)
+	if b.Len() != 0 {
+		t.Error("new batch not empty")
+	}
+	b.AppendRow(types.Row{types.Int(1), types.Str("x")})
+	b.AppendRow(types.Row{types.Int(2), types.Str("y")})
+	b.Rids = append(b.Rids, 10, 11)
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	r := b.Row(1)
+	if r[0].I != 2 || r[1].S != "y" {
+		t.Errorf("Row(1) = %v", r)
+	}
+	got := b.Kinds()
+	if len(got) != 2 || got[0] != types.Int64 || got[1] != types.String {
+		t.Errorf("Kinds = %v", got)
+	}
+	b.Reset()
+	if b.Len() != 0 || len(b.Rids) != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestBatchLenNoVecs(t *testing.T) {
+	b := &Batch{}
+	b.Rids = append(b.Rids, 1, 2, 3)
+	if b.Len() != 3 {
+		t.Error("Len should fall back to Rids")
+	}
+}
+
+func TestBatchAppendRowArityPanics(t *testing.T) {
+	b := NewBatch([]types.Kind{types.Int64}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.AppendRow(types.Row{types.Int(1), types.Int(2)})
+}

@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/types"
+)
+
+func sampleEntries() []pdt.RebuildEntry {
+	return []pdt.RebuildEntry{
+		{SID: 0, Kind: pdt.KindIns, Ins: types.Row{types.Int(1), types.Str("a"), types.Float(1.5), types.BoolVal(true), types.DateVal(100)}},
+		{SID: 2, Kind: pdt.KindDel, Del: types.Row{types.Int(9)}},
+		{SID: 5, Kind: 2, Mod: types.Float(2.25)},
+		{SID: 5, Kind: 3, Mod: types.Str("mod")},
+		{SID: 7, Kind: 1, Mod: types.Int(-42)},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	lsn1, err := w.Append("orders", sampleEntries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := w.Append("lineitem", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn1 != 1 || lsn2 != 2 {
+		t.Fatalf("LSNs = %d, %d", lsn1, lsn2)
+	}
+	recs, err := Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records", len(recs))
+	}
+	if recs[0].LSN != 1 || recs[0].Table != "orders" {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if !reflect.DeepEqual(recs[0].Entries, sampleEntries()) {
+		t.Fatalf("entries differ:\n%+v\n%+v", recs[0].Entries, sampleEntries())
+	}
+	if recs[1].Table != "lineitem" || len(recs[1].Entries) != 0 {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	recs, err := Replay(bytes.NewReader(nil))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty replay: %v, %d records", err, len(recs))
+	}
+}
+
+func TestReplayStopsAtCorruptHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Append("t", sampleEntries()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// flip a bit in the CRC
+	data[5] ^= 0x01
+	recs, err := Replay(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatal("corrupt record accepted")
+	}
+}
+
+func TestReplayTruncatedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Append("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Replay(bytes.NewReader(buf.Bytes()[:5]))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("truncated header: %v, %d records", err, len(recs))
+	}
+}
+
+func TestRebuildFromDump(t *testing.T) {
+	schema := types.MustSchema([]types.Column{
+		{Name: "k", Kind: types.Int64},
+		{Name: "a", Kind: types.Int64},
+	}, []int{0})
+	p := pdt.New(schema, 4)
+	if err := p.Insert(0, types.Row{types.Int(5), types.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Modify(0, 1, types.Int(9)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Append("t", p.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pdt.Rebuild(schema, 4, recs[0].Entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.Entries(), p2.Entries()
+	if len(a) != len(b) {
+		t.Fatalf("entry counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
