@@ -9,10 +9,12 @@ import (
 	"testing"
 
 	"pdtstore/internal/bench"
+	"pdtstore/internal/engine"
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/table"
 	"pdtstore/internal/tpch"
 	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
 )
 
 // BenchmarkFig16_PDTMaintenance measures per-operation PDT update cost at
@@ -170,6 +172,50 @@ func BenchmarkFig19_TPCH(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkScanPipeline measures the engine read pipeline on lineitem:
+// projected (2-column) vs full-width scans and the TPC-H Q1 scan path, with
+// allocs/op reported (cmd/pdtbench -fig scan sweeps the same cases and emits
+// BENCH_scan.json with the seed baseline for comparison).
+func BenchmarkScanPipeline(b *testing.B) {
+	for _, mode := range []table.DeltaMode{table.ModeNone, table.ModePDT} {
+		db, err := tpch.Load(0.005, mode, true, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.ApplyRefresh(2, 0.001); err != nil {
+			b.Fatal(err)
+		}
+		li := db.Lineitem
+		allCols := make([]int, li.Schema().NumCols())
+		for i := range allCols {
+			allCols[i] = i
+		}
+		drain := func(b *testing.B, cols []int) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := engine.Scan(li, cols...).Run(func(*vector.Batch, []uint32) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("projected-2col/%v", mode), func(b *testing.B) {
+			drain(b, []int{tpch.LExtendedprice, tpch.LDiscount})
+		})
+		b.Run(fmt.Sprintf("full-width/%v", mode), func(b *testing.B) {
+			drain(b, allCols)
+		})
+		b.Run(fmt.Sprintf("Q1/%v", mode), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tpch.Q1(db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,14 +1,21 @@
-// Command pdtbench regenerates the paper's microbenchmark figures:
+// Command pdtbench regenerates the paper's microbenchmark figures plus the
+// engine's scan-pipeline profile:
 //
 //	pdtbench -fig 16 [-max 1000000]          PDT maintenance cost vs size
 //	pdtbench -fig 17 [-n 1000000]            MergeScan scaling & key type
 //	pdtbench -fig 18 [-n 1000000]            single- vs multi-column keys
+//	pdtbench -fig scan [-json BENCH_scan.json]
+//	                                         engine scan throughput + allocs/op,
+//	                                         projected vs full-width, and the
+//	                                         TPC-H Q1 scan path vs the seed
 //
 // Output is a plain-text table with one row per parameter combination,
-// mirroring the series of the corresponding figure.
+// mirroring the series of the corresponding figure; -fig scan additionally
+// writes a machine-readable JSON report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,24 +25,80 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 16, "figure to regenerate: 16, 17 or 18")
+	fig := flag.String("fig", "16", "figure to regenerate: 16, 17, 18 or scan")
 	n := flag.Int("n", 1_000_000, "table size for figures 17/18")
 	maxEntries := flag.Int("max", 1_000_000, "PDT size to grow to for figure 16")
 	fanout := flag.Int("fanout", 8, "PDT fan-out")
 	blockRows := flag.Int("blockrows", 8192, "values per column block")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for -fig scan")
+	jsonPath := flag.String("json", "", "write -fig scan results to this JSON file")
 	flag.Parse()
 
 	switch *fig {
-	case 16:
+	case "16":
 		runFig16(*maxEntries, *fanout)
-	case 17:
+	case "17":
 		runFig17(*n, *blockRows)
-	case 18:
+	case "18":
 		runFig18(*n, *blockRows)
+	case "scan":
+		runScan(*sf, *jsonPath)
 	default:
-		fmt.Fprintf(os.Stderr, "pdtbench: unknown figure %d\n", *fig)
+		fmt.Fprintf(os.Stderr, "pdtbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// seedQ1Baseline records the TPC-H Q1 scan path as measured on the seed tree
+// (commit efd3739, before the engine refactor) with the same configuration
+// runScan uses (SF 0.01, compressed, 4096-row blocks, 2×0.001 refresh
+// streams), so regenerated reports keep the before/after comparison.
+var seedQ1Baseline = []bench.ScanAllocRow{
+	{Name: "tpch/Q1", Mode: "none", Rows: 60733, NsPerOp: 5692090, BytesPerOp: 4715219, AllocsPerOp: 60203},
+	{Name: "tpch/Q1", Mode: "PDT", Rows: 60731, NsPerOp: 6139847, BytesPerOp: 4802248, AllocsPerOp: 60224},
+}
+
+func runScan(sf float64, jsonPath string) {
+	cfg := bench.ScanAllocConfig{SF: sf, BlockRows: 4096, Streams: 2, UpdateFrac: 0.001}
+	rows, err := bench.ScanAllocProfile(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Engine scan pipeline: SF %g, projected vs full-width, hot buffer pool\n", sf)
+	fmt.Printf("%-26s %6s %6s %10s %12s %12s %12s\n",
+		"case", "mode", "cols", "rows/op", "ms/op", "Mrows/s", "allocs/op")
+	for _, r := range rows {
+		fmt.Printf("%-26s %6s %6d %10d %12.2f %12.1f %12d\n",
+			r.Name, r.Mode, r.Cols, r.Rows, r.NsPerOp/1e6, r.MRowsPerSec, r.AllocsPerOp)
+	}
+	// The seed baseline was measured at SF 0.01; at any other scale factor
+	// the numbers are not comparable, so it is omitted.
+	baseline := seedQ1Baseline
+	if sf != 0.01 {
+		baseline = nil
+	}
+	for _, s := range baseline {
+		fmt.Printf("%-26s %6s %6s %10d %12.2f %12s %12d   (seed baseline)\n",
+			s.Name, s.Mode, "-", s.Rows, s.NsPerOp/1e6, "-", s.AllocsPerOp)
+	}
+	if jsonPath == "" {
+		return
+	}
+	report := struct {
+		Config       bench.ScanAllocConfig `json:"config"`
+		SeedBaseline []bench.ScanAllocRow  `json:"seed_baseline,omitempty"`
+		Results      []bench.ScanAllocRow  `json:"results"`
+	}{cfg, baseline, rows}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
 }
 
 func runFig16(maxEntries, fanout int) {

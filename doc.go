@@ -4,7 +4,13 @@
 // (VDT), the columnar storage and query substrate they run on, layered-PDT
 // snapshot-isolation transactions, and the paper's full evaluation harness.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the reproduced evaluation. The benchmarks in
-// bench_test.go regenerate every figure of the paper's §4.
+// Every read goes through internal/engine, the vectorized scan-pipeline
+// engine: plans compose a source (plain colstore scan, positional PDT
+// MergeScan stack, or value-based VDT merge), typed filter kernels over
+// reusable selection vectors, and pushed-down column projection, serving the
+// table layer, the transaction layer and the TPC-H workload alike.
+//
+// See README.md for an architecture tour and quickstart. The benchmarks in
+// bench_test.go regenerate every figure of the paper's §4, plus the engine's
+// scan-pipeline profile (cmd/pdtbench -fig scan).
 package pdtstore

@@ -1,0 +1,3 @@
+module pdtstore
+
+go 1.24

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"testing"
 	"time"
 
 	"pdtstore/internal/colstore"
+	"pdtstore/internal/engine"
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/table"
 	"pdtstore/internal/tpch"
@@ -289,6 +291,125 @@ func MeasureScan(tbl *table.Table, c ScanConfig) (ScanResult, error) {
 	}
 	res.HotNS = float64(time.Since(start).Nanoseconds())
 	return res, nil
+}
+
+// ----- Engine scan pipeline: throughput and allocation profile ---------------
+
+// ScanAllocRow is one measured scan-pipeline case: hot throughput plus the
+// allocation profile of the whole pipeline (source, filter kernels, sink).
+type ScanAllocRow struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	Cols        int     `json:"cols_projected"`
+	Rows        int     `json:"rows_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MRowsPerSec float64 `json:"mrows_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func measureScanCase(name, mode string, cols, rows int, fn func() error) (ScanAllocRow, error) {
+	var innerErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				innerErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if innerErr != nil {
+		return ScanAllocRow{}, innerErr
+	}
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	row := ScanAllocRow{
+		Name: name, Mode: mode, Cols: cols, Rows: rows,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if ns > 0 {
+		row.MRowsPerSec = float64(rows) / ns * 1e3
+	}
+	return row, nil
+}
+
+// ScanAllocConfig sizes the scan-pipeline profile.
+type ScanAllocConfig struct {
+	SF         float64 // TPC-H scale factor for the Q1 rows (default 0.01)
+	BlockRows  int     // default 4096
+	Streams    int     // refresh streams before measuring (default 2)
+	UpdateFrac float64 // fraction of orders per stream (default 0.001)
+}
+
+// ScanAllocProfile measures the engine read pipeline on lineitem under the
+// no-updates and PDT modes: a 2-column projected scan, a full-width scan
+// (every lineitem column), and the TPC-H Q1 scan path — the "projected vs
+// full-width" contrast that shows projection pushdown at work, with
+// allocs/op proving the selection-vector pipeline stays allocation-free per
+// batch.
+func ScanAllocProfile(cfg ScanAllocConfig) ([]ScanAllocRow, error) {
+	if cfg.SF == 0 {
+		cfg.SF = 0.01
+	}
+	if cfg.BlockRows == 0 {
+		cfg.BlockRows = 4096
+	}
+	if cfg.Streams == 0 {
+		cfg.Streams = 2
+	}
+	if cfg.UpdateFrac == 0 {
+		cfg.UpdateFrac = 0.001
+	}
+	var out []ScanAllocRow
+	for _, mode := range []table.DeltaMode{table.ModeNone, table.ModePDT} {
+		db, err := tpch.Load(cfg.SF, mode, true, cfg.BlockRows)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.ApplyRefresh(cfg.Streams, cfg.UpdateFrac); err != nil {
+			return nil, err
+		}
+		li := db.Lineitem
+		nrows := int(li.NRows())
+		allCols := make([]int, li.Schema().NumCols())
+		for i := range allCols {
+			allCols[i] = i
+		}
+		drain := func(cols []int) func() error {
+			return func() error {
+				return engine.Scan(li, cols...).Run(func(*vector.Batch, []uint32) error { return nil })
+			}
+		}
+		cases := []struct {
+			name string
+			cols []int
+			rows int
+			fn   func() error
+		}{
+			{"lineitem/projected-2col", []int{tpch.LExtendedprice, tpch.LDiscount}, nrows, nil},
+			{"lineitem/full-width", allCols, nrows, nil},
+			{"tpch/Q1", nil, nrows, func() error { _, err := tpch.Q1(db); return err }},
+		}
+		for _, c := range cases {
+			fn := c.fn
+			ncols := len(c.cols)
+			if fn == nil {
+				fn = drain(c.cols)
+			}
+			// warm the buffer pool so the profile measures the hot pipeline
+			if err := fn(); err != nil {
+				return nil, err
+			}
+			row, err := measureScanCase(c.name, mode.String(), ncols, c.rows, fn)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
 }
 
 // ----- Figure 19: TPC-H ------------------------------------------------------

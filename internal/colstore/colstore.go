@@ -475,6 +475,9 @@ func (s *Store) NewScanner(cols []int, from, to uint64) *Scanner {
 // NextSID returns the SID the next produced row will have.
 func (sc *Scanner) NextSID() uint64 { return sc.sid }
 
+// SizeHint returns exactly how many rows remain in the scanner's SID range.
+func (sc *Scanner) SizeHint() int { return int(sc.end - sc.sid) }
+
 // Next appends up to max rows to out (one vector per requested column, plus
 // nothing else) and returns the number appended; 0 means the range is done.
 // out's vectors must match the requested columns' kinds.

@@ -1,0 +1,300 @@
+// Package engine owns the end-to-end read pipeline of the store: source
+// (stable colstore scan, MergeScan over a stack of PDTs, or a value-based VDT
+// merge) → filter → project → sink. Every consumer — the table layer, the
+// transaction layer's stacked snapshots, the TPC-H queries and the benchmark
+// harness — builds its scans here, so there is exactly one place that knows
+// how to assemble the paper's merge pipelines (Algorithm 2 and Equation 9)
+// and one place future work (parallel scans, sharding) plugs into.
+//
+// The pipeline is vectorized in the MonetDB/X100 style the paper assumes:
+// batches of typed column vectors flow block-at-a-time, predicates run as
+// typed comparison kernels that narrow a reusable selection vector (package
+// vector), and column projection is pushed down so the stable image only
+// decodes the blocks a query touches.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+// DefaultBatchSize is the number of rows per pipeline batch when the plan
+// does not override it.
+const DefaultBatchSize = 1024
+
+// Relation is anything that can produce a positional, RID-emitting batch
+// source for a column projection and sort-key range: table.Table, txn.Txn and
+// txn.Query all satisfy it, which is how one plan API serves all three delta
+// modes and arbitrary PDT layer stacks.
+type Relation interface {
+	Schema() *types.Schema
+	Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error)
+}
+
+// Stop is returned by a sink callback to end a Run early without error.
+var Stop = errors.New("engine: stop iteration")
+
+// planFilter is one compiled predicate: a typed kernel applied to the vector
+// holding schema column col.
+type planFilter struct {
+	col   int
+	apply func(v *vector.Vector, sel *vector.Selection)
+}
+
+// Plan is a buildable scan pipeline over one relation. Zero or more typed
+// filters narrow a selection vector per batch; the sink sees (batch, sel)
+// pairs and never a per-row closure. Filter columns that the caller does not
+// project are still decoded (appended after the projected columns) but are
+// dropped again at the sink boundary by Collect.
+type Plan struct {
+	rel       Relation
+	outCols   []int
+	loKey     types.Row
+	hiKey     types.Row
+	filters   []planFilter
+	batchSize int
+	needRids  bool
+}
+
+// Scan starts a plan producing the given schema columns of rel.
+func Scan(rel Relation, cols ...int) *Plan {
+	return &Plan{rel: rel, outCols: cols, batchSize: DefaultBatchSize}
+}
+
+// Range restricts the scan to sort keys in [loKey, hiKey] through the sparse
+// index. Bounds may be nil (open) or prefixes of the sort key; the underlying
+// range is conservative (partial blocks), so pair Range with an exact filter
+// when the query needs a sharp edge.
+func (p *Plan) Range(loKey, hiKey types.Row) *Plan {
+	p.loKey, p.hiKey = loKey, hiKey
+	return p
+}
+
+// BatchSize overrides the rows-per-batch granularity of the pipeline.
+func (p *Plan) BatchSize(n int) *Plan {
+	if n > 0 {
+		p.batchSize = n
+	}
+	return p
+}
+
+// WithRids asks the pipeline to keep RIDs flowing to the sink (Collect then
+// fills out.Rids; Run batches carry them either way when the source emits
+// them).
+func (p *Plan) WithRids() *Plan {
+	p.needRids = true
+	return p
+}
+
+func (p *Plan) addFilter(col int, apply func(*vector.Vector, *vector.Selection)) *Plan {
+	p.filters = append(p.filters, planFilter{col: col, apply: apply})
+	return p
+}
+
+// FilterInt64Range keeps rows with lo <= col <= hi (Int64/Date/Bool columns).
+func (p *Plan) FilterInt64Range(col int, lo, hi int64) *Plan {
+	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Range(v, lo, hi) })
+}
+
+// FilterInt64Le keeps rows with col <= hi.
+func (p *Plan) FilterInt64Le(col int, hi int64) *Plan {
+	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Le(v, hi) })
+}
+
+// FilterInt64Ge keeps rows with col >= lo.
+func (p *Plan) FilterInt64Ge(col int, lo int64) *Plan {
+	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Ge(v, lo) })
+}
+
+// FilterInt64Eq keeps rows with col == x.
+func (p *Plan) FilterInt64Eq(col int, x int64) *Plan {
+	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Eq(v, x) })
+}
+
+// FilterFloat64Range keeps rows with lo <= col <= hi.
+func (p *Plan) FilterFloat64Range(col int, lo, hi float64) *Plan {
+	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterFloat64Range(v, lo, hi) })
+}
+
+// FilterFloat64Lt keeps rows with col < hi.
+func (p *Plan) FilterFloat64Lt(col int, hi float64) *Plan {
+	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterFloat64Lt(v, hi) })
+}
+
+// FilterStrEq keeps rows with col == x.
+func (p *Plan) FilterStrEq(col int, x string) *Plan {
+	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterStrEq(v, x) })
+}
+
+// FilterStrIn keeps rows whose col equals one of the given strings.
+func (p *Plan) FilterStrIn(col int, set ...string) *Plan {
+	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterStrIn(v, set...) })
+}
+
+// FilterStrPrefix keeps rows whose col starts with prefix.
+func (p *Plan) FilterStrPrefix(col int, prefix string) *Plan {
+	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterStrPrefix(v, prefix) })
+}
+
+// FilterStrContains keeps rows whose col contains sub.
+func (p *Plan) FilterStrContains(col int, sub string) *Plan {
+	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterStrContains(v, sub) })
+}
+
+// compiled is the executable form of a plan: the scan column set (projected
+// columns first, then filter-only columns), the source, and each filter bound
+// to its batch slot.
+type compiled struct {
+	src      pdt.BatchSource
+	scanCols []int
+	kinds    []types.Kind
+	slots    []int // filters[i] applies to batch vector slots[i]
+}
+
+func (p *Plan) compile() (*compiled, error) {
+	if p.rel == nil {
+		return nil, fmt.Errorf("engine: plan has no relation")
+	}
+	schema := p.rel.Schema()
+	scanCols := append([]int(nil), p.outCols...)
+	slots := make([]int, len(p.filters))
+	for i, f := range p.filters {
+		slot := -1
+		for j, c := range scanCols {
+			if c == f.col {
+				slot = j
+				break
+			}
+		}
+		if slot < 0 {
+			// Filter on an unprojected column: push it into the scan anyway
+			// (decoded for filtering, dropped at the sink boundary).
+			slot = len(scanCols)
+			scanCols = append(scanCols, f.col)
+		}
+		slots[i] = slot
+	}
+	for _, c := range scanCols {
+		if c < 0 || c >= schema.NumCols() {
+			return nil, fmt.Errorf("engine: column %d out of range (schema has %d columns)", c, schema.NumCols())
+		}
+	}
+	kinds := make([]types.Kind, len(scanCols))
+	for i, c := range scanCols {
+		kinds[i] = schema.Cols[c].Kind
+	}
+	src, err := p.rel.Scan(scanCols, p.loKey, p.hiKey)
+	if err != nil {
+		return nil, err
+	}
+	return &compiled{src: src, scanCols: scanCols, kinds: kinds, slots: slots}, nil
+}
+
+// Run streams the pipeline into fn. Each call hands fn the current batch (the
+// plan's projected columns first, in order, then any filter-only columns) and
+// the selection of qualifying row indexes. The batch and selection are reused
+// across calls; fn must not retain them. Returning Stop from fn ends the run
+// without error. Batches where every row is filtered out never reach fn.
+func (p *Plan) Run(fn func(b *vector.Batch, sel []uint32) error) error {
+	c, err := p.compile()
+	if err != nil {
+		return err
+	}
+	b := vector.NewBatch(c.kinds, p.batchSize)
+	sel := vector.GetSelection()
+	defer vector.PutSelection(sel)
+	for {
+		b.Reset()
+		n, err := c.src.Next(b, p.batchSize)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		sel.All(n)
+		for i, f := range p.filters {
+			f.apply(b.Vecs[c.slots[i]], sel)
+			if sel.Len() == 0 {
+				break
+			}
+		}
+		if sel.Len() == 0 {
+			continue
+		}
+		if err := fn(b, sel.Indexes()); err != nil {
+			if errors.Is(err, Stop) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// Collect drains the pipeline into one dense batch holding exactly the
+// projected columns (filter-only columns are projected away), pre-sized from
+// the source's row-count hint. RIDs are carried through when WithRids was set.
+func (p *Plan) Collect() (*vector.Batch, error) {
+	c, err := p.compile()
+	if err != nil {
+		return nil, err
+	}
+	hint := SizeHint(c.src)
+	if hint < 0 {
+		hint = p.batchSize
+	}
+	outKinds := c.kinds[:len(p.outCols)]
+	out := vector.NewBatch(outKinds, hint)
+	if len(p.filters) == 0 && len(c.scanCols) == len(p.outCols) {
+		// Fast path: no filtering, no projection compaction — drain the
+		// source straight into the output batch.
+		for {
+			n, err := c.src.Next(out, p.batchSize)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				if !p.needRids {
+					out.Rids = out.Rids[:0]
+				}
+				return out, nil
+			}
+		}
+	}
+	b := vector.NewBatch(c.kinds, p.batchSize)
+	sel := vector.GetSelection()
+	defer vector.PutSelection(sel)
+	for {
+		b.Reset()
+		n, err := c.src.Next(b, p.batchSize)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		sel.All(n)
+		for i, f := range p.filters {
+			f.apply(b.Vecs[c.slots[i]], sel)
+			if sel.Len() == 0 {
+				break
+			}
+		}
+		if sel.Len() == 0 {
+			continue
+		}
+		idx := sel.Indexes()
+		for i := range p.outCols {
+			out.Vecs[i].AppendSelected(b.Vecs[i], idx)
+		}
+		if p.needRids && len(b.Rids) > 0 {
+			for _, ri := range idx {
+				out.Rids = append(out.Rids, b.Rids[ri])
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package engine_test
+
+// The engine tests exercise the pipeline through its real consumers: tables
+// in all three delta modes (hence the external test package — table depends
+// on engine), raw PDT layer stacks, and the projection-pushdown I/O contract.
+
+import (
+	"fmt"
+	"testing"
+
+	"pdtstore/internal/colstore"
+	"pdtstore/internal/engine"
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+var testSchema = types.MustSchema([]types.Column{
+	{Name: "k", Kind: types.Int64},
+	{Name: "a", Kind: types.Int64},
+	{Name: "b", Kind: types.Float64},
+	{Name: "s", Kind: types.String},
+}, []int{0})
+
+func testRows(n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Row{
+			types.Int(int64(i) * 2), // even keys; odd keys are insert space
+			types.Int(int64(i) % 7),
+			types.Float(float64(i) / 4),
+			types.Str(fmt.Sprintf("s%03d", i%5)),
+		}
+	}
+	return rows
+}
+
+// loadUpdated builds a table in the given mode and applies the same logical
+// updates regardless of mode: inserts at odd keys, a delete, and a modify.
+func loadUpdated(t *testing.T, mode table.DeltaMode) *table.Table {
+	t.Helper()
+	tbl, err := table.Load(testSchema, testRows(100), table.Options{Mode: mode, BlockRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode == table.ModeNone {
+		return tbl
+	}
+	for _, k := range []int64{7, 33, 121} {
+		if err := tbl.Insert(types.Row{types.Int(k), types.Int(k % 7), types.Float(0.5), types.Str("ins")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.DeleteByKey(types.Row{types.Int(40)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.UpdateByKey(types.Row{types.Int(10)}, 1, types.Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// fingerprint renders the plan's output deterministically.
+func fingerprint(t *testing.T, p *engine.Plan, cols int) string {
+	t.Helper()
+	out := ""
+	err := p.Run(func(b *vector.Batch, sel []uint32) error {
+		for _, i := range sel {
+			for c := 0; c < cols; c++ {
+				out += b.Vecs[c].Get(int(i)).String() + "|"
+			}
+			out += "\n"
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPlanAgreesAcrossDeltaModes(t *testing.T) {
+	// The same plan — projected columns, a range, and filters including one
+	// on an unprojected column — must give identical results whether the
+	// updates live in a PDT, a VDT, or a checkpointed stable image.
+	plans := func(tbl *table.Table) *engine.Plan {
+		return engine.Scan(tbl, 1, 2). // project a, b — not the sort key
+						Range(types.Row{types.Int(8)}, types.Row{types.Int(90)}).
+						FilterInt64Range(0, 8, 90). // exact bound on unprojected sort key
+						FilterInt64Le(1, 5)
+	}
+	pdtTbl := loadUpdated(t, table.ModePDT)
+	vdtTbl := loadUpdated(t, table.ModeVDT)
+	want := fingerprint(t, plans(pdtTbl), 2)
+	if want == "" {
+		t.Fatal("plan selected nothing; test is vacuous")
+	}
+	if got := fingerprint(t, plans(vdtTbl), 2); got != want {
+		t.Errorf("VDT disagrees with PDT:\nPDT:\n%s\nVDT:\n%s", want, got)
+	}
+	if err := pdtTbl.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, plans(pdtTbl), 2); got != want {
+		t.Errorf("checkpointed image disagrees:\nbefore:\n%s\nafter:\n%s", want, got)
+	}
+}
+
+func TestPlanEmptyAndAllFiltered(t *testing.T) {
+	tbl := loadUpdated(t, table.ModePDT)
+	// all rows filtered out: the sink must never run
+	calls := 0
+	err := engine.Scan(tbl, 0).FilterInt64Ge(0, 1<<40).
+		Run(func(*vector.Batch, []uint32) error { calls++; return nil })
+	if err != nil || calls != 0 {
+		t.Fatalf("all-filtered: calls=%d err=%v", calls, err)
+	}
+	b, err := engine.Scan(tbl, 0, 1).FilterInt64Ge(0, 1<<40).Collect()
+	if err != nil || b.Len() != 0 || len(b.Vecs) != 2 {
+		t.Fatalf("all-filtered collect: %d rows, %d vecs (%v)", b.Len(), len(b.Vecs), err)
+	}
+	// probing beyond every key: the sparse-index range is conservative (it
+	// may surface a trailing partial block), so the exact kernel pairs with
+	// it — together they must select nothing
+	b, err = engine.Scan(tbl, 0).
+		Range(types.Row{types.Int(1 << 40)}, nil).
+		FilterInt64Ge(0, 1<<40).
+		Collect()
+	if err != nil || b.Len() != 0 {
+		t.Fatalf("beyond-range collect: %d rows (%v)", b.Len(), err)
+	}
+}
+
+func TestPlanUnprojectedSortKeyVDT(t *testing.T) {
+	// A VDT merge must read the sort key internally but never leak it: the
+	// collected batch holds exactly the projected columns.
+	tbl := loadUpdated(t, table.ModeVDT)
+	b, err := engine.Scan(tbl, 2, 3).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Vecs) != 2 || b.Vecs[0].Kind != types.Float64 || b.Vecs[1].Kind != types.String {
+		t.Fatalf("projection leaked: %d vecs", len(b.Vecs))
+	}
+	if b.Len() != int(tbl.NRows()) {
+		t.Fatalf("rows = %d, want %d", b.Len(), tbl.NRows())
+	}
+}
+
+func TestProjectionPushdownIO(t *testing.T) {
+	// The defining pushdown property: a plan that touches fewer columns
+	// fetches fewer encoded bytes from the device, and a filter on an
+	// unprojected column costs exactly that one extra column.
+	dev := colstore.NewDevice()
+	tbl, err := table.Load(testSchema, testRows(2000),
+		table.Options{Mode: table.ModeNone, BlockRows: 64, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := func(p *engine.Plan) uint64 {
+		dev.DropCaches()
+		dev.ResetStats()
+		if err := p.Run(func(*vector.Batch, []uint32) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		n, _ := dev.Stats()
+		return n
+	}
+	one := cold(engine.Scan(tbl, 1))
+	all := cold(engine.Scan(tbl, 0, 1, 2, 3))
+	if one == 0 || all <= one {
+		t.Fatalf("pushdown broken: 1-col=%d all-col=%d", one, all)
+	}
+	withFilter := cold(engine.Scan(tbl, 1).FilterFloat64Lt(2, 1e18))
+	if withFilter <= one || withFilter >= all {
+		t.Fatalf("filter column cost off: 1-col=%d +filter=%d all=%d", one, withFilter, all)
+	}
+}
+
+func TestStackedPDTScan(t *testing.T) {
+	// Three stacked layers over a 5-row stable image (keys 0,2,4,6,8), each
+	// layer's SIDs addressing the view of the layer below — the transaction
+	// scheme's Read/Write/Trans stack in miniature.
+	schema := types.MustSchema([]types.Column{
+		{Name: "k", Kind: types.Int64},
+		{Name: "v", Kind: types.Int64},
+	}, []int{0})
+	var rows []types.Row
+	for i := int64(0); i < 5; i++ {
+		rows = append(rows, types.Row{types.Int(i * 2), types.Int(i)})
+	}
+	store, err := colstore.BulkLoad(schema, nil, 4, false, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := pdt.New(schema, 0)
+	write := pdt.New(schema, 0)
+	trans := pdt.New(schema, 0)
+	// read: insert key 1 before SID 1  -> view 0,1,2,4,6,8
+	if err := read.Insert(1, types.Row{types.Int(1), types.Int(10)}); err != nil {
+		t.Fatal(err)
+	}
+	// write: modify the row at read-RID 3 (key 4) -> v=99
+	if err := write.Modify(3, 1, types.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	// trans: delete the row at write-RID 0 (key 0)
+	if err := trans.Delete(0, types.Row{types.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	cols := []int{0, 1}
+	base := store.NewScanner(cols, 0, store.NRows())
+	src := engine.StackPDTs(base, cols, 0, true, read, write, trans)
+	out, err := pdt.ScanAll(src, []types.Kind{types.Int64, types.Int64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK := []int64{1, 2, 4, 6, 8}
+	wantV := []int64{10, 1, 99, 3, 4}
+	if out.Len() != len(wantK) {
+		t.Fatalf("rows = %d, want %d", out.Len(), len(wantK))
+	}
+	for i := range wantK {
+		if out.Vecs[0].I[i] != wantK[i] || out.Vecs[1].I[i] != wantV[i] {
+			t.Fatalf("row %d = (%d,%d), want (%d,%d)",
+				i, out.Vecs[0].I[i], out.Vecs[1].I[i], wantK[i], wantV[i])
+		}
+		if out.Rids[i] != uint64(i) {
+			t.Fatalf("rid %d = %d", i, out.Rids[i])
+		}
+	}
+	// zero layers: StackPDTs must hand back the base unchanged
+	base2 := store.NewScanner(cols, 0, store.NRows())
+	if got := engine.StackPDTs(base2, cols, 0, true); got != pdt.BatchSource(base2) {
+		t.Fatal("StackPDTs with no layers must return the base")
+	}
+}
+
+func TestCollectRidsAndStop(t *testing.T) {
+	tbl := loadUpdated(t, table.ModePDT)
+	b, err := engine.Scan(tbl, 0).WithRids().FilterInt64Range(0, 20, 30).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() == 0 || len(b.Rids) != b.Len() {
+		t.Fatalf("rids not carried: %d rows, %d rids", b.Len(), len(b.Rids))
+	}
+	// without WithRids, Collect drops them
+	b, err = engine.Scan(tbl, 0).Collect()
+	if err != nil || len(b.Rids) != 0 {
+		t.Fatalf("rids leaked: %d (%v)", len(b.Rids), err)
+	}
+	// Stop ends a Run early without error
+	seen := 0
+	err = engine.Scan(tbl, 0).BatchSize(8).Run(func(b *vector.Batch, sel []uint32) error {
+		seen += len(sel)
+		return engine.Stop
+	})
+	if err != nil || seen != 8 {
+		t.Fatalf("stop: seen=%d err=%v", seen, err)
+	}
+}
+
+func TestSizeHints(t *testing.T) {
+	tbl := loadUpdated(t, table.ModePDT)
+	src, err := tbl.Scan([]int{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := engine.SizeHint(src); h != int(tbl.NRows()) {
+		t.Fatalf("merged hint = %d, want %d", h, tbl.NRows())
+	}
+	clean, err := table.Load(testSchema, testRows(50), table.Options{Mode: table.ModeNone, BlockRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err = clean.Scan([]int{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := engine.SizeHint(src); h != 50 {
+		t.Fatalf("plain hint = %d, want 50", h)
+	}
+}

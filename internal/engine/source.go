@@ -1,0 +1,106 @@
+package engine
+
+// Source construction: the one place that knows how to assemble the paper's
+// read pipelines. A stable image plus an optional differential structure
+// (PDT, VDT, or none) becomes a positional batch source via NewSource; a
+// stack of PDT layers (the transaction scheme's Read/Write/Trans/Query
+// stacking, Equation 9) is chained with StackPDTs.
+
+import (
+	"pdtstore/internal/colstore"
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vdt"
+	"pdtstore/internal/vector"
+)
+
+// TableSpec names the storage pieces of one table image: the stable column
+// store and at most one differential structure. A nil (or empty) delta means
+// the scan reads the stable image directly, exactly like the paper's clean
+// reference runs.
+type TableSpec struct {
+	Store *colstore.Store
+	PDT   *pdt.PDT
+	VDT   *vdt.VDT
+}
+
+// NewSource builds the merged read source for the projected columns of all
+// visible rows whose sort key lies in [loKey, hiKey] (nil bounds are open;
+// bounds may be prefixes of the sort key). Range restriction goes through the
+// sparse index, so the source may produce rows just outside the bounds
+// (partial blocks); plan filters re-restrict downstream, as with real zone
+// maps. The source emits RIDs.
+//
+// Projection is pushed all the way down: the stable scanner decodes only the
+// blocks of the requested columns, and the PDT merge patches only projected
+// columns (deletes and inserts are still tracked positionally, per Algorithm
+// 2, without ever reading the sort key). Only the value-based VDT merge must
+// additionally read the sort-key columns — the defining cost of the baseline
+// the paper measures — and projects them away again before rows leave the
+// source.
+func NewSource(spec TableSpec, cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error) {
+	s := spec.Store
+	from, to := s.SIDRange(loKey, hiKey)
+	switch {
+	case spec.PDT != nil && !spec.PDT.Empty():
+		return pdt.NewMergeScan(spec.PDT, s.NewScanner(cols, from, to), cols, from, true), nil
+	case spec.VDT != nil && !spec.VDT.Empty():
+		srcCols := append([]int(nil), cols...)
+		for _, k := range s.Schema().SortKey {
+			present := false
+			for _, c := range srcCols {
+				if c == k {
+					present = true
+					break
+				}
+			}
+			if !present {
+				srcCols = append(srcCols, k)
+			}
+		}
+		src := s.NewScanner(srcCols, from, to)
+		startRID := spec.VDT.RangeStartRID(from, loKey)
+		return vdt.NewMergeScan(spec.VDT, src, srcCols, cols, loKey, hiKey, startRID)
+	default:
+		return &plainSource{sc: s.NewScanner(cols, from, to)}, nil
+	}
+}
+
+// StackPDTs chains PDT layers bottom-to-top over a base source producing the
+// given columns for consecutive positions starting at startSID: each layer's
+// SIDs are the RIDs produced by the layer below (the transaction scheme's
+// TABLE₀ ∘ R ∘ W ∘ T stacking). With no layers the base is returned as-is.
+func StackPDTs(base pdt.BatchSource, cols []int, startSID uint64, includeEnd bool, layers ...*pdt.PDT) pdt.BatchSource {
+	src, sid := base, startSID
+	for _, l := range layers {
+		m := pdt.NewMergeScan(l, src, cols, sid, includeEnd)
+		src, sid = m, m.StartRID()
+	}
+	return src
+}
+
+// plainSource adapts a stable scanner to the BatchSource contract, emitting
+// RID == SID.
+type plainSource struct {
+	sc *colstore.Scanner
+}
+
+func (p *plainSource) Next(out *vector.Batch, max int) (int, error) {
+	sid := p.sc.NextSID()
+	n, err := p.sc.Next(out, max)
+	for i := 0; i < n; i++ {
+		out.Rids = append(out.Rids, sid+uint64(i))
+	}
+	return n, err
+}
+
+func (p *plainSource) SizeHint() int { return p.sc.SizeHint() }
+
+// SizeHint returns the source's estimate of how many rows remain, or -1 when
+// the source offers none. Sinks use it to pre-size output batches.
+func SizeHint(src pdt.BatchSource) int {
+	if h, ok := src.(pdt.SizeHinter); ok {
+		return h.SizeHint()
+	}
+	return -1
+}

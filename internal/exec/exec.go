@@ -38,11 +38,22 @@ func Stream(src pdt.BatchSource, kinds []types.Kind, batchSize int, fn func(b *v
 	}
 }
 
-// Collect drains src into one batch.
-func Collect(src pdt.BatchSource, kinds []types.Kind) (*vector.Batch, error) {
-	out := vector.NewBatch(kinds, 1024)
+// Collect drains src into one batch, stepping by batchSize rows per pull
+// (<= 0 selects 1024) and pre-sizing the output from the source's row-count
+// hint when it offers one.
+func Collect(src pdt.BatchSource, kinds []types.Kind, batchSize int) (*vector.Batch, error) {
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	capHint := batchSize
+	if h, ok := src.(pdt.SizeHinter); ok {
+		if n := h.SizeHint(); n > 0 {
+			capHint = n
+		}
+	}
+	out := vector.NewBatch(kinds, capHint)
 	for {
-		n, err := src.Next(out, 1024)
+		n, err := src.Next(out, batchSize)
 		if err != nil {
 			return nil, err
 		}
@@ -50,17 +61,6 @@ func Collect(src pdt.BatchSource, kinds []types.Kind) (*vector.Batch, error) {
 			return out, nil
 		}
 	}
-}
-
-// Select returns the indexes of rows in b satisfying pred.
-func Select(b *vector.Batch, pred func(i int) bool) []int {
-	sel := make([]int, 0, b.Len())
-	for i := 0; i < b.Len(); i++ {
-		if pred(i) {
-			sel = append(sel, i)
-		}
-	}
-	return sel
 }
 
 // GroupKey builds a composite group key from values.
@@ -131,6 +131,19 @@ func (g *GroupAgg) Touch(key string, repr func() types.Row) []Agg {
 	return st.aggs
 }
 
+// TouchKey is Touch for a byte-slice key built in a reusable scratch buffer:
+// the lookup allocates nothing (the compiler elides the string conversion),
+// and the key is only copied when the group is first created — the zero-alloc
+// per-row aggregation path the vectorized pipeline feeds.
+func (g *GroupAgg) TouchKey(key []byte, repr func() types.Row) []Agg {
+	st, ok := g.groups[string(key)]
+	if !ok {
+		st = &groupState{repr: repr(), aggs: make([]Agg, g.nAggs)}
+		g.groups[string(key)] = st
+	}
+	return st.aggs
+}
+
 // Len returns the number of groups.
 func (g *GroupAgg) Len() int { return len(g.groups) }
 
@@ -158,17 +171,30 @@ type IntJoinMap struct {
 	rows map[int64][]types.Row
 }
 
-// NewIntJoinMap builds a join map from a batch: key column keyCol, payload
-// the given columns.
-func NewIntJoinMap(b *vector.Batch, keyCol int, payloadCols []int) *IntJoinMap {
-	m := &IntJoinMap{rows: make(map[int64][]types.Row, b.Len())}
-	for i := 0; i < b.Len(); i++ {
+// NewIntJoinMap builds a join map from the selected rows of a batch (sel nil
+// means all rows): key column keyCol, payload the given columns.
+func NewIntJoinMap(b *vector.Batch, sel []uint32, keyCol int, payloadCols []int) *IntJoinMap {
+	n := b.Len()
+	if sel != nil {
+		n = len(sel)
+	}
+	m := &IntJoinMap{rows: make(map[int64][]types.Row, n)}
+	build := func(i int) {
 		k := b.Vecs[keyCol].I[i]
 		payload := make(types.Row, len(payloadCols))
 		for j, c := range payloadCols {
 			payload[j] = b.Vecs[c].Get(i)
 		}
 		m.rows[k] = append(m.rows[k], payload)
+	}
+	if sel != nil {
+		for _, i := range sel {
+			build(int(i))
+		}
+	} else {
+		for i := 0; i < b.Len(); i++ {
+			build(i)
+		}
 	}
 	return m
 }
@@ -188,11 +214,17 @@ func (m *IntJoinMap) ProbeOne(key int64) (types.Row, bool) {
 // Len returns the number of distinct keys.
 func (m *IntJoinMap) Len() int { return len(m.rows) }
 
-// SortBatch returns a row-index permutation of b ordered by less.
-func SortBatch(b *vector.Batch, less func(i, j int) bool) []int {
-	idx := make([]int, b.Len())
-	for i := range idx {
-		idx[i] = i
+// SortBatch returns the selected row indexes of b (sel nil means all rows)
+// ordered by less. The input selection is not modified.
+func SortBatch(b *vector.Batch, sel []uint32, less func(i, j uint32) bool) []uint32 {
+	var idx []uint32
+	if sel != nil {
+		idx = append([]uint32(nil), sel...)
+	} else {
+		idx = make([]uint32, b.Len())
+		for i := range idx {
+			idx[i] = uint32(i)
+		}
 	}
 	sort.SliceStable(idx, func(x, y int) bool { return less(idx[x], idx[y]) })
 	return idx

@@ -40,7 +40,7 @@ func TestStreamAndCollect(t *testing.T) {
 	if err != nil || sum != 4950 {
 		t.Fatalf("stream sum = %d (%v)", sum, err)
 	}
-	out, err := Collect(&fakeSource{vals: vals}, kinds)
+	out, err := Collect(&fakeSource{vals: vals}, kinds, 7)
 	if err != nil || out.Len() != 100 {
 		t.Fatalf("collect: %d rows (%v)", out.Len(), err)
 	}
@@ -51,14 +51,22 @@ func TestStreamAndCollect(t *testing.T) {
 	}
 }
 
-func TestSelect(t *testing.T) {
-	b := vector.NewBatch([]types.Kind{types.Int64}, 8)
-	for i := int64(0); i < 8; i++ {
-		b.AppendRow(types.Row{types.Int(i)})
+type hintedSource struct {
+	fakeSource
+	hint int
+}
+
+func (h *hintedSource) SizeHint() int { return h.hint }
+
+func TestCollectPreSizesFromHint(t *testing.T) {
+	vals := make([]int64, 50)
+	src := &hintedSource{fakeSource: fakeSource{vals: vals}, hint: len(vals)}
+	out, err := Collect(src, []types.Kind{types.Int64}, 8)
+	if err != nil || out.Len() != 50 {
+		t.Fatalf("collect: %d rows (%v)", out.Len(), err)
 	}
-	sel := Select(b, func(i int) bool { return b.Vecs[0].I[i]%2 == 0 })
-	if len(sel) != 4 || sel[0] != 0 || sel[3] != 6 {
-		t.Fatalf("sel = %v", sel)
+	if cap(out.Vecs[0].I) < 50 {
+		t.Fatalf("hint ignored: cap = %d", cap(out.Vecs[0].I))
 	}
 }
 
@@ -116,7 +124,7 @@ func TestIntJoinMap(t *testing.T) {
 	b.AppendRow(types.Row{types.Int(1), types.Str("a")})
 	b.AppendRow(types.Row{types.Int(2), types.Str("b")})
 	b.AppendRow(types.Row{types.Int(1), types.Str("c")})
-	m := NewIntJoinMap(b, 0, []int{1})
+	m := NewIntJoinMap(b, nil, 0, []int{1})
 	if m.Len() != 2 {
 		t.Fatalf("len = %d", m.Len())
 	}
@@ -136,9 +144,30 @@ func TestSortBatch(t *testing.T) {
 	for _, v := range []int64{3, 1, 2} {
 		b.AppendRow(types.Row{types.Int(v)})
 	}
-	idx := SortBatch(b, func(i, j int) bool { return b.Vecs[0].I[i] < b.Vecs[0].I[j] })
+	idx := SortBatch(b, nil, func(i, j uint32) bool { return b.Vecs[0].I[i] < b.Vecs[0].I[j] })
 	if b.Vecs[0].I[idx[0]] != 1 || b.Vecs[0].I[idx[2]] != 3 {
 		t.Fatalf("sort order = %v", idx)
+	}
+	sub := SortBatch(b, []uint32{2, 0}, func(i, j uint32) bool { return b.Vecs[0].I[i] < b.Vecs[0].I[j] })
+	if len(sub) != 2 || b.Vecs[0].I[sub[0]] != 2 || b.Vecs[0].I[sub[1]] != 3 {
+		t.Fatalf("selected sort order = %v", sub)
+	}
+}
+
+func TestTouchKeyMatchesTouch(t *testing.T) {
+	g := NewGroupAgg(1)
+	var buf []byte
+	for i, k := range []string{"a", "b", "a"} {
+		buf = append(buf[:0], k...)
+		k := k
+		cells := g.TouchKey(buf, func() types.Row { return types.Row{types.Str(k)} })
+		cells[0].Add(float64(i))
+	}
+	if g.Len() != 2 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	if cells := g.Touch("a", nil); cells[0].Count != 2 || cells[0].Sum != 2 {
+		t.Fatalf("group a = %+v", cells[0])
 	}
 }
 

@@ -23,6 +23,14 @@ type BatchSource interface {
 	Next(out *vector.Batch, max int) (int, error)
 }
 
+// SizeHinter is optionally implemented by batch sources that can estimate how
+// many rows remain; sinks use the hint to pre-size output batches. The hint
+// is advisory — it may be off for merged sources whose deltas overlap the
+// remaining range.
+type SizeHinter interface {
+	SizeHint() int
+}
+
 // MergeScan applies one PDT layer on top of a positional row source.
 type MergeScan struct {
 	t    *PDT
@@ -77,6 +85,23 @@ func NewMergeScan(t *PDT, src BatchSource, cols []int, startSID uint64, includeE
 // StartRID returns the RID of the first row this merge will emit — the
 // startSID for a further stacked layer.
 func (m *MergeScan) StartRID() uint64 { return m.startRID }
+
+// SizeHint estimates the remaining row count: the source's remainder adjusted
+// by the PDT's net delta (advisory; see SizeHinter).
+func (m *MergeScan) SizeHint() int {
+	h, ok := m.src.(SizeHinter)
+	if !ok {
+		return -1
+	}
+	n := h.SizeHint()
+	if n < 0 {
+		return -1
+	}
+	if n += int(m.t.Delta()); n < 0 {
+		n = 0
+	}
+	return n
+}
 
 // refill tops up the staging buffer; reports whether rows are available.
 func (m *MergeScan) refill() (bool, error) {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"pdtstore/internal/colstore"
+	"pdtstore/internal/engine"
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/types"
 	"pdtstore/internal/vdt"
@@ -174,60 +175,14 @@ func (t *Table) Kinds(cols []int) []types.Kind {
 // may be prefixes of the sort key). The source also emits RIDs. Range
 // restriction uses the sparse index, so the scan may produce rows just
 // outside the bounds (partial blocks); predicates re-filter downstream,
-// exactly as with real zone maps.
+// exactly as with real zone maps. The pipeline itself — delta-mode dispatch,
+// merge stacking, projection pushdown — lives in package engine; Table
+// satisfies engine.Relation, so plans can be built directly over it.
 func (t *Table) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error) {
-	from, to := t.store.SIDRange(loKey, hiKey)
-	switch t.opts.Mode {
-	case ModeNone:
-		return &plainSource{sc: t.store.NewScanner(cols, from, to)}, nil
-	case ModePDT:
-		if t.pdt.Empty() {
-			// No buffered updates: scan the stable image directly (tables
-			// the update streams never touch behave exactly like clean
-			// runs, as the paper's footnote on Q2/Q11/Q16 requires).
-			return &plainSource{sc: t.store.NewScanner(cols, from, to)}, nil
-		}
-		src := t.store.NewScanner(cols, from, to)
-		return pdt.NewMergeScan(t.pdt, src, cols, from, true), nil
-	case ModeVDT:
-		if t.vdt.Empty() {
-			return &plainSource{sc: t.store.NewScanner(cols, from, to)}, nil
-		}
-		// The value-based merge must read the sort-key columns no matter
-		// what the query projects — the core cost the paper measures.
-		srcCols := append([]int(nil), cols...)
-		for _, k := range t.schema.SortKey {
-			present := false
-			for _, c := range srcCols {
-				if c == k {
-					present = true
-					break
-				}
-			}
-			if !present {
-				srcCols = append(srcCols, k)
-			}
-		}
-		src := t.store.NewScanner(srcCols, from, to)
-		startRID := t.vdt.RangeStartRID(from, loKey)
-		return vdt.NewMergeScan(t.vdt, src, srcCols, cols, loKey, hiKey, startRID)
-	}
-	return nil, fmt.Errorf("table: unknown mode")
-}
-
-// plainSource adapts a stable scanner to the BatchSource contract, emitting
-// RID == SID.
-type plainSource struct {
-	sc *colstore.Scanner
-}
-
-func (p *plainSource) Next(out *vector.Batch, max int) (int, error) {
-	sid := p.sc.NextSID()
-	n, err := p.sc.Next(out, max)
-	for i := 0; i < n; i++ {
-		out.Rids = append(out.Rids, sid+uint64(i))
-	}
-	return n, err
+	// An empty delta structure means the stable image is scanned directly
+	// (engine.NewSource checks): tables the update streams never touch behave
+	// exactly like clean runs, as the paper's footnote on Q2/Q11/Q16 requires.
+	return engine.NewSource(engine.TableSpec{Store: t.store, PDT: t.pdt, VDT: t.vdt}, cols, loKey, hiKey)
 }
 
 // FindByKey locates the visible tuple with the given (full) sort key,
@@ -236,74 +191,64 @@ func (t *Table) FindByKey(key types.Row) (rid uint64, row types.Row, found bool,
 	if len(key) != len(t.schema.SortKey) {
 		return 0, nil, false, fmt.Errorf("table: FindByKey needs the full %d-column sort key", len(t.schema.SortKey))
 	}
-	src, err := t.Scan(t.allCols(), key, key)
+	err = engine.Scan(t, t.allCols()...).Range(key, key).BatchSize(256).
+		Run(func(b *vector.Batch, sel []uint32) error {
+			for _, i := range sel {
+				r := b.Row(int(i))
+				cmp := t.schema.CompareKeyToRow(key, r)
+				if cmp == 0 {
+					rid, row, found = b.Rids[i], r, true
+					return engine.Stop
+				}
+				if cmp < 0 {
+					return engine.Stop // passed the key's position
+				}
+			}
+			return nil
+		})
 	if err != nil {
 		return 0, nil, false, err
 	}
-	out := vector.NewBatch(t.Kinds(t.allCols()), 256)
-	for {
-		out.Reset()
-		n, err := src.Next(out, 256)
-		if err != nil {
-			return 0, nil, false, err
-		}
-		if n == 0 {
-			return 0, nil, false, nil
-		}
-		for i := 0; i < n; i++ {
-			r := out.Row(i)
-			cmp := t.schema.CompareKeyToRow(key, r)
-			if cmp == 0 {
-				return out.Rids[i], r, true, nil
-			}
-			if cmp < 0 {
-				return 0, nil, false, nil // passed the key's position
-			}
-		}
-	}
+	return rid, row, found, nil
 }
 
 // insertPosition returns the RID where a tuple with the given key belongs
 // (the RID of the first visible tuple with a greater key) and whether an
 // equal key is already visible.
 func (t *Table) insertPosition(key types.Row) (rid uint64, dup bool, err error) {
-	src, err := t.Scan(t.schema.SortKey, key, nil)
+	rid = t.NRows()
+	err = engine.Scan(t, t.schema.SortKey...).Range(key, nil).BatchSize(256).
+		Run(func(b *vector.Batch, sel []uint32) error {
+			for _, i := range sel {
+				cmp := types.CompareRows(key, b.Row(int(i)))
+				if cmp == 0 {
+					rid, dup = b.Rids[i], true
+					return engine.Stop
+				}
+				if cmp < 0 {
+					rid = b.Rids[i]
+					return engine.Stop
+				}
+			}
+			return nil
+		})
 	if err != nil {
 		return 0, false, err
 	}
-	kinds := t.Kinds(t.schema.SortKey)
-	out := vector.NewBatch(kinds, 256)
-	last := t.NRows()
-	for {
-		out.Reset()
-		n, err := src.Next(out, 256)
-		if err != nil {
-			return 0, false, err
-		}
-		if n == 0 {
-			return last, false, nil
-		}
-		for i := 0; i < n; i++ {
-			rowKey := out.Row(i)
-			cmp := types.CompareRows(key, rowKey)
-			if cmp == 0 {
-				return out.Rids[i], true, nil
-			}
-			if cmp < 0 {
-				return out.Rids[i], false, nil
-			}
-		}
-	}
+	return rid, dup, nil
 }
 
-// stableHasKey reports whether the stable image contains the key.
-func (t *Table) stableHasKey(key types.Row) (bool, error) {
-	from, to := t.store.SIDRange(key, key)
-	sc := t.store.NewScanner(t.schema.SortKey, from, to)
+// stableHasKey reports whether the stable image contains the key (the scan
+// bypasses the delta structure on purpose).
+func (t *Table) stableHasKey(key types.Row) (found bool, err error) {
+	src, err := engine.NewSource(engine.TableSpec{Store: t.store}, t.schema.SortKey, key, key)
+	if err != nil {
+		return false, err
+	}
 	out := vector.NewBatch(t.Kinds(t.schema.SortKey), 256)
 	for {
 		out.Reset()
-		n, err := sc.Next(out, 256)
+		n, err := src.Next(out, 256)
 		if err != nil {
 			return false, err
 		}

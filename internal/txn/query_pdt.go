@@ -8,6 +8,7 @@ package txn
 // only into the Query-PDT, and on Finish propagates it into the Trans-PDT.
 
 import (
+	"pdtstore/internal/engine"
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/types"
 	"pdtstore/internal/vector"
@@ -28,6 +29,9 @@ func (t *Txn) BeginQuery() (*Query, error) {
 	}
 	return &Query{txn: t, qpdt: pdt.New(t.mgr.tbl.Schema(), 0)}, nil
 }
+
+// Schema returns the table schema (making Query an engine.Relation).
+func (q *Query) Schema() *types.Schema { return q.txn.mgr.tbl.Schema() }
 
 // Scan reads through the statement's frozen view: the transaction's three
 // layers — Equation 9 — without the statement's own pending writes. (The
@@ -97,23 +101,21 @@ func (q *Query) UpdateByKey(key types.Row, col int, val types.Value) (bool, erro
 
 // insertPosition locates key's slot in the statement's *current* domain
 // (frozen view plus this statement's own buffered updates): a four-layer
-// stacked merge over the sort-key columns.
+// stacked merge over the sort-key columns — the transaction's three layers
+// (mirroring Txn.Scan) with the Query-PDT stacked on top as the fourth.
 func (q *Query) insertPosition(key types.Row) (rid uint64, dup bool, err error) {
 	t := q.txn
 	schema := t.mgr.tbl.Schema()
-	// Rebuild the transaction's three-layer stack (mirrors Txn.Scan) and put
-	// the Query-PDT on top as the fourth layer.
-	from, _ := t.mgr.tbl.Store().SIDRange(key, nil)
-	base := t.mgr.tbl.Store().NewScanner(schema.SortKey, from, t.mgr.tbl.Store().NRows())
-	m1 := pdt.NewMergeScan(t.readPDT, base, schema.SortKey, from, true)
-	m2 := pdt.NewMergeScan(t.writeSnap, m1, schema.SortKey, m1.StartRID(), true)
-	m3 := pdt.NewMergeScan(t.trans, m2, schema.SortKey, m2.StartRID(), true)
-	m4 := pdt.NewMergeScan(q.qpdt, m3, schema.SortKey, m3.StartRID(), true)
+	store := t.mgr.tbl.Store()
+	from, _ := store.SIDRange(key, nil)
+	base := store.NewScanner(schema.SortKey, from, store.NRows())
+	stack := engine.StackPDTs(base, schema.SortKey, from, true,
+		t.readPDT, t.writeSnap, t.trans, q.qpdt)
 	out := vector.NewBatch(t.mgr.tbl.Kinds(schema.SortKey), 256)
 	last := uint64(int64(t.visibleRows()) + q.qpdt.Delta())
 	for {
 		out.Reset()
-		n, err := m4.Next(out, 256)
+		n, err := stack.Next(out, 256)
 		if err != nil {
 			return 0, false, err
 		}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pdtstore/internal/engine"
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/table"
 	"pdtstore/internal/types"
@@ -196,18 +197,20 @@ type Txn struct {
 	done      bool
 }
 
+// Schema returns the table schema (making Txn an engine.Relation: plans can
+// be built directly over a transaction's view).
+func (t *Txn) Schema() *types.Schema { return t.mgr.tbl.Schema() }
+
 // Scan returns the transaction's view: stable image merged with the three
-// PDT layers (Equation 9: TABLE₀ ∘ R ∘ W ∘ T).
+// PDT layers (Equation 9: TABLE₀ ∘ R ∘ W ∘ T), stacked by the engine.
 func (t *Txn) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error) {
 	if t.done {
 		return nil, ErrTxnDone
 	}
-	from, to := t.mgr.tbl.Store().SIDRange(loKey, hiKey)
-	base := t.mgr.tbl.Store().NewScanner(cols, from, to)
-	m1 := pdt.NewMergeScan(t.readPDT, base, cols, from, true)
-	m2 := pdt.NewMergeScan(t.writeSnap, m1, cols, m1.StartRID(), true)
-	m3 := pdt.NewMergeScan(t.trans, m2, cols, m2.StartRID(), true)
-	return m3, nil
+	store := t.mgr.tbl.Store()
+	from, to := store.SIDRange(loKey, hiKey)
+	base := store.NewScanner(cols, from, to)
+	return engine.StackPDTs(base, cols, from, true, t.readPDT, t.writeSnap, t.trans), nil
 }
 
 // findByKey locates a visible tuple in the transaction's view.
@@ -220,31 +223,25 @@ func (t *Txn) findByKey(key types.Row) (rid uint64, row types.Row, found bool, e
 	for i := range cols {
 		cols[i] = i
 	}
-	src, err := t.Scan(cols, key, key)
+	err = engine.Scan(t, cols...).Range(key, key).BatchSize(256).
+		Run(func(b *vector.Batch, sel []uint32) error {
+			for _, i := range sel {
+				r := b.Row(int(i))
+				cmp := schema.CompareKeyToRow(key, r)
+				if cmp == 0 {
+					rid, row, found = b.Rids[i], r, true
+					return engine.Stop
+				}
+				if cmp < 0 {
+					return engine.Stop
+				}
+			}
+			return nil
+		})
 	if err != nil {
 		return 0, nil, false, err
 	}
-	out := vector.NewBatch(t.mgr.tbl.Kinds(cols), 256)
-	for {
-		out.Reset()
-		n, err := src.Next(out, 256)
-		if err != nil {
-			return 0, nil, false, err
-		}
-		if n == 0 {
-			return 0, nil, false, nil
-		}
-		for i := 0; i < n; i++ {
-			r := out.Row(i)
-			cmp := schema.CompareKeyToRow(key, r)
-			if cmp == 0 {
-				return out.Rids[i], r, true, nil
-			}
-			if cmp < 0 {
-				return 0, nil, false, nil
-			}
-		}
-	}
+	return rid, row, found, nil
 }
 
 // visibleRows returns the transaction's current row count.
@@ -257,31 +254,26 @@ func (t *Txn) visibleRows() uint64 {
 // insertPosition finds the RID where key belongs in this transaction's view.
 func (t *Txn) insertPosition(key types.Row) (rid uint64, dup bool, err error) {
 	schema := t.mgr.tbl.Schema()
-	src, err := t.Scan(schema.SortKey, key, nil)
+	rid = t.visibleRows()
+	err = engine.Scan(t, schema.SortKey...).Range(key, nil).BatchSize(256).
+		Run(func(b *vector.Batch, sel []uint32) error {
+			for _, i := range sel {
+				cmp := types.CompareRows(key, b.Row(int(i)))
+				if cmp == 0 {
+					rid, dup = b.Rids[i], true
+					return engine.Stop
+				}
+				if cmp < 0 {
+					rid = b.Rids[i]
+					return engine.Stop
+				}
+			}
+			return nil
+		})
 	if err != nil {
 		return 0, false, err
 	}
-	out := vector.NewBatch(t.mgr.tbl.Kinds(schema.SortKey), 256)
-	last := t.visibleRows()
-	for {
-		out.Reset()
-		n, err := src.Next(out, 256)
-		if err != nil {
-			return 0, false, err
-		}
-		if n == 0 {
-			return last, false, nil
-		}
-		for i := 0; i < n; i++ {
-			cmp := types.CompareRows(key, out.Row(i))
-			if cmp == 0 {
-				return out.Rids[i], true, nil
-			}
-			if cmp < 0 {
-				return out.Rids[i], false, nil
-			}
-		}
-	}
+	return rid, dup, nil
 }
 
 // Insert adds a tuple within the transaction.

@@ -1,0 +1,139 @@
+package vector
+
+import (
+	"testing"
+
+	"pdtstore/internal/types"
+)
+
+func intVec(vals ...int64) *Vector {
+	v := New(types.Int64, len(vals))
+	v.I = append(v.I, vals...)
+	return v
+}
+
+func TestSelectionAllAndReset(t *testing.T) {
+	s := NewSelection(4)
+	s.All(5)
+	if s.Len() != 5 || s.Indexes()[0] != 0 || s.Indexes()[4] != 4 {
+		t.Fatalf("All(5) = %v", s.Indexes())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	s.All(0)
+	if s.Len() != 0 {
+		t.Fatal("All(0) must select nothing")
+	}
+}
+
+func TestSelectionPoolReuse(t *testing.T) {
+	s := GetSelection()
+	s.Append(7)
+	PutSelection(s)
+	s2 := GetSelection()
+	if s2.Len() != 0 {
+		t.Fatal("pooled selection not cleared")
+	}
+	PutSelection(s2)
+}
+
+func TestFilterInt64Kernels(t *testing.T) {
+	v := intVec(5, 1, 9, 3, 7)
+	s := NewSelection(8)
+
+	s.All(v.Len())
+	s.FilterInt64Range(v, 3, 7)
+	if got := s.Indexes(); len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("range = %v", got)
+	}
+	// narrowing composes: a second kernel sees only survivors
+	s.FilterInt64Le(v, 5)
+	if got := s.Indexes(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("range∘le = %v", got)
+	}
+	s.FilterInt64Eq(v, 3)
+	if got := s.Indexes(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("eq = %v", got)
+	}
+	// all rows filtered out
+	s.FilterInt64Ge(v, 100)
+	if s.Len() != 0 {
+		t.Fatal("expected empty selection")
+	}
+	// kernels on an empty selection stay empty (and must not panic)
+	s.FilterInt64Range(v, 0, 100)
+	if s.Len() != 0 {
+		t.Fatal("empty selection grew")
+	}
+}
+
+func TestFilterFloat64Kernels(t *testing.T) {
+	v := New(types.Float64, 4)
+	v.F = append(v.F, 0.04, 0.05, 0.07, 0.08)
+	s := NewSelection(4)
+	s.All(4)
+	s.FilterFloat64Range(v, 0.05, 0.07)
+	if got := s.Indexes(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("frange = %v", got)
+	}
+	s.All(4)
+	s.FilterFloat64Lt(v, 0.05)
+	if got := s.Indexes(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("flt = %v", got)
+	}
+}
+
+func TestFilterStringKernels(t *testing.T) {
+	v := New(types.String, 5)
+	v.S = append(v.S, "MAIL", "SHIP", "AIR", "MAILBOX", "REG AIR")
+	s := NewSelection(5)
+
+	s.All(5)
+	s.FilterStrEq(v, "MAIL")
+	if got := s.Indexes(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("streq = %v", got)
+	}
+	s.All(5)
+	s.FilterStrIn(v, "MAIL", "SHIP")
+	if got := s.Indexes(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("strin = %v", got)
+	}
+	s.All(5)
+	s.FilterStrPrefix(v, "MAIL")
+	if got := s.Indexes(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("strprefix = %v", got)
+	}
+	s.All(5)
+	s.FilterStrContains(v, "AIR")
+	if got := s.Indexes(); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("strcontains = %v", got)
+	}
+}
+
+func TestAppendSelected(t *testing.T) {
+	src := intVec(10, 20, 30, 40)
+	dst := New(types.Int64, 4)
+	dst.AppendSelected(src, []uint32{1, 3})
+	if dst.Len() != 2 || dst.I[0] != 20 || dst.I[1] != 40 {
+		t.Fatalf("gather = %v", dst.I)
+	}
+	dst.AppendSelected(src, nil) // empty selection appends nothing
+	if dst.Len() != 2 {
+		t.Fatal("empty gather changed length")
+	}
+	strSrc := New(types.String, 2)
+	strSrc.S = append(strSrc.S, "a", "b")
+	strDst := New(types.String, 2)
+	strDst.AppendSelected(strSrc, []uint32{1})
+	if strDst.Len() != 1 || strDst.S[0] != "b" {
+		t.Fatalf("string gather = %v", strDst.S)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	dst.AppendSelected(strSrc, []uint32{0})
+}

@@ -113,6 +113,29 @@ func (v *Vector) AppendRange(src *Vector, from, to int) {
 	}
 }
 
+// AppendSelected appends src's values at the selected row indexes (a gather:
+// the compaction step of selection-vector pipelines). Both vectors must share
+// a kind.
+func (v *Vector) AppendSelected(src *Vector, sel []uint32) {
+	if src.Kind != v.Kind {
+		panic("vector: AppendSelected kind mismatch")
+	}
+	switch v.Kind {
+	case types.Float64:
+		for _, i := range sel {
+			v.F = append(v.F, src.F[i])
+		}
+	case types.String:
+		for _, i := range sel {
+			v.S = append(v.S, src.S[i])
+		}
+	default:
+		for _, i := range sel {
+			v.I = append(v.I, src.I[i])
+		}
+	}
+}
+
 // Batch is a set of equal-length column vectors plus an optional RID column.
 // It is the unit that flows between scan, merge, and query operators.
 type Batch struct {
