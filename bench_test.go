@@ -6,6 +6,7 @@ package pdtstore
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"pdtstore/internal/bench"
@@ -279,6 +280,81 @@ func BenchmarkAblation_SerializePropagate(b *testing.B) {
 	b.Run("copy-500", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = tx.Copy()
+		}
+	})
+}
+
+// BenchmarkWritePath measures the vectorized write path at smoke-test sizes:
+// bulk vs per-entry propagate, the batched update API against row-at-a-time
+// transactions, and the streaming checkpoint. cmd/pdtbench's -fig update
+// runs the full-size profile and records BENCH_update.json.
+func BenchmarkWritePath(b *testing.B) {
+	base, delta, err := bench.BuildPropagatePair(5_000, 1_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("propagate-bulk-1k-into-5k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dst := base.Copy()
+			b.StartTimer()
+			if err := dst.Propagate(delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("propagate-entrywise-1k-into-5k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dst := base.Copy()
+			b.StartTimer()
+			if err := dst.PropagateEntrywise(delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Table batches and checkpoints share the -fig update workload
+	// generator (bench.LoadUpdateTable / bench.MixedOps), so these smoke
+	// numbers stay comparable with the full profile.
+	b.Run("table-apply-batch-128", func(b *testing.B) {
+		b.ReportAllocs()
+		rng := rand.New(rand.NewSource(1))
+		nextOdd := int64(1)
+		var tbl *table.Table
+		for i := 0; i < b.N; i++ {
+			if i%16 == 0 {
+				b.StopTimer()
+				var err error
+				if tbl, err = bench.LoadUpdateTable(5_000, 1024, table.ModePDT); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			if _, err := tbl.ApplyBatch(bench.MixedOps(rng, 5_000, 128, &nextOdd)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("checkpoint-5k", func(b *testing.B) {
+		b.ReportAllocs()
+		rng := rand.New(rand.NewSource(2))
+		nextOdd := int64(1)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tbl, err := bench.LoadUpdateTable(5_000, 1024, table.ModePDT)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tbl.ApplyBatch(bench.MixedOps(rng, 5_000, 256, &nextOdd)); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := tbl.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -8,10 +8,16 @@
 //	                                         engine scan throughput + allocs/op,
 //	                                         projected vs full-width, and the
 //	                                         TPC-H Q1 scan path vs the seed
+//	pdtbench -fig update [-json BENCH_update.json]
+//	                                         write-path profile: propagate
+//	                                         (bulk vs per-entry), commit+WAL,
+//	                                         txn batch vs per-op, checkpoint,
+//	                                         and update throughput for
+//	                                         PDT vs VDT vs in-place
 //
 // Output is a plain-text table with one row per parameter combination,
-// mirroring the series of the corresponding figure; -fig scan additionally
-// writes a machine-readable JSON report.
+// mirroring the series of the corresponding figure; -fig scan and
+// -fig update additionally write machine-readable JSON reports.
 package main
 
 import (
@@ -43,10 +49,67 @@ func main() {
 		runFig18(*n, *blockRows)
 	case "scan":
 		runScan(*sf, *jsonPath)
+	case "update":
+		runUpdate(*jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "pdtbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// seedUpdateBaseline records the write path as measured on the tree before
+// the vectorized write path landed (commit 0104b6c: per-entry Propagate,
+// cloning Dump, allocating WAL encode, per-row checkpoint builder, per-op
+// transactions), with the same workload generator and sizes runUpdate uses,
+// so regenerated reports keep the before/after comparison.
+var seedUpdateBaseline = []bench.UpdateRow{
+	{Name: "propagate/10k-into-50k", Mode: "seed", NsPerOp: 9536402, BytesPerOp: 6101488, AllocsPerOp: 53793},
+	{Name: "commit+propagate/200-into-2k", Mode: "seed", NsPerOp: 210803, BytesPerOp: 234816, AllocsPerOp: 1622},
+	{Name: "txn/per-op/64", Mode: "seed", NsPerOp: 22375873, BytesPerOp: 38505465, AllocsPerOp: 185185},
+	{Name: "checkpoint/50k+2k", Mode: "seed", NsPerOp: 3271424, BytesPerOp: 7557888, AllocsPerOp: 345},
+}
+
+func runUpdate(jsonPath string) {
+	cfg := bench.UpdateConfig{}
+	rows, err := bench.UpdateProfile(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Write path: propagate / commit / txn / checkpoint / throughput")
+	fmt.Printf("%-32s %12s %12s %12s %12s %14s\n",
+		"case", "mode", "ms/op", "KB/op", "allocs/op", "upd/s")
+	printUpd := func(r bench.UpdateRow) {
+		upd := "-"
+		if r.UpdatesPerSec > 0 {
+			upd = fmt.Sprintf("%.0f", r.UpdatesPerSec)
+		}
+		fmt.Printf("%-32s %12s %12.3f %12.1f %12d %14s\n",
+			r.Name, r.Mode, r.NsPerOp/1e6, float64(r.BytesPerOp)/1024, r.AllocsPerOp, upd)
+	}
+	for _, r := range rows {
+		printUpd(r)
+	}
+	fmt.Println("-- seed baseline (pre-vectorized write path) --")
+	for _, r := range seedUpdateBaseline {
+		printUpd(r)
+	}
+	if jsonPath == "" {
+		return
+	}
+	report := struct {
+		SeedBaseline []bench.UpdateRow `json:"seed_baseline"`
+		Results      []bench.UpdateRow `json:"results"`
+	}{seedUpdateBaseline, rows}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
 }
 
 // seedQ1Baseline records the TPC-H Q1 scan path as measured on the seed tree

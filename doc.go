@@ -10,7 +10,16 @@
 // reusable selection vectors, and pushed-down column projection, serving the
 // table layer, the transaction layer and the TPC-H workload alike.
 //
+// The write path is vectorized end to end as well: batches of updates
+// resolve their target positions with one shared merge-scan cursor
+// (Table.ApplyBatch, Txn.ApplyBatch), commits serialize straight out of the
+// Trans-PDT into a buffer-reusing WAL, PDT layers fold into each other with
+// an O(n+m) leaf-chain merge (pdt.Propagate, with the per-entry reference
+// kept as PropagateEntrywise), and checkpoints stream the merged view into
+// the block builder without materializing rows.
+//
 // See README.md for an architecture tour and quickstart. The benchmarks in
 // bench_test.go regenerate every figure of the paper's §4, plus the engine's
-// scan-pipeline profile (cmd/pdtbench -fig scan).
+// scan-pipeline profile (cmd/pdtbench -fig scan) and the write-path profile
+// (cmd/pdtbench -fig update).
 package pdtstore

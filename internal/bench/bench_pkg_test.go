@@ -104,3 +104,46 @@ func TestTPCHHarnessSmall(t *testing.T) {
 		t.Fatalf("PDT I/O (%d) below clean runs (%d)?", pdtIO, noneIO)
 	}
 }
+
+// TestUpdateHarness checks the write-path workload generator: the two-layer
+// pair must be Validate()-clean, consecutive (propagatable both ways to the
+// same result), and the throughput cells must run for every mode.
+func TestUpdateHarness(t *testing.T) {
+	base, delta, err := BuildPropagatePair(2000, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	if err := delta.Validate(); err != nil {
+		t.Fatalf("delta: %v", err)
+	}
+	if base.Count() < 1900 || delta.Count() < 350 {
+		t.Fatalf("undersized layers: base %d, delta %d", base.Count(), delta.Count())
+	}
+	bulk, ent := base.Copy(), base.Copy()
+	if err := bulk.Propagate(delta); err != nil {
+		t.Fatal(err)
+	}
+	if err := ent.PropagateEntrywise(delta); err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.Validate(); err != nil {
+		t.Fatalf("bulk result: %v", err)
+	}
+	if bulk.Count() != ent.Count() || bulk.Delta() != ent.Delta() {
+		t.Fatalf("paths disagree: bulk (%d,%+d), entrywise (%d,%+d)",
+			bulk.Count(), bulk.Delta(), ent.Count(), ent.Delta())
+	}
+
+	for _, mode := range ThroughputModes {
+		r, err := throughputCell(mode, 4000, 0.01, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if r.Updates == 0 || r.UpdatesPerSec <= 0 {
+			t.Fatalf("%s: degenerate cell %+v", mode, r)
+		}
+	}
+}

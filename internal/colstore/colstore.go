@@ -169,19 +169,20 @@ func (b *Builder) Add(row types.Row) error {
 	return b.err
 }
 
-// AddBatch appends all rows of a schema-aligned batch (fast path for
-// checkpointing); ordering is validated on block boundaries only, plus the
-// first row of every batch, which suffices because batch producers are
+// AddBatch appends all rows of a schema-aligned batch (the checkpoint fast
+// path): whole vector ranges are copied up to each block boundary instead of
+// switching per value. Ordering is validated on block boundaries only, plus
+// the first row of every batch, which suffices because batch producers are
 // merge scans that emit in order.
 func (b *Builder) AddBatch(batch *vector.Batch) error {
 	if b.err != nil {
 		return b.err
 	}
-	for i := 0; i < batch.Len(); i++ {
-		s := b.store
+	s := b.store
+	n := batch.Len()
+	for i := 0; i < n; {
 		if b.pending.Len() == 0 || i == 0 {
-			row := batch.Row(i)
-			key := s.schema.KeyOf(row)
+			key := s.schema.KeyOf(batch.Row(i))
 			if b.lastKey != nil && types.CompareRows(b.lastKey, key) >= 0 {
 				b.err = fmt.Errorf("colstore: batch rows not in sort-key order")
 				return b.err
@@ -190,24 +191,21 @@ func (b *Builder) AddBatch(batch *vector.Batch) error {
 				s.sparse = append(s.sparse, key)
 			}
 		}
-		for c, v := range b.pending.Vecs {
-			switch v.Kind {
-			case types.Float64:
-				v.F = append(v.F, batch.Vecs[c].F[i])
-			case types.String:
-				v.S = append(v.S, batch.Vecs[c].S[i])
-			default:
-				v.I = append(v.I, batch.Vecs[c].I[i])
-			}
+		take := s.blockRows - b.pending.Len()
+		if rest := n - i; take > rest {
+			take = rest
 		}
+		for c, v := range b.pending.Vecs {
+			v.AppendRange(batch.Vecs[c], i, i+take)
+		}
+		i += take
 		if b.pending.Len() == s.blockRows {
-			lastIdx := s.blockRows - 1
-			b.lastKey = s.schema.KeyOf(b.pending.Row(lastIdx))
+			b.lastKey = s.schema.KeyOf(b.pending.Row(s.blockRows - 1))
 			b.flush()
 		}
 	}
 	if b.pending.Len() > 0 {
-		b.lastKey = b.store.schema.KeyOf(b.pending.Row(b.pending.Len() - 1))
+		b.lastKey = s.schema.KeyOf(b.pending.Row(b.pending.Len() - 1))
 	}
 	return nil
 }
@@ -293,14 +291,26 @@ func (s *Store) EncodedSize(col int) uint64 {
 	return total
 }
 
-// decodeBlock fetches (charging the device) and decodes one column block.
+// decodeBlock fetches (charging the device) and decodes one column block
+// into a freshly allocated vector.
 func (s *Store) decodeBlock(col, blk int) (*vector.Vector, error) {
+	v := vector.New(s.schema.Cols[col].Kind, s.blockRows)
+	if err := s.decodeBlockInto(col, blk, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// decodeBlockInto fetches (charging the device) and decodes one column block
+// into v, reusing v's backing arrays. Sequential scanners pass the same
+// vector for every block of a column, so steady-state scans decode without
+// per-block allocation.
+func (s *Store) decodeBlockInto(col, blk int, v *vector.Vector) error {
 	enc := s.blocks[col][blk]
 	s.dev.fetch(s.id, col, blk, len(enc))
-	kind := s.schema.Cols[col].Kind
-	v := vector.New(kind, s.blockRows)
+	v.Reset()
 	var err error
-	switch kind {
+	switch v.Kind {
 	case types.Float64:
 		v.F, err = compress.DecodeFloat64s(enc, v.F)
 	case types.String:
@@ -311,9 +321,9 @@ func (s *Store) decodeBlock(col, blk int) (*vector.Vector, error) {
 		v.I, err = compress.DecodeInt64s(enc, v.I)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("colstore: column %d block %d: %w", col, blk, err)
+		return fmt.Errorf("colstore: column %d block %d: %w", col, blk, err)
 	}
-	return v, nil
+	return nil
 }
 
 const pointCacheCap = 64
@@ -489,11 +499,12 @@ func (sc *Scanner) Next(out *vector.Batch, max int) (int, error) {
 	blk := int(sc.sid) / s.blockRows
 	if blk != sc.blkIdx {
 		for i, c := range sc.cols {
-			v, err := s.decodeBlock(c, blk)
-			if err != nil {
+			if sc.bufs[i] == nil {
+				sc.bufs[i] = vector.New(s.schema.Cols[c].Kind, s.blockRows)
+			}
+			if err := s.decodeBlockInto(c, blk, sc.bufs[i]); err != nil {
 				return 0, err
 			}
-			sc.bufs[i] = v
 		}
 		sc.blkIdx = blk
 	}

@@ -1,22 +1,65 @@
 package pdt
 
 // bulkBuilder constructs a PDT's tree bottom-up from entries supplied in
-// (SID, RID) order, used by Copy and Serialize. It fills leaves to the
-// fanout and then stacks internal levels, computing deltas and separators in
-// one pass.
+// (SID, RID) order, used by Copy, Serialize, Rebuild and the bulk Propagate.
+// It fills leaves to the fanout and then stacks internal levels, computing
+// deltas and separators in one pass.
+//
+// When the caller knows an upper bound on the entry count (every current
+// caller does), reserve() carves all leaves out of contiguous slabs — one
+// []leaf plus one backing array per triplet column — so building a tree of n
+// entries costs O(1) allocations per level instead of O(n/fanout). Leaves
+// keep full three-index slices into the slabs, so later point updates that
+// overflow a leaf reallocate that leaf's arrays without disturbing its
+// neighbours.
 type bulkBuilder struct {
 	t      *PDT
 	leaves []*leaf
 	cur    *leaf
+
+	slab     []leaf
+	sidSlab  []uint64
+	kindSlab []uint16
+	valSlab  []uint64
 }
 
 func newBulkBuilder(t *PDT) *bulkBuilder {
 	return &bulkBuilder{t: t}
 }
 
+// reserve pre-allocates leaf slabs for up to n entries. Appending more than
+// n entries stays correct: overflow leaves fall back to individual
+// allocations.
+func (b *bulkBuilder) reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	nLeaves := (n + b.t.fanout - 1) / b.t.fanout
+	b.slab = make([]leaf, nLeaves)
+	b.sidSlab = make([]uint64, nLeaves*b.t.fanout)
+	b.kindSlab = make([]uint16, nLeaves*b.t.fanout)
+	b.valSlab = make([]uint64, nLeaves*b.t.fanout)
+	if cap(b.leaves) < nLeaves {
+		b.leaves = make([]*leaf, 0, nLeaves)
+	}
+}
+
+func (b *bulkBuilder) newLeaf() *leaf {
+	if len(b.slab) == 0 {
+		return &leaf{}
+	}
+	lf := &b.slab[0]
+	b.slab = b.slab[1:]
+	f := b.t.fanout
+	lf.sids, b.sidSlab = b.sidSlab[:0:f], b.sidSlab[f:]
+	lf.kinds, b.kindSlab = b.kindSlab[:0:f], b.kindSlab[f:]
+	lf.vals, b.valSlab = b.valSlab[:0:f], b.valSlab[f:]
+	return lf
+}
+
 func (b *bulkBuilder) append(sid uint64, kind uint16, val uint64) {
 	if b.cur == nil || b.cur.count() == b.t.fanout {
-		b.cur = &leaf{}
+		b.cur = b.newLeaf()
 		b.leaves = append(b.leaves, b.cur)
 	}
 	b.cur.sids = append(b.cur.sids, sid)
@@ -41,9 +84,17 @@ func (b *bulkBuilder) finish() {
 		return
 	}
 	for i, lf := range b.leaves {
+		lf.parent = nil
 		if i > 0 {
 			lf.prev = b.leaves[i-1]
 			b.leaves[i-1].next = lf
+		} else {
+			lf.prev = nil
+		}
+		if i < len(b.leaves)-1 {
+			lf.next = b.leaves[i+1]
+		} else {
+			lf.next = nil
 		}
 	}
 	t.first = b.leaves[0]
@@ -58,19 +109,28 @@ func (b *bulkBuilder) finish() {
 		deltas[i] = lf.localDelta()
 	}
 	for len(level) > 1 {
-		var nextLevel []node
-		var nextMins []uint64
-		var nextDeltas []int64
-		for i := 0; i < len(level); i += t.fanout {
+		// One inner slab per level: node structs plus the per-child delta
+		// backing array. Children slices alias the level slice itself (full
+		// slice expressions, so a later split reallocates instead of
+		// clobbering a sibling); separators alias the mins array.
+		nNodes := (len(level) + t.fanout - 1) / t.fanout
+		inners := make([]inner, nNodes)
+		deltaSlab := make([]int64, len(level))
+		copy(deltaSlab, deltas)
+		sepSlab := make([]uint64, len(level))
+		copy(sepSlab, mins)
+		nextMins := mins[:0]
+		nextDeltas := deltas[:0]
+		for k := 0; k < nNodes; k++ {
+			i := k * t.fanout
 			j := i + t.fanout
 			if j > len(level) {
 				j = len(level)
 			}
-			in := &inner{
-				children: append([]node(nil), level[i:j]...),
-				seps:     append([]uint64(nil), mins[i+1:j]...),
-				deltas:   append([]int64(nil), deltas[i:j]...),
-			}
+			in := &inners[k]
+			in.children = level[i:j:j]
+			in.seps = sepSlab[i+1 : j : j]
+			in.deltas = deltaSlab[i:j:j]
 			var sum int64
 			for _, d := range in.deltas {
 				sum += d
@@ -78,11 +138,15 @@ func (b *bulkBuilder) finish() {
 			for _, c := range in.children {
 				c.setParent(in)
 			}
-			nextLevel = append(nextLevel, in)
-			nextMins = append(nextMins, mins[i])
+			min0 := mins[i]
+			nextMins = append(nextMins, min0)
 			nextDeltas = append(nextDeltas, sum)
 		}
-		level, mins, deltas = nextLevel, nextMins, nextDeltas
+		nextLevel := make([]node, nNodes)
+		for k := range inners {
+			nextLevel[k] = &inners[k]
+		}
+		level, mins, deltas = nextLevel, nextMins[:nNodes], nextDeltas[:nNodes]
 	}
 	t.root = level[0]
 	t.root.setParent(nil)

@@ -189,6 +189,7 @@ func valueBytes(v types.Value) uint64 {
 func (t *PDT) Copy() *PDT {
 	out := New(t.schema, t.fanout)
 	b := newBulkBuilder(out)
+	b.reserve(t.nEntries)
 	for c := t.newCursorAtStart(); c.valid(); c.advance() {
 		b.append(c.sid(), c.kind(), c.val())
 	}

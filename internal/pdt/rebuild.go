@@ -20,15 +20,20 @@ type RebuildEntry struct {
 }
 
 // Dump flattens the PDT into rebuildable entries (the WAL's record body).
+// The returned rows alias the PDT's value space — they are serialized or
+// cloned by the consumer (the WAL encoder serializes them immediately and
+// Rebuild clones on intake), so Dump itself never copies a payload. Callers
+// must not mutate the rows, and a dump taken before later updates to the
+// PDT may observe those updates through the aliases.
 func (t *PDT) Dump() []RebuildEntry {
 	out := make([]RebuildEntry, 0, t.nEntries)
 	for c := t.newCursorAtStart(); c.valid(); c.advance() {
 		e := RebuildEntry{SID: c.sid(), Kind: c.kind()}
 		switch c.kind() {
 		case KindIns:
-			e.Ins = t.vals.ins[c.val()].Clone()
+			e.Ins = t.vals.ins[c.val()]
 		case KindDel:
-			e.Del = t.vals.del[c.val()].Clone()
+			e.Del = t.vals.del[c.val()]
 		default:
 			e.Mod = t.vals.mods[c.kind()][c.val()]
 		}
@@ -41,6 +46,7 @@ func (t *PDT) Dump() []RebuildEntry {
 func Rebuild(schema *types.Schema, fanout int, entries []RebuildEntry) (*PDT, error) {
 	t := New(schema, fanout)
 	b := newBulkBuilder(t)
+	b.reserve(len(entries))
 	for i, e := range entries {
 		switch e.Kind {
 		case KindIns:

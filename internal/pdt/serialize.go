@@ -41,6 +41,7 @@ func (e *ConflictError) Error() string {
 func (tx *PDT) Serialize(ty *PDT) (*PDT, error) {
 	out := New(tx.schema, tx.fanout)
 	b := newBulkBuilder(out)
+	b.reserve(tx.nEntries)
 	cx := tx.newCursorAtStart()
 	cy := ty.newCursorAtStart()
 	var shift int64

@@ -1,0 +1,284 @@
+// Batched updates: the paper's §6 bulk-load regime. A batch of inserts,
+// deletes and modifies is sorted by sort key, every op's target position is
+// resolved with ONE shared merge-scan cursor over the visible image (instead
+// of one key-probing table scan per row), and the ops are applied to the
+// positional delta structure in key order with a running shift — so the PDT
+// receives its entries in (SID, RID) order, its cheapest insertion pattern.
+//
+// The same resolution pass serves Table.ApplyBatch (direct table updates)
+// and Txn.ApplyBatch (transactional updates into a Trans-PDT): both are
+// engine.Relations, so the resolver only sees "a sorted visible image".
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"pdtstore/internal/engine"
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+// OpKind selects what a batched Op does.
+type OpKind uint8
+
+const (
+	// OpInsert adds Row (whose key must not be visible).
+	OpInsert OpKind = iota
+	// OpDelete removes the visible tuple with sort key Key (a miss is
+	// skipped, matching DeleteByKey's found=false).
+	OpDelete
+	// OpUpdate sets column Col of the visible tuple with sort key Key to
+	// Val. Sort-key columns cannot be updated in a batch (express that as
+	// delete+insert across two batches, or use UpdateByKey).
+	OpUpdate
+)
+
+// Op is one update of a batch.
+type Op struct {
+	Kind OpKind
+	Row  types.Row   // OpInsert: the full tuple
+	Key  types.Row   // OpDelete/OpUpdate: the full sort key
+	Col  int         // OpUpdate: column to set
+	Val  types.Value // OpUpdate: new value
+}
+
+// key returns the sort key the op targets.
+func (o Op) key(schema *types.Schema) types.Row {
+	if o.Kind == OpInsert {
+		return schema.KeyOf(o.Row)
+	}
+	return o.Key
+}
+
+// SortOps validates a batch and returns it sorted into application order:
+// ascending by target sort key, stable (ops on the same key keep their
+// submitted order). Within one batch keys must be distinct, except that
+// several OpUpdates may target the same key; richer same-key interaction
+// (insert-then-modify, delete-then-reinsert) needs the row-at-a-time API,
+// whose positions see each prior update. The input slice is not modified.
+func SortOps(schema *types.Schema, ops []Op) ([]Op, error) {
+	type keyed struct {
+		op  Op
+		key types.Row
+	}
+	sorted := make([]keyed, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			if err := schema.ValidateRow(op.Row); err != nil {
+				return nil, fmt.Errorf("table: batch op %d: %w", i, err)
+			}
+		case OpDelete:
+			if len(op.Key) != len(schema.SortKey) {
+				return nil, fmt.Errorf("table: batch op %d: delete needs the full %d-column sort key", i, len(schema.SortKey))
+			}
+		case OpUpdate:
+			if len(op.Key) != len(schema.SortKey) {
+				return nil, fmt.Errorf("table: batch op %d: update needs the full %d-column sort key", i, len(schema.SortKey))
+			}
+			if op.Col < 0 || op.Col >= schema.NumCols() {
+				return nil, fmt.Errorf("table: batch op %d: column %d out of range", i, op.Col)
+			}
+			if schema.IsSortKeyCol(op.Col) {
+				return nil, fmt.Errorf("table: batch op %d: sort-key column %q cannot be updated in a batch", i, schema.Cols[op.Col].Name)
+			}
+			if op.Val.K != schema.Cols[op.Col].Kind {
+				return nil, fmt.Errorf("table: batch op %d: column %q expects %v, got %v", i, schema.Cols[op.Col].Name, schema.Cols[op.Col].Kind, op.Val.K)
+			}
+		default:
+			return nil, fmt.Errorf("table: batch op %d: unknown kind %d", i, op.Kind)
+		}
+		sorted[i] = keyed{op: op, key: op.key(schema)}
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return types.CompareRows(sorted[i].key, sorted[j].key) < 0
+	})
+	out := make([]Op, len(sorted))
+	for i, k := range sorted {
+		out[i] = k.op
+		if i > 0 && types.CompareRows(sorted[i-1].key, k.key) == 0 &&
+			(sorted[i-1].op.Kind != OpUpdate || k.op.Kind != OpUpdate) {
+			return nil, fmt.Errorf("table: batch has conflicting ops on key %v", k.key)
+		}
+	}
+	return out, nil
+}
+
+// OpPos is one resolved op target: the RID the op applies at in the
+// pre-batch image, and whether a visible tuple with the op's key exists.
+// For a miss, RID is where a tuple with that key would be inserted.
+type OpPos struct {
+	RID   uint64
+	Found bool
+}
+
+// ResolveOps resolves the target position of every op of a sorted batch with
+// a single merge scan over rel's sort-key columns, started at the smallest
+// op key and stopped as soon as the last op is placed. ops must be the
+// output of SortOps.
+func ResolveOps(rel engine.Relation, ops []Op) ([]OpPos, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	schema := rel.Schema()
+	// Target keys, materialized once per op (not once per scanned row —
+	// KeyOf allocates for inserts).
+	keys := make([]types.Row, len(ops))
+	for i, op := range ops {
+		keys[i] = op.key(schema)
+	}
+	pos := make([]OpPos, len(ops))
+	i := 0
+	var lastRID uint64
+	seen := false
+	// cmpKeyAt orders an op key against the scan row at index r without
+	// materializing the row (the projected columns are the sort key, in
+	// order).
+	cmpKeyAt := func(key types.Row, b *vector.Batch, r int) int {
+		for c := range key {
+			if cmp := types.Compare(key[c], b.Vecs[c].Get(r)); cmp != 0 {
+				return cmp
+			}
+		}
+		return 0
+	}
+	err := engine.Scan(rel, schema.SortKey...).
+		Range(keys[0], nil).
+		WithRids().
+		Run(func(b *vector.Batch, sel []uint32) error {
+			for _, r := range sel {
+				rid := b.Rids[r]
+				for i < len(ops) {
+					cmp := cmpKeyAt(keys[i], b, int(r))
+					if cmp > 0 {
+						break // op targets a later row
+					}
+					// cmp < 0: no visible tuple with this key; it would sit
+					// right where this row is. cmp == 0: exact hit.
+					pos[i] = OpPos{RID: rid, Found: cmp == 0}
+					i++
+				}
+				if i == len(ops) {
+					return engine.Stop
+				}
+				lastRID, seen = rid, true
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Ops beyond the last visible row land just past it.
+	end := uint64(0)
+	if seen {
+		end = lastRID + 1
+	}
+	for ; i < len(ops); i++ {
+		pos[i] = OpPos{RID: end}
+	}
+	return pos, nil
+}
+
+// ApplyOps applies a sorted, resolved batch to a positional delta tree,
+// carrying the net shift of the batch's own inserts and deletes so each op
+// lands at its position in the evolving image. It reports how many ops took
+// effect (delete/update misses are skipped). A duplicate-key insert aborts
+// with an error, leaving the earlier ops applied — transactional callers
+// discard the Trans-PDT, direct callers inspect the count.
+func ApplyOps(p *pdt.PDT, schema *types.Schema, ops []Op, pos []OpPos) (int, error) {
+	applied := 0
+	var shift int64
+	for i, op := range ops {
+		rid := uint64(int64(pos[i].RID) + shift)
+		switch op.Kind {
+		case OpInsert:
+			if pos[i].Found {
+				return applied, fmt.Errorf("table: duplicate key %v", op.key(schema))
+			}
+			if err := p.Insert(rid, op.Row); err != nil {
+				return applied, err
+			}
+			shift++
+			applied++
+		case OpDelete:
+			if !pos[i].Found {
+				continue
+			}
+			if err := p.Delete(rid, op.Key); err != nil {
+				return applied, err
+			}
+			shift--
+			applied++
+		case OpUpdate:
+			if !pos[i].Found {
+				continue
+			}
+			if err := p.Modify(rid, op.Col, op.Val); err != nil {
+				return applied, err
+			}
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// ApplyBatch applies a batch of updates, resolving all target positions with
+// one shared scan (ModePDT). ModeVDT has no positions to resolve and applies
+// the validated, sorted batch through the per-op path — the same batch
+// contract (distinct keys, no sort-key updates) holds in every mode; ModeNone
+// rejects. It returns the number of ops that took effect: delete/update
+// misses are skipped, a duplicate-key insert aborts the batch with the
+// earlier ops applied.
+func (t *Table) ApplyBatch(ops []Op) (int, error) {
+	switch t.opts.Mode {
+	case ModeNone:
+		return 0, fmt.Errorf("table: read-only (ModeNone)")
+	case ModeVDT:
+		sorted, err := SortOps(t.schema, ops)
+		if err != nil {
+			return 0, err
+		}
+		applied := 0
+		for _, op := range sorted {
+			switch op.Kind {
+			case OpInsert:
+				if err := t.Insert(op.Row); err != nil {
+					return applied, err
+				}
+				applied++
+			case OpDelete:
+				ok, err := t.DeleteByKey(op.Key)
+				if err != nil {
+					return applied, err
+				}
+				if ok {
+					applied++
+				}
+			case OpUpdate:
+				ok, err := t.UpdateByKey(op.Key, op.Col, op.Val)
+				if err != nil {
+					return applied, err
+				}
+				if ok {
+					applied++
+				}
+			default:
+				return applied, fmt.Errorf("table: unknown op kind %d", op.Kind)
+			}
+		}
+		return applied, nil
+	case ModePDT:
+		sorted, err := SortOps(t.schema, ops)
+		if err != nil {
+			return 0, err
+		}
+		pos, err := ResolveOps(t, sorted)
+		if err != nil {
+			return 0, err
+		}
+		return ApplyOps(t.pdt, t.schema, sorted, pos)
+	}
+	return 0, fmt.Errorf("table: unknown mode")
+}

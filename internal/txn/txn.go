@@ -49,6 +49,7 @@ type Manager struct {
 
 	writeBudget uint64 // bytes before Write→Read propagation
 	log         *wal.Writer
+	entrywise   bool
 }
 
 type committedTxn struct {
@@ -65,6 +66,11 @@ type Options struct {
 	WriteBudget uint64
 	// Log, when set, receives one record per commit (the WAL).
 	Log *wal.Writer
+	// EntrywisePropagate folds PDT layers with the per-entry reference
+	// algorithm instead of the bulk merge. It exists so the update
+	// benchmarks can measure the pre-vectorized write path; production
+	// callers leave it false.
+	EntrywisePropagate bool
 }
 
 // NewManager wraps a ModePDT table. The table's own PDT becomes the
@@ -84,7 +90,16 @@ func NewManager(tbl *table.Table, opts Options) (*Manager, error) {
 		running:     map[*Txn]struct{}{},
 		writeBudget: budget,
 		log:         opts.Log,
+		entrywise:   opts.EntrywisePropagate,
 	}, nil
+}
+
+// propagate folds src into dst with the configured algorithm.
+func (m *Manager) propagate(dst, src *pdt.PDT) error {
+	if m.entrywise {
+		return dst.PropagateEntrywise(src)
+	}
+	return dst.Propagate(src)
 }
 
 // Table returns the underlying table.
@@ -140,7 +155,7 @@ func (m *Manager) maybePropagateLocked() error {
 	if m.writePDT.MemBytes() < m.writeBudget || len(m.running) > 0 {
 		return nil
 	}
-	if err := m.readPDT.Propagate(m.writePDT); err != nil {
+	if err := m.propagate(m.readPDT, m.writePDT); err != nil {
 		return err
 	}
 	m.writePDT = pdt.New(m.tbl.Schema(), 0)
@@ -156,7 +171,7 @@ func (m *Manager) Checkpoint() error {
 	if len(m.running) > 0 {
 		return fmt.Errorf("txn: checkpoint requires no running transactions (%d active)", len(m.running))
 	}
-	if err := m.readPDT.Propagate(m.writePDT); err != nil {
+	if err := m.propagate(m.readPDT, m.writePDT); err != nil {
 		return err
 	}
 	m.writePDT = pdt.New(m.tbl.Schema(), 0)
@@ -178,7 +193,7 @@ func (m *Manager) Recover(records []wal.Record) error {
 		if err != nil {
 			return fmt.Errorf("txn: recover LSN %d: %w", rec.LSN, err)
 		}
-		if err := m.writePDT.Propagate(p); err != nil {
+		if err := m.propagate(m.writePDT, p); err != nil {
 			return fmt.Errorf("txn: recover LSN %d: %w", rec.LSN, err)
 		}
 		m.lsn = rec.LSN
@@ -329,6 +344,31 @@ func (t *Txn) UpdateByKey(key types.Row, col int, val types.Value) (bool, error)
 	return true, t.trans.Modify(rid, col, val)
 }
 
+// ApplyBatch applies a batch of inserts, deletes and updates within the
+// transaction, resolving every op's position with one shared merge-scan
+// cursor over the transaction's view instead of one key probe per row, and
+// feeding the Trans-PDT in SID order (the paper's §6 bulk-load regime). It
+// returns the number of ops that took effect: delete/update misses are
+// skipped, a duplicate-key insert aborts the batch with the earlier ops
+// already in the Trans-PDT (Abort discards them, as usual). Batch keys must
+// be distinct, except that several updates may target one key; sort-key
+// columns cannot be updated in a batch (see table.SortOps).
+func (t *Txn) ApplyBatch(ops []table.Op) (int, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	schema := t.mgr.tbl.Schema()
+	sorted, err := table.SortOps(schema, ops)
+	if err != nil {
+		return 0, err
+	}
+	pos, err := table.ResolveOps(t, sorted)
+	if err != nil {
+		return 0, err
+	}
+	return table.ApplyOps(t.trans, schema, sorted, pos)
+}
+
 // Commit serializes the transaction against everything that committed during
 // its lifetime and folds it into the master Write-PDT (Algorithm 9). On
 // conflict the transaction aborts and ErrConflict (wrapping the PDT-level
@@ -360,7 +400,7 @@ func (t *Txn) Commit() error {
 			return fmt.Errorf("txn: WAL append failed, aborting: %w", err)
 		}
 	}
-	if err := m.writePDT.Propagate(serialized); err != nil {
+	if err := m.propagate(m.writePDT, serialized); err != nil {
 		m.finish(t)
 		return err
 	}

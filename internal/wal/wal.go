@@ -29,10 +29,13 @@ type Record struct {
 	Entries []pdt.RebuildEntry
 }
 
-// Writer appends records to a log stream.
+// Writer appends records to a log stream. The encode buffer is reused
+// across Append calls, so steady-state commits serialize without
+// per-record allocation.
 type Writer struct {
 	w   *bufio.Writer
 	lsn uint64
+	buf []byte
 }
 
 // NewWriter wraps an io.Writer (a file, or a buffer in tests).
@@ -40,13 +43,13 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriter(w)}
 }
 
-// Append writes one commit record and returns its LSN.
+// Append writes one commit record and returns its LSN. The entries are
+// serialized before Append returns, so they may alias live PDT storage
+// (pdt.Dump's contract).
 func (w *Writer) Append(tableName string, entries []pdt.RebuildEntry) (uint64, error) {
 	w.lsn++
-	body, err := encodeRecord(Record{LSN: w.lsn, Table: tableName, Entries: entries})
-	if err != nil {
-		return 0, err
-	}
+	w.buf = encodeRecord(w.buf[:0], Record{LSN: w.lsn, Table: tableName, Entries: entries})
+	body := w.buf
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
@@ -91,8 +94,8 @@ func Replay(r io.Reader) ([]Record, error) {
 
 // --- binary encoding ---------------------------------------------------------
 
-func encodeRecord(rec Record) ([]byte, error) {
-	buf := make([]byte, 0, 64+32*len(rec.Entries))
+// encodeRecord appends rec's serialized body to buf and returns it.
+func encodeRecord(buf []byte, rec Record) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, rec.LSN)
 	buf = appendString(buf, rec.Table)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Entries)))
@@ -108,7 +111,7 @@ func encodeRecord(rec Record) ([]byte, error) {
 			buf = appendValue(buf, e.Mod)
 		}
 	}
-	return buf, nil
+	return buf
 }
 
 func decodeRecord(buf []byte) (Record, error) {
