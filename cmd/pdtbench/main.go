@@ -14,10 +14,18 @@
 //	                                         txn batch vs per-op, checkpoint,
 //	                                         and update throughput for
 //	                                         PDT vs VDT vs in-place
+//	pdtbench -fig online [-json BENCH_update.json]
+//	                                         online maintenance: a steady
+//	                                         commit stream racing a concurrent
+//	                                         checkpoint vs the stop-the-world
+//	                                         baseline — commits/sec, mean
+//	                                         commit latency, max stall, and
+//	                                         checkpoint duration per mode
 //
 // Output is a plain-text table with one row per parameter combination,
 // mirroring the series of the corresponding figure; -fig scan and
-// -fig update additionally write machine-readable JSON reports.
+// -fig update additionally write machine-readable JSON reports, and
+// -fig online merges its rows into the update report's "online" section.
 package main
 
 import (
@@ -51,6 +59,8 @@ func main() {
 		runScan(*sf, *jsonPath)
 	case "update":
 		runUpdate(*jsonPath)
+	case "online":
+		runOnline(*jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "pdtbench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -97,15 +107,64 @@ func runUpdate(jsonPath string) {
 	if jsonPath == "" {
 		return
 	}
-	report := struct {
-		SeedBaseline []bench.UpdateRow `json:"seed_baseline"`
-		Results      []bench.UpdateRow `json:"results"`
-	}{seedUpdateBaseline, rows}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err == nil {
-		err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+	if err := mergeReportSections(jsonPath, map[string]any{
+		"seed_baseline": seedUpdateBaseline,
+		"results":       rows,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
+		os.Exit(1)
 	}
+	fmt.Printf("wrote %s\n", jsonPath)
+}
+
+// mergeReportSections rewrites the given top-level sections of a JSON report
+// file, preserving every other section (so -fig update and -fig online can
+// share BENCH_update.json without clobbering each other).
+func mergeReportSections(path string, sections map[string]any) error {
+	report := map[string]json.RawMessage{}
+	switch data, err := os.ReadFile(path); {
+	case err == nil:
+		if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("parsing existing report: %w", err)
+		}
+	case !os.IsNotExist(err):
+		// An existing-but-unreadable report must not be clobbered with only
+		// the new sections.
+		return err
+	}
+	for key, v := range sections {
+		enc, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		report[key] = enc
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runOnline(jsonPath string) {
+	rows, err := bench.OnlineProfile(bench.OnlineConfig{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Online maintenance: commit stream vs concurrent checkpoint")
+	fmt.Printf("%-28s %12s %10s %14s %14s %14s\n",
+		"case", "mode", "commits/s", "mean commit us", "max stall ms", "checkpoint ms")
+	for _, r := range rows {
+		fmt.Printf("%-28s %12s %10.0f %14.1f %14.2f %14.2f\n",
+			r.Name, r.Mode, r.CommitsPerSec, r.MeanCommitUs, r.MaxStallMs, r.CheckpointMs)
+	}
+	if jsonPath == "" {
+		return
+	}
+	// Merge into the update report (BENCH_update.json gains an "online"
+	// section) without disturbing its other sections.
+	if err := mergeReportSections(jsonPath, map[string]any{"online": rows}); err != nil {
 		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
 		os.Exit(1)
 	}

@@ -18,8 +18,20 @@
 // kept as PropagateEntrywise), and checkpoints stream the merged view into
 // the block builder without materializing rows.
 //
+// Maintenance is online: every transaction pins an immutable (stable image,
+// Read-PDT) version at Begin, and both downward folds — Write→Read
+// propagation when the Write-PDT outgrows its budget, and Checkpoint's
+// rebuild of the stable image — run in the background against a frozen
+// layer, installing their result as a new version with a pointer swap while
+// commits keep landing in a fresh delta layer (pdt.Fold, the
+// non-destructive merge, makes the frozen inputs shareable). Retired
+// versions are released when their last reader finishes, evicting the old
+// image's blocks from the buffer pool. Neither propagation nor
+// checkpointing ever waits for, or stalls, running transactions.
+//
 // See README.md for an architecture tour and quickstart. The benchmarks in
 // bench_test.go regenerate every figure of the paper's §4, plus the engine's
-// scan-pipeline profile (cmd/pdtbench -fig scan) and the write-path profile
-// (cmd/pdtbench -fig update).
+// scan-pipeline profile (cmd/pdtbench -fig scan), the write-path profile
+// (cmd/pdtbench -fig update) and the online-maintenance figure
+// (cmd/pdtbench -fig online).
 package pdtstore

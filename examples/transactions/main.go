@@ -98,7 +98,9 @@ func main() {
 	final := mgr.Begin()
 	fmt.Printf("\nfinal: balance(1)=%d, account 2 owner/balance via merged view = %v\n",
 		balance(final, 1), accountRow(final, 2))
-	final.Abort()
+	if err := final.Abort(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Crash recovery: rebuild from the WAL over the same initial table.
 	tbl2, err := table.Load(schema, rows, table.Options{Mode: table.ModePDT})
@@ -122,7 +124,9 @@ func main() {
 	if balance(check, 1) != 175 {
 		log.Fatal("recovery diverged!")
 	}
-	check.Abort()
+	if err := check.Abort(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("recovered state identical — ACID via three PDT layers plus a WAL")
 }
 

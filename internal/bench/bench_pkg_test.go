@@ -147,3 +147,24 @@ func TestUpdateHarness(t *testing.T) {
 		}
 	}
 }
+
+// TestOnlineHarness runs a miniature online-maintenance profile: both modes
+// must complete, the checkpoint must actually overlap (or interleave with)
+// the commit stream, and the metrics must be sane.
+func TestOnlineHarness(t *testing.T) {
+	rows, err := OnlineProfile(OnlineConfig{TableRows: 20_000, HotRows: 500, Commits: 60, OpsPerTxn: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(OnlineModes) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(OnlineModes))
+	}
+	for _, r := range rows {
+		if r.Commits != 60 || r.CommitsPerSec <= 0 || r.CheckpointMs <= 0 {
+			t.Fatalf("degenerate cell %+v", r)
+		}
+		if r.MaxStallMs <= 0 || r.MeanCommitUs <= 0 {
+			t.Fatalf("missing latency metrics %+v", r)
+		}
+	}
+}

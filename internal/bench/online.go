@@ -1,0 +1,169 @@
+package bench
+
+// Online-maintenance benchmark: the figure behind the online checkpoint work.
+// One committer drives a steady stream of batched transactions; a quarter of
+// the way in, a checkpoint rebuilds the stable image either concurrently
+// ("online", the PDT manager's behavior) or inline between commits
+// ("stop-world", modeling the pre-online design that required quiescence and
+// merged under the manager lock). The headline metric is the maximum
+// inter-commit gap: stop-world absorbs the whole checkpoint build into one
+// commit's latency, online keeps commits flowing while the image streams out
+// in the background.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"pdtstore/internal/table"
+	"pdtstore/internal/txn"
+	"pdtstore/internal/wal"
+)
+
+// OnlineRow is one measured commit-stream-vs-checkpoint series.
+type OnlineRow struct {
+	Name          string  `json:"name"`
+	Mode          string  `json:"mode"` // "online" or "stop-world"
+	Commits       int     `json:"commits"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	MeanCommitUs  float64 `json:"mean_commit_us"`
+	MaxStallMs    float64 `json:"max_stall_ms"` // max inter-commit gap
+	CheckpointMs  float64 `json:"checkpoint_ms"`
+}
+
+// OnlineConfig sizes the profile; zero fields select the recorded defaults.
+// Commits touch only the first HotRows stable keys (plus fresh front-of-table
+// inserts), so per-commit cost stays independent of the table size while the
+// checkpoint still streams the whole image — the regime where the old
+// stop-the-world design hurt.
+type OnlineConfig struct {
+	TableRows int `json:"table_rows"`  // default 1M
+	HotRows   int `json:"hot_rows"`    // key range commits touch (default 2k)
+	Commits   int `json:"commits"`     // default 800
+	OpsPerTxn int `json:"ops_per_txn"` // default 32
+}
+
+func (c *OnlineConfig) fill() {
+	if c.TableRows == 0 {
+		c.TableRows = 1_000_000
+	}
+	if c.HotRows == 0 {
+		c.HotRows = 2_000
+	}
+	if c.Commits == 0 {
+		c.Commits = 800
+	}
+	if c.OpsPerTxn == 0 {
+		c.OpsPerTxn = 32
+	}
+}
+
+// OnlineModes lists the two series of the online figure.
+var OnlineModes = []string{"online", "stop-world"}
+
+func onlineCell(mode string, cfg OnlineConfig) (OnlineRow, error) {
+	tbl, err := LoadUpdateTable(cfg.TableRows, 8192, table.ModePDT)
+	if err != nil {
+		return OnlineRow{}, err
+	}
+	mgr, err := txn.NewManager(tbl, txn.Options{Log: wal.NewWriter(io.Discard)})
+	if err != nil {
+		return OnlineRow{}, err
+	}
+	rng := rand.New(rand.NewSource(17))
+	nextOdd := int64(1)
+	commit := func() error {
+		tx := mgr.Begin()
+		if _, err := tx.ApplyBatch(MixedOps(rng, cfg.HotRows, cfg.OpsPerTxn, &nextOdd)); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+	// Warm up the hot range's blocks and the commit path so the measured
+	// stalls are maintenance stalls, not cold-start decodes.
+	for i := 0; i < 20; i++ {
+		if err := commit(); err != nil {
+			return OnlineRow{}, err
+		}
+	}
+
+	var ckptDur time.Duration
+	var ckptErr error
+	ckptStarted := false
+	ckptDone := make(chan struct{})
+	runCkpt := func() {
+		t0 := time.Now()
+		ckptErr = mgr.Checkpoint()
+		ckptDur = time.Since(t0)
+		close(ckptDone)
+	}
+	// A commit failure must not leave the checkpoint goroutine running into
+	// the next cell's table load, nor mask its error.
+	fail := func(err error) (OnlineRow, error) {
+		if ckptStarted {
+			<-ckptDone
+			if ckptErr != nil {
+				return OnlineRow{}, ckptErr
+			}
+		}
+		return OnlineRow{}, err
+	}
+
+	var maxGap, commitSum time.Duration
+	start := time.Now()
+	last := start
+	for i := 0; i < cfg.Commits; i++ {
+		if i == cfg.Commits/4 {
+			ckptStarted = true
+			if mode == "online" {
+				go runCkpt()
+			} else {
+				runCkpt()
+			}
+		}
+		c0 := time.Now()
+		if err := commit(); err != nil {
+			return fail(err)
+		}
+		now := time.Now()
+		commitSum += now.Sub(c0)
+		if gap := now.Sub(last); gap > maxGap {
+			maxGap = gap
+		}
+		last = now
+	}
+	<-ckptDone
+	if ckptErr != nil {
+		return OnlineRow{}, ckptErr
+	}
+	if err := mgr.WaitMaintenance(); err != nil {
+		return OnlineRow{}, err
+	}
+	elapsed := time.Since(start)
+
+	return OnlineRow{
+		Name:          fmt.Sprintf("online/rows=%d/commits=%d", cfg.TableRows, cfg.Commits),
+		Mode:          mode,
+		Commits:       cfg.Commits,
+		CommitsPerSec: float64(cfg.Commits) / elapsed.Seconds(),
+		MeanCommitUs:  float64(commitSum.Microseconds()) / float64(cfg.Commits),
+		MaxStallMs:    float64(maxGap.Nanoseconds()) / 1e6,
+		CheckpointMs:  float64(ckptDur.Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// OnlineProfile measures the commit stream against a concurrent checkpoint
+// (online) and against the stop-the-world baseline.
+func OnlineProfile(cfg OnlineConfig) ([]OnlineRow, error) {
+	cfg.fill()
+	var out []OnlineRow
+	for _, mode := range OnlineModes {
+		row, err := onlineCell(mode, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -77,6 +77,27 @@ func (d *Device) DropCaches() {
 	d.cached = make(map[devKey]struct{})
 }
 
+// evictStore drops every buffer-pool entry belonging to one store.
+func (d *Device) evictStore(id uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k := range d.cached {
+		if k.store == id {
+			delete(d.cached, k)
+		}
+	}
+}
+
+// PoolBlocks returns the number of blocks currently resident in the buffer
+// pool (for tests and stats: a long-running process that checkpoints should
+// see retired images leave the pool, not accumulate one entry per block per
+// checkpoint forever).
+func (d *Device) PoolBlocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.cached)
+}
+
 // ResetStats zeroes the byte/read counters without touching the pool.
 func (d *Device) ResetStats() {
 	d.mu.Lock()
@@ -267,6 +288,19 @@ func (s *Store) Compressed() bool { return s.compressed }
 
 // Device returns the block device this store charges reads to.
 func (s *Store) Device() *Device { return s.dev }
+
+// Evict removes the store's blocks from its device's buffer pool, releasing
+// the per-block map entries a retired image would otherwise leak across
+// checkpoints. The store stays fully readable — its next fetches are simply
+// cold again — so evicting is always safe; it is called when a checkpoint
+// retires an image and its last reader finishes. The small point-read decode
+// cache is dropped too.
+func (s *Store) Evict() {
+	s.dev.evictStore(s.id)
+	s.cacheMu.Lock()
+	s.decoded = make(map[blockKey]*vector.Vector)
+	s.cacheMu.Unlock()
+}
 
 // NumBlocks returns the per-column block count.
 func (s *Store) NumBlocks() int {

@@ -198,6 +198,43 @@ func TestDeviceAccounting(t *testing.T) {
 	}
 }
 
+func TestEvictReleasesPoolEntries(t *testing.T) {
+	dev := NewDevice()
+	build := func(n int) *Store {
+		b := NewBuilder(testSchema(), dev, 16, false)
+		for i := 0; i < n; i++ {
+			if err := b.Add(types.Row{types.Int(int64(i)), types.Str("s"), types.Float(0), types.BoolVal(false)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	old, fresh := build(100), build(100)
+	scanAll(t, old, []int{0, 1}, 0, old.NRows(), 50)
+	scanAll(t, fresh, []int{0, 1}, 0, fresh.NRows(), 50)
+	both := dev.PoolBlocks()
+	old.Evict()
+	if got := dev.PoolBlocks(); got != both/2 {
+		t.Fatalf("pool holds %d blocks after evicting one of two stores, want %d", got, both/2)
+	}
+	// The evicted store stays readable; its fetches are cold again, and the
+	// surviving store's blocks stay hot.
+	dev.ResetStats()
+	scanAll(t, old, []int{0, 1}, 0, old.NRows(), 50)
+	if bytes, _ := dev.Stats(); bytes == 0 {
+		t.Fatal("re-scan of evicted store charged no cold reads")
+	}
+	dev.ResetStats()
+	scanAll(t, fresh, []int{0, 1}, 0, fresh.NRows(), 50)
+	if bytes, _ := dev.Stats(); bytes != 0 {
+		t.Fatalf("eviction of a sibling store cooled %d bytes of the survivor", bytes)
+	}
+}
+
 func TestIOVolumeScalesWithColumns(t *testing.T) {
 	s := buildStore(t, 1000, 64, false)
 	dev := s.Device()

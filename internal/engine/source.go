@@ -69,10 +69,16 @@ func NewSource(spec TableSpec, cols []int, loKey, hiKey types.Row) (pdt.BatchSou
 // StackPDTs chains PDT layers bottom-to-top over a base source producing the
 // given columns for consecutive positions starting at startSID: each layer's
 // SIDs are the RIDs produced by the layer below (the transaction scheme's
-// TABLE₀ ∘ R ∘ W ∘ T stacking). With no layers the base is returned as-is.
+// TABLE₀ ∘ R ∘ W ∘ T stacking). Nil layers are skipped, so callers with
+// optional layers — the transaction manager stacks a frozen maintenance
+// layer only while a background fold or checkpoint is in flight — pass them
+// unconditionally. With no (non-nil) layers the base is returned as-is.
 func StackPDTs(base pdt.BatchSource, cols []int, startSID uint64, includeEnd bool, layers ...*pdt.PDT) pdt.BatchSource {
 	src, sid := base, startSID
 	for _, l := range layers {
+		if l == nil {
+			continue
+		}
 		m := pdt.NewMergeScan(l, src, cols, sid, includeEnd)
 		src, sid = m, m.StartRID()
 	}

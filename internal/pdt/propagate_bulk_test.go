@@ -69,6 +69,8 @@ func propagatePair(t *testing.T, base, w *PDT, stable []types.Row, ref *refModel
 	if ref != nil {
 		checkAgainstRef(t, bulk, stable, ref)
 	}
+	// The non-destructive Fold must agree on the same inputs (fold_test.go).
+	checkFold(t, base, w, stable, ref)
 }
 
 func TestBulkPropagateRandomized(t *testing.T) {

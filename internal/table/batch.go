@@ -278,7 +278,7 @@ func (t *Table) ApplyBatch(ops []Op) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		return ApplyOps(t.pdt, t.schema, sorted, pos)
+		return ApplyOps(t.PDT(), t.schema, sorted, pos)
 	}
 	return 0, fmt.Errorf("table: unknown mode")
 }

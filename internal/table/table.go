@@ -8,6 +8,7 @@ package table
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pdtstore/internal/colstore"
 	"pdtstore/internal/engine"
@@ -51,13 +52,24 @@ type Options struct {
 	Device     *colstore.Device // shared "disk"; nil = private device
 }
 
-// Table is an updatable ordered table.
+// Table is an updatable ordered table. The stable image and its delta
+// structure are published together behind one atomic pointer: every reader
+// loads the pair once per operation, so a checkpoint install — including the
+// transaction manager's *background* maintenance calling Install at an
+// arbitrary moment — can never be observed torn (new store with the old
+// delta, whose positions belong to the pre-swap image). Updates remain
+// single-writer, as before.
 type Table struct {
 	schema *types.Schema
 	opts   Options
-	store  *colstore.Store
-	pdt    *pdt.PDT
-	vdt    *vdt.VDT
+	img    atomic.Pointer[image]
+}
+
+// image is one consistent (stable store, delta structure) pair.
+type image struct {
+	store *colstore.Store
+	pdt   *pdt.PDT
+	vdt   *vdt.VDT
 }
 
 // Load bulk-loads rows (must be in strict sort-key order) into a new table.
@@ -72,26 +84,7 @@ func Load(schema *types.Schema, rows []types.Row, opts Options) (*Table, error) 
 // LoadBatches bulk-loads from a batch source producing all schema columns in
 // sort-key order (the fast path for generated datasets).
 func LoadBatches(schema *types.Schema, src pdt.BatchSource, opts Options) (*Table, error) {
-	b := colstore.NewBuilder(schema, opts.Device, opts.BlockRows, opts.Compressed)
-	kinds := make([]types.Kind, schema.NumCols())
-	for i, c := range schema.Cols {
-		kinds[i] = c.Kind
-	}
-	buf := vector.NewBatch(kinds, 4096)
-	for {
-		buf.Reset()
-		n, err := src.Next(buf, 4096)
-		if err != nil {
-			return nil, err
-		}
-		if n == 0 {
-			break
-		}
-		if err := b.AddBatch(buf); err != nil {
-			return nil, err
-		}
-	}
-	store, err := b.Finish()
+	store, err := buildImage(schema, src, opts.Device, opts.BlockRows, opts.Compressed)
 	if err != nil {
 		return nil, err
 	}
@@ -100,16 +93,18 @@ func LoadBatches(schema *types.Schema, src pdt.BatchSource, opts Options) (*Tabl
 
 // FromStore wraps an existing stable image in a table.
 func FromStore(store *colstore.Store, opts Options) (*Table, error) {
-	t := &Table{schema: store.Schema(), opts: opts, store: store}
+	t := &Table{schema: store.Schema(), opts: opts}
+	im := &image{store: store}
 	switch opts.Mode {
 	case ModePDT:
-		t.pdt = pdt.New(t.schema, opts.Fanout)
+		im.pdt = pdt.New(t.schema, opts.Fanout)
 	case ModeVDT:
-		t.vdt = vdt.New(t.schema)
+		im.vdt = vdt.New(t.schema)
 	case ModeNone:
 	default:
 		return nil, fmt.Errorf("table: unknown delta mode %d", opts.Mode)
 	}
+	t.img.Store(im)
 	return t, nil
 }
 
@@ -119,35 +114,42 @@ func (t *Table) Schema() *types.Schema { return t.schema }
 // Mode returns the delta mode.
 func (t *Table) Mode() DeltaMode { return t.opts.Mode }
 
+// Fanout returns the configured PDT fanout (0 selects the paper default).
+// The transaction manager threads it into every write layer it creates, so
+// a tuned tree geometry survives checkpoints.
+func (t *Table) Fanout() int { return t.opts.Fanout }
+
 // Store returns the stable image (read-only).
-func (t *Table) Store() *colstore.Store { return t.store }
+func (t *Table) Store() *colstore.Store { return t.img.Load().store }
 
 // PDT returns the positional delta tree, or nil outside ModePDT. The
 // transaction layer builds its layered snapshots on top of this.
-func (t *Table) PDT() *pdt.PDT { return t.pdt }
+func (t *Table) PDT() *pdt.PDT { return t.img.Load().pdt }
 
 // VDT returns the value-based delta tree, or nil outside ModeVDT.
-func (t *Table) VDT() *vdt.VDT { return t.vdt }
+func (t *Table) VDT() *vdt.VDT { return t.img.Load().vdt }
 
 // NRows returns the visible row count (stable rows plus net delta).
 func (t *Table) NRows() uint64 {
-	n := int64(t.store.NRows())
+	im := t.img.Load()
+	n := int64(im.store.NRows())
 	switch t.opts.Mode {
 	case ModePDT:
-		n += t.pdt.Delta()
+		n += im.pdt.Delta()
 	case ModeVDT:
-		n += t.vdt.Delta()
+		n += im.vdt.Delta()
 	}
 	return uint64(n)
 }
 
 // DeltaMemBytes reports the memory held by the differential structure.
 func (t *Table) DeltaMemBytes() uint64 {
+	im := t.img.Load()
 	switch t.opts.Mode {
 	case ModePDT:
-		return t.pdt.MemBytes()
+		return im.pdt.MemBytes()
 	case ModeVDT:
-		return t.vdt.MemBytes()
+		return im.vdt.MemBytes()
 	}
 	return 0
 }
@@ -182,7 +184,8 @@ func (t *Table) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error
 	// An empty delta structure means the stable image is scanned directly
 	// (engine.NewSource checks): tables the update streams never touch behave
 	// exactly like clean runs, as the paper's footnote on Q2/Q11/Q16 requires.
-	return engine.NewSource(engine.TableSpec{Store: t.store, PDT: t.pdt, VDT: t.vdt}, cols, loKey, hiKey)
+	im := t.img.Load()
+	return engine.NewSource(engine.TableSpec{Store: im.store, PDT: im.pdt, VDT: im.vdt}, cols, loKey, hiKey)
 }
 
 // FindByKey locates the visible tuple with the given (full) sort key,
@@ -241,7 +244,7 @@ func (t *Table) insertPosition(key types.Row) (rid uint64, dup bool, err error) 
 // stableHasKey reports whether the stable image contains the key (the scan
 // bypasses the delta structure on purpose).
 func (t *Table) stableHasKey(key types.Row) (found bool, err error) {
-	src, err := engine.NewSource(engine.TableSpec{Store: t.store}, t.schema.SortKey, key, key)
+	src, err := engine.NewSource(engine.TableSpec{Store: t.img.Load().store}, t.schema.SortKey, key, key)
 	if err != nil {
 		return false, err
 	}
@@ -269,6 +272,7 @@ func (t *Table) Insert(row types.Row) error {
 		return err
 	}
 	key := t.schema.KeyOf(row)
+	im := t.img.Load()
 	switch t.opts.Mode {
 	case ModeNone:
 		return fmt.Errorf("table: read-only (ModeNone)")
@@ -280,19 +284,19 @@ func (t *Table) Insert(row types.Row) error {
 		if dup {
 			return fmt.Errorf("table: duplicate key %v", key)
 		}
-		return t.pdt.Insert(rid, row)
+		return im.pdt.Insert(rid, row)
 	case ModeVDT:
-		if _, ok := t.vdt.HasInsert(key); ok {
+		if _, ok := im.vdt.HasInsert(key); ok {
 			return fmt.Errorf("table: duplicate key %v", key)
 		}
 		stable, err := t.stableHasKey(key)
 		if err != nil {
 			return err
 		}
-		if stable && !t.vdt.IsDeleted(key) {
+		if stable && !im.vdt.IsDeleted(key) {
 			return fmt.Errorf("table: duplicate key %v", key)
 		}
-		return t.vdt.Insert(row)
+		return im.vdt.Insert(row)
 	}
 	return fmt.Errorf("table: unknown mode")
 }
@@ -300,6 +304,7 @@ func (t *Table) Insert(row types.Row) error {
 // DeleteByKey removes the visible tuple with the given sort key, reporting
 // whether it existed.
 func (t *Table) DeleteByKey(key types.Row) (bool, error) {
+	im := t.img.Load()
 	switch t.opts.Mode {
 	case ModeNone:
 		return false, fmt.Errorf("table: read-only (ModeNone)")
@@ -308,24 +313,26 @@ func (t *Table) DeleteByKey(key types.Row) (bool, error) {
 		if err != nil || !found {
 			return false, err
 		}
-		return true, t.pdt.Delete(rid, t.schema.KeyOf(row))
+		return true, im.pdt.Delete(rid, t.schema.KeyOf(row))
 	case ModeVDT:
-		_, inIns := t.vdt.HasInsert(key)
+		_, inIns := im.vdt.HasInsert(key)
 		stable, err := t.stableHasKey(key)
 		if err != nil {
 			return false, err
 		}
-		if !inIns && (!stable || t.vdt.IsDeleted(key)) {
+		if !inIns && (!stable || im.vdt.IsDeleted(key)) {
 			return false, nil
 		}
-		t.vdt.Delete(key, stable)
+		im.vdt.Delete(key, stable)
 		return true, nil
 	}
 	return false, fmt.Errorf("table: unknown mode")
 }
 
 // UpdateByKey sets one column of the visible tuple with the given sort key.
-// Updating a sort-key column is expressed as delete+insert, per the paper.
+// Updating a sort-key column is expressed as delete+insert, per the paper;
+// the new key's uniqueness is checked before the delete, so a collision with
+// an existing row rejects the update and leaves the old row in place.
 func (t *Table) UpdateByKey(key types.Row, col int, val types.Value) (bool, error) {
 	if t.opts.Mode == ModeNone {
 		return false, fmt.Errorf("table: read-only (ModeNone)")
@@ -337,20 +344,29 @@ func (t *Table) UpdateByKey(key types.Row, col int, val types.Value) (bool, erro
 	if t.schema.IsSortKeyCol(col) {
 		newRow := row.Clone()
 		newRow[col] = val
+		newKey := t.schema.KeyOf(newRow)
+		if types.CompareRows(newKey, key) != 0 {
+			if _, _, taken, err := t.FindByKey(newKey); err != nil {
+				return false, err
+			} else if taken {
+				return false, fmt.Errorf("table: duplicate key %v", newKey)
+			}
+		}
 		if _, err := t.DeleteByKey(key); err != nil {
 			return false, err
 		}
 		return true, t.Insert(newRow)
 	}
+	im := t.img.Load()
 	switch t.opts.Mode {
 	case ModePDT:
-		return true, t.pdt.Modify(rid, col, val)
+		return true, im.pdt.Modify(rid, col, val)
 	case ModeVDT:
 		stable, err := t.stableHasKey(key)
 		if err != nil {
 			return false, err
 		}
-		return true, t.vdt.Modify(row, col, val, stable)
+		return true, im.vdt.Modify(row, col, val, stable)
 	}
 	return false, fmt.Errorf("table: unknown mode")
 }
@@ -358,7 +374,8 @@ func (t *Table) UpdateByKey(key types.Row, col int, val types.Value) (bool, erro
 // Checkpoint folds the buffered deltas into a brand-new stable image and
 // resets the differential structure (the paper's checkpointing step: the
 // table image with all updates applied replaces TABLE0, and query
-// processing switches over).
+// processing switches over). The retired image's blocks are evicted from the
+// device's buffer pool so repeated checkpoints don't leak pool entries.
 func (t *Table) Checkpoint() error {
 	if t.opts.Mode == ModeNone {
 		return nil
@@ -367,31 +384,71 @@ func (t *Table) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	b := colstore.NewBuilder(t.schema, t.store.Device(), t.opts.BlockRows, t.opts.Compressed)
-	buf := vector.NewBatch(t.Kinds(t.allCols()), 4096)
+	old := t.img.Load()
+	store, err := buildImage(t.schema, src, old.store.Device(), t.opts.BlockRows, t.opts.Compressed)
+	if err != nil {
+		return err
+	}
+	next := &image{store: store}
+	switch t.opts.Mode {
+	case ModePDT:
+		next.pdt = pdt.New(t.schema, t.opts.Fanout)
+	case ModeVDT:
+		next.vdt = vdt.New(t.schema)
+	}
+	t.img.Store(next)
+	old.store.Evict()
+	return nil
+}
+
+// Materialize streams the merged image of a stable store and a stack of
+// consecutive PDT layers (bottom-to-top) into a brand-new store on the same
+// device, using the table's block geometry. The inputs are only read, and
+// the layers merge on the fly — no intermediate folded PDT is built. This
+// is the build step of the transaction manager's online checkpoint, which
+// runs it without any lock while commits keep landing in a fresh delta
+// layer.
+func (t *Table) Materialize(store *colstore.Store, deltas ...*pdt.PDT) (*colstore.Store, error) {
+	cols := t.allCols()
+	src := engine.StackPDTs(store.NewScanner(cols, 0, store.NRows()), cols, 0, true, deltas...)
+	return buildImage(t.schema, src, store.Device(), t.opts.BlockRows, t.opts.Compressed)
+}
+
+// Install atomically swaps in a checkpointed image and its differential
+// layer (ModePDT only): the transaction manager's online checkpoint builds
+// the new store via Materialize and hands the side delta that accumulated
+// during the build. The swap publishes the pair as one unit, so readers
+// racing a background install always see a consistent image; direct table
+// *updates* remain the caller's to serialize, as ever.
+func (t *Table) Install(store *colstore.Store, p *pdt.PDT) error {
+	if t.opts.Mode != ModePDT {
+		return fmt.Errorf("table: Install requires ModePDT, got %v", t.opts.Mode)
+	}
+	t.img.Store(&image{store: store, pdt: p})
+	return nil
+}
+
+// buildImage drains a batch source of all schema columns, in sort-key order,
+// into a new stable store.
+func buildImage(schema *types.Schema, src pdt.BatchSource, dev *colstore.Device, blockRows int, compressed bool) (*colstore.Store, error) {
+	b := colstore.NewBuilder(schema, dev, blockRows, compressed)
+	kinds := make([]types.Kind, schema.NumCols())
+	for i, c := range schema.Cols {
+		kinds[i] = c.Kind
+	}
+	buf := vector.NewBatch(kinds, 4096)
 	for {
 		buf.Reset()
 		n, err := src.Next(buf, 4096)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if n == 0 {
 			break
 		}
 		if err := b.AddBatch(buf); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	store, err := b.Finish()
-	if err != nil {
-		return err
-	}
-	t.store = store
-	switch t.opts.Mode {
-	case ModePDT:
-		t.pdt = pdt.New(t.schema, t.opts.Fanout)
-	case ModeVDT:
-		t.vdt = vdt.New(t.schema)
-	}
-	return nil
+	return b.Finish()
 }

@@ -171,6 +171,36 @@ func TestSortKeyUpdateBecomesDeleteInsert(t *testing.T) {
 	}
 }
 
+// TestSortKeyUpdateCollisionKeepsOldRow is the regression test for the
+// delete-then-insert bug: a sort-key update whose new key collides with an
+// existing row must fail up front, with the old row still visible — not
+// delete the old row and then fail the insert.
+func TestSortKeyUpdateCollisionKeepsOldRow(t *testing.T) {
+	for _, mode := range []DeltaMode{ModePDT, ModeVDT} {
+		tbl := newTable(t, mode, 30)
+		key := types.Row{types.Int(30), types.Str("s00")}
+		before := tbl.NRows()
+		// Key (30, "s01") exists in genRows(30): the update must be rejected.
+		if ok, err := tbl.UpdateByKey(key, 1, types.Str("s01")); err == nil {
+			t.Fatalf("%v: colliding sort-key update accepted (ok=%v)", mode, ok)
+		}
+		_, row, found, err := tbl.FindByKey(key)
+		if err != nil || !found {
+			t.Fatalf("%v: old row lost after rejected update: %v", mode, err)
+		}
+		if row[1].S != "s00" {
+			t.Fatalf("%v: old row mutated: %v", mode, row)
+		}
+		if tbl.NRows() != before {
+			t.Fatalf("%v: row count changed: %d -> %d", mode, before, tbl.NRows())
+		}
+		// A no-op sort-key update (same value) must still succeed.
+		if ok, err := tbl.UpdateByKey(key, 1, types.Str("s00")); err != nil || !ok {
+			t.Fatalf("%v: same-key update rejected: %v", mode, err)
+		}
+	}
+}
+
 func TestRangeScanWithUpdates(t *testing.T) {
 	for _, mode := range []DeltaMode{ModePDT, ModeVDT} {
 		tbl := newTable(t, mode, 90) // k1 in 0,10,...,290

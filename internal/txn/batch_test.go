@@ -344,6 +344,9 @@ func TestApplyBatchAcrossMigration(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := small.WaitMaintenance(); err != nil { // migration is a background fold now
+		t.Fatal(err)
+	}
 	if small.ReadPDT().Empty() {
 		t.Fatal("write budget never triggered a migration")
 	}

@@ -1,0 +1,168 @@
+package txn
+
+// Online maintenance: Write→Read propagation and checkpointing without
+// quiescence. The key invariant is that every installed (store, Read-PDT)
+// version is immutable — folds always produce a new PDT (pdt.Fold) — so a
+// transaction's pinned view never changes under it, and maintenance needs
+// the manager lock only for the freeze and the final pointer swap:
+//
+//	freeze (locked):   frozen ← writePDT; writePDT ← empty; commits go on
+//	fold (unlocked):   folded ← Fold(cur.readPDT, frozen)
+//	install (locked):  cur ← {store, folded}; frozen ← nil
+//
+// While the fold runs, every view stacks the frozen layer between the
+// Read-PDT and its Write-PDT snapshot (TABLE₀ ∘ R ∘ F ∘ W ∘ T), which is
+// the same image by construction. Checkpoint is the same dance with one more
+// unlocked step: the folded view is streamed into a brand-new stable image
+// whose SID domain equals the RID domain the during-build commits were
+// expressed in, so the side Write-PDT becomes the new version's Read-PDT
+// verbatim. Retired versions are released when their last reader finishes,
+// evicting the retired image's blocks from the device's buffer pool.
+
+import (
+	"fmt"
+
+	"pdtstore/internal/pdt"
+)
+
+// freezeLocked hands the current write layer to maintenance and restarts
+// commits in a fresh one. The three fields must change together: from here
+// on every view stacks the frozen layer between the Read-PDT and its
+// Write-PDT snapshot, and the stale snapshot cache must not resurface.
+func (m *Manager) freezeLocked() *pdt.PDT {
+	frozen := m.writePDT
+	m.frozen = frozen
+	// The table's fanout, not the default: a checkpoint installs this layer
+	// as the next Read-PDT, so the configured geometry must carry through.
+	m.writePDT = pdt.New(m.tbl.Schema(), m.tbl.Fanout())
+	m.snapCache = nil
+	return frozen
+}
+
+// maybeFoldLocked starts a background Write→Read fold once the Write-PDT
+// outgrows its budget. Unlike the pre-online design it never waits for
+// quiescence and never blocks the caller beyond the freeze. A waiting
+// checkpointer gets priority — back-to-back folds re-arming here could
+// otherwise keep m.frozen occupied forever under sustained traffic, and the
+// checkpoint folds the write layer down anyway.
+func (m *Manager) maybeFoldLocked() {
+	if m.writePDT.MemBytes() < m.writeBudget ||
+		m.frozen != nil || m.checkpointing || m.ckptWaiters > 0 || m.maintErr != nil {
+		return
+	}
+	go m.completeFold(m.cur, m.freezeLocked())
+}
+
+// completeFold folds the frozen write layer into a fresh Read-PDT off-lock
+// and installs the result as the new version.
+func (m *Manager) completeFold(base *version, frozen *pdt.PDT) {
+	folded, err := m.fold(base.readPDT, frozen)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		// Every view keeps stacking the frozen layer, so reads stay correct;
+		// maintenance is wedged and the error surfaces on the write paths.
+		m.maintErr = fmt.Errorf("txn: background propagate: %w", err)
+	} else {
+		m.installVersionLocked(&version{store: base.store, readPDT: folded})
+		m.frozen = nil
+		m.maybeFoldLocked() // commits may have refilled the budget meanwhile
+	}
+	m.cond.Broadcast()
+}
+
+// installVersionLocked makes v the current read view and releases the
+// previous one if no transaction still pins it. The owned table's direct
+// view tracks the newest version.
+func (m *Manager) installVersionLocked(v *version) {
+	old := m.cur
+	m.storeRefs[v.store]++
+	m.cur = v
+	m.releaseVersionLocked(old)
+	// NewManager guarantees ModePDT, so Install cannot fail.
+	_ = m.tbl.Install(v.store, v.readPDT)
+}
+
+// releaseVersionLocked drops a version's claim on its stable image once it
+// is retired (no longer current) and unpinned (no running transaction).
+// When an image loses its last version its blocks leave the buffer pool.
+func (m *Manager) releaseVersionLocked(v *version) {
+	if v == m.cur || v.refs > 0 {
+		return
+	}
+	m.storeRefs[v.store]--
+	if m.storeRefs[v.store] == 0 {
+		delete(m.storeRefs, v.store)
+		v.store.Evict()
+	}
+}
+
+// WaitMaintenance blocks until no background fold or checkpoint is in
+// flight, reporting any maintenance failure. Tests and orderly shutdown use
+// it; normal operation never has to.
+func (m *Manager) WaitMaintenance() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for (m.frozen != nil || m.checkpointing) && m.maintErr == nil {
+		m.cond.Wait()
+	}
+	return m.maintErr
+}
+
+// Checkpoint folds all committed state (Read- and Write-PDT) into a new
+// stable image while transactions keep running: the current write layer is
+// frozen, the frozen view is folded and streamed into a fresh colstore image
+// with no lock held — commits land in a fresh delta layer stacked on top —
+// and the store swap installs that side layer as the new version's Read-PDT.
+// Transactions begun before or during the checkpoint read their pinned
+// pre-checkpoint view to completion and may still commit afterwards.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	m.ckptWaiters++ // pauses fold re-arming so the wait below terminates
+	for (m.checkpointing || m.frozen != nil) && m.maintErr == nil {
+		m.cond.Wait() // one maintenance operation at a time
+	}
+	m.ckptWaiters--
+	if err := m.maintErr; err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.checkpointing = true
+	base := m.cur
+	frozen := m.freezeLocked()
+	materialize := m.materialize
+	if materialize == nil {
+		materialize = m.tbl.Materialize
+	}
+	m.mu.Unlock()
+
+	// Off-lock: stream the full committed delta state (base ∘ Read ∘ frozen
+	// Write, merged on the fly) into a new stable image. The new image
+	// materializes exactly that view, so the Write-PDT filling up meanwhile
+	// is already positioned in the new image's SID domain.
+	newStore, err := materialize(base.store, base.readPDT, frozen)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	defer m.cond.Broadcast()
+	m.checkpointing = false
+	if err != nil {
+		// Roll the frozen layer back under the write layer so the two-layer
+		// invariant holds again (reads were never wrong either way).
+		restored, ferr := m.fold(frozen, m.writePDT)
+		if ferr != nil {
+			m.maintErr = fmt.Errorf("txn: checkpoint rollback: %w", ferr)
+			return err
+		}
+		m.writePDT = restored
+		m.frozen = nil
+		m.snapCache = nil
+		return err
+	}
+	side := m.writePDT // commits that landed during the build
+	m.writePDT = pdt.New(m.tbl.Schema(), m.tbl.Fanout())
+	m.snapCache = nil
+	m.frozen = nil
+	m.installVersionLocked(&version{store: newStore, readPDT: side})
+	return nil
+}

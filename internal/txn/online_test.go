@@ -1,0 +1,231 @@
+package txn
+
+// Online-maintenance stress: mixed transactional traffic (Begin / Scan /
+// ApplyBatch / per-op updates / Commit) from several goroutines races a
+// background checkpoint loop and a tiny write budget (so Write→Read folds
+// fire constantly). Every transaction asserts the snapshot-isolation
+// invariant — its visible row count only moves by its own writes — and the
+// final state must be exactly the initial one, since every worker deletes
+// what it inserts. CI's race job runs this file under -race.
+
+import (
+	"sync"
+	"testing"
+
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+)
+
+// countRows scans the transaction's full view and returns the row count.
+func countRows(t *testing.T, tx *Txn) int {
+	t.Helper()
+	return len(txnKeys(t, tx))
+}
+
+// TestDirectTableReadsRaceBackgroundInstalls pins the atomic image swap:
+// direct reads through mgr.Table() (legal between transactions) race the
+// background fold/checkpoint installs and must always observe a consistent
+// (store, Read-PDT) pair — under -race this test fails without the table's
+// atomic image pointer.
+func TestDirectTableReadsRaceBackgroundInstalls(t *testing.T) {
+	const stableRows = 100
+	m := newManager(t, stableRows, Options{WriteBudget: 1 << 10})
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// The manager only installs committed state, so a consistent
+			// image always holds at least the stable rows.
+			if n := m.Table().NRows(); n < stableRows {
+				t.Errorf("direct read saw torn image: %d rows", n)
+				return
+			}
+			if _, _, found, err := m.Table().FindByKey(types.Row{types.Int(10)}); err != nil || !found {
+				t.Errorf("direct point read: found=%v err=%v", found, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		tx := m.Begin()
+		if err := tx.Insert(types.Row{types.Int(int64(10_000 + i)), types.Int(0), types.Str("d")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 5 {
+			if err := m.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	bg.Wait()
+	if err := m.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMaintenanceStress(t *testing.T) {
+	const (
+		stableRows = 200
+		workers    = 4
+		rounds     = 12
+		batch      = 16
+	)
+	// Tiny budget: nearly every commit schedules a background fold.
+	m := newManager(t, stableRows, Options{WriteBudget: 1 << 10})
+
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+
+	// Background checkpoint loop: rebuild the stable image continuously
+	// while traffic runs.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := m.Checkpoint(); err != nil {
+				t.Errorf("background checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Observer: repeatedly asserts a snapshot's row count cannot change
+	// under it, no matter what commits, folds and checkpoints do meanwhile.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := m.Begin()
+			before := countRows(t, tx)
+			after := countRows(t, tx)
+			if before != after {
+				t.Errorf("snapshot row count moved %d -> %d", before, after)
+			}
+			if err := tx.Abort(); err != nil {
+				t.Errorf("observer abort: %v", err)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Disjoint key spaces: worker w inserts fresh keys above the
+			// stable range and modifies its own slice of stable keys, so
+			// commits never write-write conflict.
+			stableBase := int64(w*(stableRows/workers) + 1)
+			for r := 0; r < rounds; r++ {
+				fresh := make([]int64, batch)
+				for i := range fresh {
+					fresh[i] = int64(100_000 + w*10_000 + r*batch + i)
+				}
+
+				tx := m.Begin()
+				n0 := countRows(t, tx)
+				ops := make([]table.Op, 0, batch+2)
+				for _, k := range fresh {
+					ops = append(ops, table.Op{Kind: table.OpInsert,
+						Row: types.Row{types.Int(k), types.Int(int64(w)), types.Str("ins")}})
+				}
+				// Two modifies of this worker's own stable keys ride along.
+				for i := 0; i < 2; i++ {
+					k := (stableBase + int64((r+i)%(stableRows/workers))) * 10
+					ops = append(ops, table.Op{Kind: table.OpUpdate,
+						Key: types.Row{types.Int(k)}, Col: 1, Val: types.Int(int64(r))})
+				}
+				if _, err := tx.ApplyBatch(ops); err != nil {
+					t.Errorf("worker %d round %d apply: %v", w, r, err)
+					return
+				}
+				if n1 := countRows(t, tx); n1 != n0+batch {
+					t.Errorf("worker %d round %d: count %d -> %d, want +%d", w, r, n0, n1, batch)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("worker %d round %d commit: %v", w, r, err)
+					return
+				}
+
+				// Second transaction deletes the keys again (net zero).
+				del := m.Begin()
+				n0 = countRows(t, del)
+				dops := make([]table.Op, 0, batch)
+				for _, k := range fresh {
+					dops = append(dops, table.Op{Kind: table.OpDelete, Key: types.Row{types.Int(k)}})
+				}
+				if _, err := del.ApplyBatch(dops); err != nil {
+					t.Errorf("worker %d round %d delete: %v", w, r, err)
+					return
+				}
+				if n1 := countRows(t, del); n1 != n0-batch {
+					t.Errorf("worker %d round %d: delete count %d -> %d, want -%d", w, r, n0, n1, batch)
+					return
+				}
+				if err := del.Commit(); err != nil {
+					t.Errorf("worker %d round %d delete commit: %v", w, r, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	bg.Wait()
+	if err := m.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Steady state: all inserts were deleted again, nothing lost, nothing
+	// duplicated, tree invariants intact.
+	check := m.Begin()
+	defer check.Abort()
+	keys := txnKeys(t, check)
+	if len(keys) != stableRows {
+		t.Fatalf("final row count = %d, want %d", len(keys), stableRows)
+	}
+	seen := map[int64]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	if err := m.ReadPDT().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePDT().Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One final checkpoint folds everything down; the image must match.
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Table().Store().NRows(); got != stableRows {
+		t.Fatalf("checkpointed image has %d rows, want %d", got, stableRows)
+	}
+}

@@ -100,17 +100,17 @@ func (q *Query) UpdateByKey(key types.Row, col int, val types.Value) (bool, erro
 }
 
 // insertPosition locates key's slot in the statement's *current* domain
-// (frozen view plus this statement's own buffered updates): a four-layer
-// stacked merge over the sort-key columns — the transaction's three layers
-// (mirroring Txn.Scan) with the Query-PDT stacked on top as the fourth.
+// (frozen view plus this statement's own buffered updates): a stacked merge
+// over the sort-key columns — the transaction's pinned layers (mirroring
+// Txn.Scan) with the Query-PDT stacked on top.
 func (q *Query) insertPosition(key types.Row) (rid uint64, dup bool, err error) {
 	t := q.txn
 	schema := t.mgr.tbl.Schema()
-	store := t.mgr.tbl.Store()
+	store := t.ver.store
 	from, _ := store.SIDRange(key, nil)
 	base := store.NewScanner(schema.SortKey, from, store.NRows())
 	stack := engine.StackPDTs(base, schema.SortKey, from, true,
-		t.readPDT, t.writeSnap, t.trans, q.qpdt)
+		t.ver.readPDT, t.frozen, t.writeSnap, t.trans, q.qpdt)
 	out := vector.NewBatch(t.mgr.tbl.Kinds(schema.SortKey), 256)
 	last := uint64(int64(t.visibleRows()) + q.qpdt.Delta())
 	for {

@@ -8,9 +8,15 @@
 // and stacks a private, initially empty Trans-PDT on top. Commit serializes
 // the Trans-PDT against every transaction that committed during its lifetime
 // (Algorithm 9's TZ set, with reference counting) — aborting on write-write
-// conflict — and propagates the result into the master Write-PDT. When the
-// Write-PDT outgrows its budget, its contents migrate to the Read-PDT via
-// Propagate.
+// conflict — and folds the result into the master Write-PDT.
+//
+// Maintenance is online (maintain.go): the (store, Read-PDT) pair a
+// transaction reads is an immutable version pinned at Begin. When the
+// Write-PDT outgrows its budget it is frozen and folded into a fresh
+// Read-PDT copy by a background goroutine, and when Checkpoint runs the
+// frozen view is streamed into a new stable image off-lock — in both cases
+// commits keep landing in a fresh write layer and a pointer swap installs
+// the new version, so neither readers nor writers ever stall on a merge.
 package txn
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pdtstore/internal/colstore"
 	"pdtstore/internal/engine"
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/table"
@@ -32,20 +39,41 @@ var ErrTxnDone = errors.New("txn: transaction already finished")
 // ErrConflict wraps the PDT-level conflict detected at commit.
 var ErrConflict = errors.New("txn: write-write conflict, transaction aborted")
 
+// version is one immutable read view: a stable image plus the Read-PDT
+// folded over it. Transactions pin the current version at Begin; a retired
+// version is released — dropping its claim on the stable image's buffer-pool
+// blocks — when its last reader finishes.
+type version struct {
+	store   *colstore.Store
+	readPDT *pdt.PDT
+	refs    int // running transactions pinned to this version
+}
+
 // Manager coordinates transactions over one PDT-mode table.
 type Manager struct {
-	mu  sync.Mutex
-	tbl *table.Table
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast when background maintenance completes
+	tbl  *table.Table
 
-	readPDT  *pdt.PDT
-	writePDT *pdt.PDT
+	cur      *version // current read view (immutable once installed)
+	frozen   *pdt.PDT // write layer a background fold/checkpoint is consuming
+	writePDT *pdt.PDT // master Write-PDT; SIDs in (cur.readPDT ∘ frozen) RID domain
 
-	lsn       uint64 // logical commit clock
+	lsn       uint64 // logical commit clock, in lockstep with the WAL's LSNs
 	snapLSN   uint64 // lsn at which snapCache was taken
 	snapCache *pdt.PDT
 
 	running   map[*Txn]struct{}
 	committed []*committedTxn // Algorithm 9's TZ, in commit order
+
+	storeRefs     map[*colstore.Store]int // live versions per stable image
+	checkpointing bool
+	ckptWaiters   int   // callers blocked in Checkpoint; pauses fold re-arming
+	maintErr      error // first background maintenance failure, sticky
+
+	// materialize stubs the checkpoint image build in fault-injection tests;
+	// nil selects tbl.Materialize.
+	materialize func(*colstore.Store, ...*pdt.PDT) (*colstore.Store, error)
 
 	writeBudget uint64 // bytes before Write→Read propagation
 	log         *wal.Writer
@@ -73,8 +101,8 @@ type Options struct {
 	EntrywisePropagate bool
 }
 
-// NewManager wraps a ModePDT table. The table's own PDT becomes the
-// Read-PDT; direct table updates must stop once a manager owns it.
+// NewManager wraps a ModePDT table. The table's own PDT becomes the first
+// version's Read-PDT; direct table updates must stop once a manager owns it.
 func NewManager(tbl *table.Table, opts Options) (*Manager, error) {
 	if tbl.Mode() != table.ModePDT {
 		return nil, fmt.Errorf("txn: manager requires a ModePDT table, got %v", tbl.Mode())
@@ -83,18 +111,26 @@ func NewManager(tbl *table.Table, opts Options) (*Manager, error) {
 	if budget == 0 {
 		budget = 256 << 10
 	}
-	return &Manager{
+	m := &Manager{
 		tbl:         tbl,
-		readPDT:     tbl.PDT(),
-		writePDT:    pdt.New(tbl.Schema(), 0),
+		cur:         &version{store: tbl.Store(), readPDT: tbl.PDT()},
+		writePDT:    pdt.New(tbl.Schema(), tbl.Fanout()),
 		running:     map[*Txn]struct{}{},
 		writeBudget: budget,
 		log:         opts.Log,
 		entrywise:   opts.EntrywisePropagate,
-	}, nil
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.storeRefs = map[*colstore.Store]int{m.cur.store: 1}
+	if m.log != nil {
+		// Continue an existing log's clock (a fresh writer starts at 0).
+		m.lsn = m.log.LSN()
+	}
+	return m, nil
 }
 
-// propagate folds src into dst with the configured algorithm.
+// propagate folds src into dst in place with the configured algorithm
+// (recovery's replay path; live commits use the non-destructive fold).
 func (m *Manager) propagate(dst, src *pdt.PDT) error {
 	if m.entrywise {
 		return dst.PropagateEntrywise(src)
@@ -102,16 +138,44 @@ func (m *Manager) propagate(dst, src *pdt.PDT) error {
 	return dst.Propagate(src)
 }
 
+// fold merges layer over base into a new PDT, leaving both inputs intact.
+func (m *Manager) fold(base, layer *pdt.PDT) (*pdt.PDT, error) {
+	if m.entrywise {
+		out := base.Copy()
+		if err := out.PropagateEntrywise(layer); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return pdt.Fold(base, layer)
+}
+
 // Table returns the underlying table.
 func (m *Manager) Table() *table.Table { return m.tbl }
 
-// ReadPDT returns the current Read-PDT (for stats and tests).
-func (m *Manager) ReadPDT() *pdt.PDT { return m.readPDT }
+// ReadPDT returns the current version's Read-PDT (for stats and tests).
+func (m *Manager) ReadPDT() *pdt.PDT {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur.readPDT
+}
 
 // WritePDT returns the current master Write-PDT (for stats and tests).
-func (m *Manager) WritePDT() *pdt.PDT { return m.writePDT }
+func (m *Manager) WritePDT() *pdt.PDT {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writePDT
+}
 
-// Begin starts a transaction with a private snapshot.
+// LSN returns the commit clock: the LSN of the last durable commit.
+func (m *Manager) LSN() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lsn
+}
+
+// Begin starts a transaction with a private snapshot: the current version,
+// the in-flight maintenance layer (if any), and a copy of the Write-PDT.
 func (m *Manager) Begin() *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -125,17 +189,22 @@ func (m *Manager) Begin() *Txn {
 	t := &Txn{
 		mgr:       m,
 		startLSN:  m.lsn,
-		readPDT:   m.readPDT,
+		ver:       m.cur,
+		frozen:    m.frozen,
 		writeSnap: m.snapCache,
 		trans:     pdt.New(m.tbl.Schema(), 0),
 	}
+	m.cur.refs++
 	m.running[t] = struct{}{}
 	return t
 }
 
-// finish removes t from the running set and releases TZ references.
-func (m *Manager) finish(t *Txn) {
+// finishLocked removes t from the running set, unpins its version and
+// releases TZ references.
+func (m *Manager) finishLocked(t *Txn) {
 	delete(m.running, t)
+	t.ver.refs--
+	m.releaseVersionLocked(t.ver)
 	kept := m.committed[:0]
 	for _, c := range m.committed {
 		if c.commitLSN > t.startLSN {
@@ -148,43 +217,10 @@ func (m *Manager) finish(t *Txn) {
 	m.committed = kept
 }
 
-// maybePropagateLocked migrates the Write-PDT into the Read-PDT when it
-// outgrows its budget and no transaction is active (active snapshots share
-// the Read-PDT, which must therefore stay immutable under them).
-func (m *Manager) maybePropagateLocked() error {
-	if m.writePDT.MemBytes() < m.writeBudget || len(m.running) > 0 {
-		return nil
-	}
-	if err := m.propagate(m.readPDT, m.writePDT); err != nil {
-		return err
-	}
-	m.writePDT = pdt.New(m.tbl.Schema(), 0)
-	m.snapCache = nil
-	return nil
-}
-
-// Checkpoint folds all committed state (Read- and Write-PDT) into a new
-// stable image. It requires quiescence (no running transactions).
-func (m *Manager) Checkpoint() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.running) > 0 {
-		return fmt.Errorf("txn: checkpoint requires no running transactions (%d active)", len(m.running))
-	}
-	if err := m.propagate(m.readPDT, m.writePDT); err != nil {
-		return err
-	}
-	m.writePDT = pdt.New(m.tbl.Schema(), 0)
-	m.snapCache = nil
-	if err := m.tbl.Checkpoint(); err != nil {
-		return err
-	}
-	m.readPDT = m.tbl.PDT()
-	return nil
-}
-
 // Recover rebuilds the committed state from WAL records (applied on top of
-// the manager's current checkpointed state, in LSN order).
+// the manager's current checkpointed state, in LSN order) and re-syncs both
+// the commit clock and the attached WAL writer to the last durable LSN, so
+// post-recovery commits continue the pre-crash sequence.
 func (m *Manager) Recover(records []wal.Record) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -198,15 +234,19 @@ func (m *Manager) Recover(records []wal.Record) error {
 		}
 		m.lsn = rec.LSN
 	}
+	if m.log != nil {
+		m.log.SetLSN(m.lsn)
+	}
 	return nil
 }
 
-// Txn is one transaction: a snapshot (Read-PDT + Write-PDT copy) plus a
-// private Trans-PDT of uncommitted updates.
+// Txn is one transaction: a snapshot (pinned version, in-flight maintenance
+// layer, Write-PDT copy) plus a private Trans-PDT of uncommitted updates.
 type Txn struct {
 	mgr       *Manager
 	startLSN  uint64
-	readPDT   *pdt.PDT
+	ver       *version
+	frozen    *pdt.PDT // maintenance layer in flight at Begin, or nil
 	writeSnap *pdt.PDT
 	trans     *pdt.PDT
 	done      bool
@@ -216,16 +256,18 @@ type Txn struct {
 // be built directly over a transaction's view).
 func (t *Txn) Schema() *types.Schema { return t.mgr.tbl.Schema() }
 
-// Scan returns the transaction's view: stable image merged with the three
-// PDT layers (Equation 9: TABLE₀ ∘ R ∘ W ∘ T), stacked by the engine.
+// Scan returns the transaction's view: the pinned stable image merged with
+// the PDT layers (Equation 9: TABLE₀ ∘ R ∘ W ∘ T, with the frozen
+// maintenance layer between R and W while a fold is in flight), stacked by
+// the engine.
 func (t *Txn) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error) {
 	if t.done {
 		return nil, ErrTxnDone
 	}
-	store := t.mgr.tbl.Store()
+	store := t.ver.store
 	from, to := store.SIDRange(loKey, hiKey)
 	base := store.NewScanner(cols, from, to)
-	return engine.StackPDTs(base, cols, from, true, t.readPDT, t.writeSnap, t.trans), nil
+	return engine.StackPDTs(base, cols, from, true, t.ver.readPDT, t.frozen, t.writeSnap, t.trans), nil
 }
 
 // findByKey locates a visible tuple in the transaction's view.
@@ -261,8 +303,12 @@ func (t *Txn) findByKey(key types.Row) (rid uint64, row types.Row, found bool, e
 
 // visibleRows returns the transaction's current row count.
 func (t *Txn) visibleRows() uint64 {
-	n := int64(t.mgr.tbl.Store().NRows())
-	n += t.readPDT.Delta() + t.writeSnap.Delta() + t.trans.Delta()
+	n := int64(t.ver.store.NRows())
+	n += t.ver.readPDT.Delta()
+	if t.frozen != nil {
+		n += t.frozen.Delta()
+	}
+	n += t.writeSnap.Delta() + t.trans.Delta()
 	return uint64(n)
 }
 
@@ -324,6 +370,9 @@ func (t *Txn) DeleteByKey(key types.Row) (bool, error) {
 }
 
 // UpdateByKey sets one column of the visible tuple with the given key.
+// Updating a sort-key column is expressed as delete+insert; the new key's
+// uniqueness is validated before the delete, so a collision rejects the
+// update with the old row still in place.
 func (t *Txn) UpdateByKey(key types.Row, col int, val types.Value) (bool, error) {
 	if t.done {
 		return false, ErrTxnDone
@@ -336,6 +385,14 @@ func (t *Txn) UpdateByKey(key types.Row, col int, val types.Value) (bool, error)
 	if schema.IsSortKeyCol(col) {
 		newRow := row.Clone()
 		newRow[col] = val
+		newKey := schema.KeyOf(newRow)
+		if types.CompareRows(newKey, key) != 0 {
+			if _, _, taken, err := t.findByKey(newKey); err != nil {
+				return false, err
+			} else if taken {
+				return false, fmt.Errorf("txn: duplicate key %v", newKey)
+			}
+		}
 		if _, err := t.DeleteByKey(key); err != nil {
 			return false, err
 		}
@@ -370,9 +427,12 @@ func (t *Txn) ApplyBatch(ops []table.Op) (int, error) {
 }
 
 // Commit serializes the transaction against everything that committed during
-// its lifetime and folds it into the master Write-PDT (Algorithm 9). On
+// its lifetime (Algorithm 9) and folds it into the master Write-PDT. On
 // conflict the transaction aborts and ErrConflict (wrapping the PDT-level
-// detail) is returned.
+// detail) is returned. The fold goes through a copy, and the commit clock
+// only advances when the WAL record is durable: a failed fold or append
+// leaves the Write-PDT, the clock and the log all untouched, so a logged
+// commit is always an applied commit.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
@@ -381,6 +441,10 @@ func (t *Txn) Commit() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	t.done = true
+	if err := m.maintErr; err != nil {
+		m.finishLocked(t)
+		return err
+	}
 
 	serialized := t.trans
 	for _, c := range m.committed {
@@ -389,42 +453,57 @@ func (t *Txn) Commit() error {
 		}
 		next, err := serialized.Serialize(c.serialized)
 		if err != nil {
-			m.finish(t)
+			m.finishLocked(t)
 			return fmt.Errorf("%w: %v", ErrConflict, err)
 		}
 		serialized = next
 	}
-	if m.log != nil && serialized.Count() > 0 {
-		if _, err := m.log.Append("table", serialized.Dump()); err != nil {
-			m.finish(t)
-			return fmt.Errorf("txn: WAL append failed, aborting: %w", err)
-		}
+	if serialized.Count() == 0 {
+		// Nothing to log or apply: the clock must not advance (only durable
+		// records move it) and the shared snapshot stays valid.
+		m.finishLocked(t)
+		return nil
 	}
-	if err := m.propagate(m.writePDT, serialized); err != nil {
-		m.finish(t)
+	folded, err := m.fold(m.writePDT, serialized)
+	if err != nil {
+		m.finishLocked(t)
 		return err
 	}
-	m.lsn++
-	m.finish(t)
-	if refs := len(m.running); refs > 0 && serialized.Count() > 0 {
+	if m.log != nil {
+		lsn, err := m.log.Append("table", serialized.Dump())
+		if err != nil {
+			m.finishLocked(t)
+			return fmt.Errorf("txn: WAL append failed, aborting: %w", err)
+		}
+		m.lsn = lsn // commit clock tracks the durable WAL clock
+	} else {
+		m.lsn++
+	}
+	m.writePDT = folded
+	m.snapCache = nil
+	m.finishLocked(t)
+	if refs := len(m.running); refs > 0 {
 		m.committed = append(m.committed, &committedTxn{
 			serialized: serialized,
 			commitLSN:  m.lsn,
 			refcnt:     refs,
 		})
 	}
-	return m.maybePropagateLocked()
+	m.maybeFoldLocked()
+	return nil
 }
 
-// Abort discards the transaction.
-func (t *Txn) Abort() {
+// Abort discards the transaction. It returns any deferred background
+// maintenance error (a failed fold or checkpoint) so callers that only ever
+// abort still observe maintenance health.
+func (t *Txn) Abort() error {
 	if t.done {
-		return
+		return nil
 	}
 	m := t.mgr
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	t.done = true
-	m.finish(t)
-	_ = m.maybePropagateLocked()
+	m.finishLocked(t)
+	return m.maintErr
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"pdtstore/internal/colstore"
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/table"
 	"pdtstore/internal/types"
@@ -210,6 +211,99 @@ func TestThreeTransactionPaperExample(t *testing.T) {
 	}
 }
 
+// TestSortKeyUpdateCollisionKeepsOldRow is the txn-path regression test for
+// the delete-then-insert bug: a sort-key update to a key held by another
+// visible row must fail without deleting the old row.
+func TestSortKeyUpdateCollisionKeepsOldRow(t *testing.T) {
+	m := newManager(t, 10, Options{}) // keys 10,20,...,100
+	tx := m.Begin()
+	defer tx.Abort()
+	key := types.Row{types.Int(30)}
+	if ok, err := tx.UpdateByKey(key, 0, types.Int(40)); err == nil {
+		t.Fatalf("colliding sort-key update accepted (ok=%v)", ok)
+	}
+	if _, _, found, err := tx.findByKey(key); err != nil || !found {
+		t.Fatalf("old row lost after rejected update: found=%v err=%v", found, err)
+	}
+	if n := len(txnKeys(t, tx)); n != 10 {
+		t.Fatalf("row count after rejected update = %d, want 10", n)
+	}
+	// Moving to a free key still works, including within the same txn.
+	if ok, err := tx.UpdateByKey(key, 0, types.Int(35)); err != nil || !ok {
+		t.Fatalf("legal sort-key update: %v", err)
+	}
+	if _, _, found, _ := tx.findByKey(types.Row{types.Int(35)}); !found {
+		t.Fatal("moved row missing")
+	}
+}
+
+// TestLSNClockAgreement pins the LSN bookkeeping contract: the manager's
+// commit clock moves only when a WAL record is durable — empty commits leave
+// it alone — and recovery restores exactly the pre-crash clock, with a fresh
+// writer continuing the sequence.
+func TestLSNClockAgreement(t *testing.T) {
+	var logBuf bytes.Buffer
+	w := wal.NewWriter(&logBuf)
+	m := newManager(t, 10, Options{Log: w})
+
+	empty := m.Begin()
+	if err := empty.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.LSN() != 0 || w.LSN() != 0 {
+		t.Fatalf("empty commit advanced the clock: mgr=%d wal=%d", m.LSN(), w.LSN())
+	}
+	for i := 0; i < 3; i++ {
+		tx := m.Begin()
+		if err := tx.Insert(types.Row{types.Int(int64(500 + i)), types.Int(0), types.Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		empty := m.Begin()
+		if err := empty.Commit(); err != nil { // interleaved empty commits
+			t.Fatal(err)
+		}
+	}
+	if m.LSN() != 3 || w.LSN() != 3 {
+		t.Fatalf("clocks diverged: mgr=%d wal=%d, want 3", m.LSN(), w.LSN())
+	}
+
+	// Crash and recover on a fresh manager with a fresh writer: the restored
+	// clock must equal the pre-crash one, and the next commit must get LSN 4.
+	var logBuf2 bytes.Buffer
+	w2 := wal.NewWriter(&logBuf2)
+	m2 := newManager(t, 10, Options{Log: w2})
+	records, err := wal.Replay(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Recover(records); err != nil {
+		t.Fatal(err)
+	}
+	if m2.LSN() != 3 || w2.LSN() != 3 {
+		t.Fatalf("recovered clocks: mgr=%d wal=%d, want 3", m2.LSN(), w2.LSN())
+	}
+	tx := m2.Begin()
+	if err := tx.Insert(types.Row{types.Int(600), types.Int(0), types.Str("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.LSN() != 4 {
+		t.Fatalf("post-recovery commit got LSN %d, want 4", m2.LSN())
+	}
+	newRecords, err := wal.Replay(bytes.NewReader(logBuf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newRecords) != 1 || newRecords[0].LSN != 4 {
+		t.Fatalf("post-recovery record = %+v, want one record at LSN 4", newRecords)
+	}
+}
+
 func TestAbortDiscards(t *testing.T) {
 	m := newManager(t, 10, Options{})
 	tx := m.Begin()
@@ -234,6 +328,9 @@ func TestSnapshotSharing(t *testing.T) {
 	if a.writeSnap != b.writeSnap {
 		t.Fatal("transactions without intervening commits must share the Write-PDT copy")
 	}
+	if err := a.Insert(types.Row{types.Int(15), types.Int(0), types.Str("a")}); err != nil {
+		t.Fatal(err)
+	}
 	if err := a.Commit(); err != nil {
 		t.Fatal(err)
 	}
@@ -241,8 +338,19 @@ func TestSnapshotSharing(t *testing.T) {
 	if c.writeSnap == b.writeSnap {
 		t.Fatal("post-commit transaction must get a fresh snapshot")
 	}
+	// An *empty* commit changes nothing, so the snapshot stays shared (and
+	// the commit clock must not move — see TestLSNClockAgreement).
+	d := m.Begin()
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e := m.Begin()
+	if e.writeSnap != c.writeSnap {
+		t.Fatal("empty commit invalidated the shared snapshot")
+	}
 	b.Abort()
 	c.Abort()
+	e.Abort()
 }
 
 func TestWritePDTPropagationToRead(t *testing.T) {
@@ -255,6 +363,9 @@ func TestWritePDTPropagationToRead(t *testing.T) {
 		if err := tx.Commit(); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := m.WaitMaintenance(); err != nil { // propagation is a background fold now
+		t.Fatal(err)
 	}
 	if m.WritePDT().Count() != 0 {
 		t.Fatalf("write-PDT holds %d entries; should have migrated", m.WritePDT().Count())
@@ -272,30 +383,221 @@ func TestWritePDTPropagationToRead(t *testing.T) {
 	}
 }
 
-func TestCheckpointQuiescence(t *testing.T) {
+// TestCheckpointUnderRunningTransactions is the online-maintenance contract:
+// a checkpoint taken while a transaction is open must succeed, the old
+// snapshot keeps reading its pinned pre-checkpoint view, the long-running
+// transaction can still commit afterwards, and new transactions read the
+// checkpointed image plus everything committed since.
+func TestCheckpointUnderRunningTransactions(t *testing.T) {
 	m := newManager(t, 10, Options{})
-	tx := m.Begin()
-	if err := m.Checkpoint(); err == nil {
-		t.Fatal("checkpoint with running transaction accepted")
-	}
-	tx.Abort()
-	tx2 := m.Begin()
-	if err := tx2.Insert(types.Row{types.Int(999), types.Int(0), types.Str("c")}); err != nil {
+
+	long := m.Begin() // spans the checkpoint
+	if err := long.Insert(types.Row{types.Int(999), types.Int(0), types.Str("mine")}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tx2.Commit(); err != nil {
+	tx := m.Begin()
+	if err := tx.Insert(types.Row{types.Int(555), types.Int(0), types.Str("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint with a running transaction: %v", err)
+	}
+	if got := m.Table().Store().NRows(); got != 11 {
+		t.Fatalf("stable rows after checkpoint = %d, want 11", got)
+	}
+
+	// The old snapshot still reads its pinned view: 10 stable rows plus its
+	// own uncommitted insert, without 555 (committed after its Begin).
+	keys := txnKeys(t, long)
+	if len(keys) != 11 {
+		t.Fatalf("pre-checkpoint snapshot sees %d rows, want 11", len(keys))
+	}
+	for _, k := range keys {
+		if k == 555 {
+			t.Fatal("pre-checkpoint snapshot sees a later commit")
+		}
+	}
+	// ...and commits across the checkpoint boundary.
+	if err := long.Commit(); err != nil {
+		t.Fatalf("commit across checkpoint: %v", err)
+	}
+
+	check := m.Begin()
+	defer check.Abort()
+	got := txnKeys(t, check)
+	if len(got) != 12 {
+		t.Fatalf("post-checkpoint view has %d rows, want 12", len(got))
+	}
+	found := map[int64]bool{}
+	for _, k := range got {
+		found[k] = true
+	}
+	if !found[555] || !found[999] {
+		t.Fatalf("post-checkpoint view lost data: %v", got)
+	}
+}
+
+// TestCheckpointBuildFailureRollsBack exercises the checkpoint error path:
+// the image build fails mid-checkpoint (fault-injected), with a transaction
+// begun during the build still holding the frozen layer. The rollback must
+// restore the two-layer invariant — that transaction and all later ones read
+// and commit correctly — and a retried checkpoint must succeed.
+func TestCheckpointBuildFailureRollsBack(t *testing.T) {
+	m := newManager(t, 10, Options{})
+	pre := m.Begin()
+	if err := pre.Insert(types.Row{types.Int(555), types.Int(0), types.Str("pre")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.Commit(); err != nil {
+		t.Fatal(err) // the frozen layer will be non-empty
+	}
+
+	boom := errors.New("device full")
+	var mid *Txn
+	m.materialize = func(*colstore.Store, ...*pdt.PDT) (*colstore.Store, error) {
+		// Runs off-lock mid-checkpoint: start a transaction that captures
+		// the frozen layer, then fail the build.
+		mid = m.Begin()
+		if mid.frozen == nil {
+			t.Error("mid-checkpoint transaction did not capture the frozen layer")
+		}
+		if err := mid.Insert(types.Row{types.Int(777), types.Int(0), types.Str("mid")}); err != nil {
+			t.Error(err)
+		}
+		return nil, boom
+	}
+	if err := m.Checkpoint(); !errors.Is(err, boom) {
+		t.Fatalf("checkpoint error = %v, want %v", err, boom)
+	}
+	m.materialize = nil
+
+	// Rollback restored the two-layer state: the mid-build transaction reads
+	// its pinned view and commits across the rollback.
+	keys := txnKeys(t, mid)
+	if len(keys) != 12 { // 10 stable + 555 + its own 777
+		t.Fatalf("mid-build snapshot sees %d rows, want 12", len(keys))
+	}
+	if err := mid.Commit(); err != nil {
+		t.Fatalf("commit after rollback: %v", err)
+	}
+	tx := m.Begin()
+	if err := tx.Insert(types.Row{types.Int(888), types.Int(0), types.Str("post")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A retried checkpoint succeeds and nothing was lost.
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("retried checkpoint: %v", err)
+	}
+	if got := m.Table().Store().NRows(); got != 13 {
+		t.Fatalf("checkpointed image has %d rows, want 13", got)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	found := map[int64]bool{}
+	for _, k := range txnKeys(t, check) {
+		found[k] = true
+	}
+	if !found[555] || !found[777] || !found[888] {
+		t.Fatalf("data lost across failed checkpoint: %v", found)
+	}
+}
+
+// TestCheckpointPreservesFanout: the side write layer a checkpoint installs
+// as the next Read-PDT must carry the table's configured fanout, not the
+// default.
+func TestCheckpointPreservesFanout(t *testing.T) {
+	rows := make([]types.Row, 10)
+	for i := range rows {
+		rows[i] = types.Row{types.Int(int64((i + 1) * 10)), types.Int(0), types.Str("s")}
+	}
+	tbl, err := table.Load(testSchema(), rows, table.Options{Mode: table.ModePDT, Fanout: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(tbl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WritePDT().Fanout(); got != 16 {
+		t.Fatalf("fresh Write-PDT fanout = %d, want 16", got)
+	}
+	tx := m.Begin()
+	if err := tx.Insert(types.Row{types.Int(5), types.Int(0), types.Str("n")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	if m.Table().Store().NRows() != 11 {
-		t.Fatalf("stable rows after checkpoint = %d", m.Table().Store().NRows())
+	if got := m.ReadPDT().Fanout(); got != 16 {
+		t.Fatalf("post-checkpoint Read-PDT fanout = %d, want 16", got)
 	}
+	if got := m.WritePDT().Fanout(); got != 16 {
+		t.Fatalf("post-checkpoint Write-PDT fanout = %d, want 16", got)
+	}
+}
+
+// TestCheckpointReleasesRetiredImage: once the last transaction pinned to a
+// pre-checkpoint version finishes, the retired stable image's blocks leave
+// the device's buffer pool instead of leaking one entry per block per
+// checkpoint.
+func TestCheckpointReleasesRetiredImage(t *testing.T) {
+	dev := colstore.NewDevice()
+	rows := make([]types.Row, 40)
+	for i := range rows {
+		rows[i] = types.Row{types.Int(int64((i + 1) * 10)), types.Int(int64(i)), types.Str("s")}
+	}
+	tbl, err := table.Load(testSchema(), rows, table.Options{Mode: table.ModePDT, BlockRows: 8, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(tbl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	long := m.Begin()
+	txnKeys(t, long) // pull the old image's blocks into the pool
+	oldBlocks := dev.PoolBlocks()
+	if oldBlocks == 0 {
+		t.Fatal("scan populated no pool entries")
+	}
+	tx := m.Begin()
+	if err := tx.Insert(types.Row{types.Int(5), types.Int(0), types.Str("n")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned transaction holds the retired image alive (still scannable,
+	// still pooled)...
+	txnKeys(t, long)
+	if dev.PoolBlocks() < oldBlocks {
+		t.Fatal("retired image evicted while still pinned")
+	}
+	if err := long.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and its release evicts the old image's blocks.
 	check := m.Begin()
 	defer check.Abort()
-	if len(txnKeys(t, check)) != 11 {
-		t.Fatal("data lost across checkpoint")
+	txnKeys(t, check)
+	after := dev.PoolBlocks()
+	if after > m.Table().Store().NumBlocks()*testSchema().NumCols() {
+		t.Fatalf("pool holds %d blocks after release; retired image leaked", after)
 	}
 }
 

@@ -32,34 +32,66 @@ type Record struct {
 // Writer appends records to a log stream. The encode buffer is reused
 // across Append calls, so steady-state commits serialize without
 // per-record allocation.
+//
+// A failed Append poisons the writer (fail-stop): the half-written record is
+// dropped from the buffer, the clock rolls back, and every later Append
+// returns the original error. Without this, a record whose flush failed —
+// for a commit the caller therefore aborted — would linger in the buffer and
+// ride out to disk with the next successful append, resurrecting an aborted
+// transaction at replay. A poisoned writer must be replaced (over a
+// truncated or repaired log) before logging can resume; the torn tail it may
+// leave behind is exactly what Replay already stops cleanly at.
 type Writer struct {
+	out io.Writer
 	w   *bufio.Writer
 	lsn uint64
 	buf []byte
+	err error // sticky first append failure
 }
 
 // NewWriter wraps an io.Writer (a file, or a buffer in tests).
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriter(w)}
+	return &Writer{out: w, w: bufio.NewWriter(w)}
 }
 
-// Append writes one commit record and returns its LSN. The entries are
-// serialized before Append returns, so they may alias live PDT storage
-// (pdt.Dump's contract).
+// LSN returns the LSN of the last record appended (0 before any append).
+func (w *Writer) LSN() uint64 { return w.lsn }
+
+// SetLSN moves the writer's clock so the next Append returns lsn+1. Recovery
+// uses it to continue the pre-crash LSN sequence on a fresh writer: replayed
+// state and newly appended records then share one monotonic clock, and the
+// transaction manager's commit clock never diverges from the log's.
+func (w *Writer) SetLSN(lsn uint64) { w.lsn = lsn }
+
+// Append writes one commit record and returns its LSN. The record is
+// durable (flushed) when Append returns nil; on error nothing of it stays
+// buffered and the LSN is not consumed. The entries are serialized before
+// Append returns, so they may alias live PDT storage (pdt.Dump's contract).
 func (w *Writer) Append(tableName string, entries []pdt.RebuildEntry) (uint64, error) {
-	w.lsn++
-	w.buf = encodeRecord(w.buf[:0], Record{LSN: w.lsn, Table: tableName, Entries: entries})
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.buf = encodeRecord(w.buf[:0], Record{LSN: w.lsn + 1, Table: tableName, Entries: entries})
 	body := w.buf
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
-	if _, err := w.w.Write(hdr[:]); err != nil {
-		return 0, err
+	err := func() error {
+		if _, err := w.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.w.Write(body); err != nil {
+			return err
+		}
+		return w.w.Flush()
+	}()
+	if err != nil {
+		w.err = fmt.Errorf("wal: append failed: %w", err)
+		w.w.Reset(w.out) // drop the unflushed record
+		return 0, w.err
 	}
-	if _, err := w.w.Write(body); err != nil {
-		return 0, err
-	}
-	return w.lsn, w.w.Flush()
+	w.lsn++
+	return w.lsn, nil
 }
 
 // Replay reads records until EOF, stopping cleanly at a torn (partial or

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -121,5 +122,50 @@ func TestRebuildFromDump(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("entry %d: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+// flakyWriter fails every write while tripped.
+type flakyWriter struct {
+	buf     bytes.Buffer
+	tripped bool
+}
+
+func (f *flakyWriter) Write(p []byte) (int, error) {
+	if f.tripped {
+		return 0, errors.New("disk full")
+	}
+	return f.buf.Write(p)
+}
+
+// TestAppendFailureIsFailStop: a failed append must not consume an LSN, must
+// not leave the record lingering in the buffer (where a later flush would
+// make an aborted commit durable), and must poison the writer.
+func TestAppendFailureIsFailStop(t *testing.T) {
+	rec := []pdt.RebuildEntry{{SID: 1, Kind: pdt.KindDel, Del: types.Row{types.Int(1)}}}
+	f := &flakyWriter{}
+	w := NewWriter(f)
+	if _, err := w.Append("t", rec); err != nil {
+		t.Fatal(err)
+	}
+	f.tripped = true
+	if _, err := w.Append("t", rec); err == nil {
+		t.Fatal("append over failing device succeeded")
+	}
+	if w.LSN() != 1 {
+		t.Fatalf("failed append consumed LSN: %d", w.LSN())
+	}
+	// The writer is poisoned: even with the device healthy again, nothing of
+	// the failed record may surface, and appends keep failing.
+	f.tripped = false
+	if _, err := w.Append("t", rec); err == nil {
+		t.Fatal("poisoned writer accepted another append")
+	}
+	recs, err := Replay(bytes.NewReader(f.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].LSN != 1 {
+		t.Fatalf("log holds %d records (want only the pre-failure one): %+v", len(recs), recs)
 	}
 }
