@@ -1,4 +1,4 @@
-package pdtstore
+package pdtstore_test
 
 // One benchmark family per figure of the paper's evaluation (§4). These run
 // at laptop-friendly sizes; cmd/pdtbench and cmd/tpchbench sweep the full

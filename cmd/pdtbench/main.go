@@ -21,11 +21,18 @@
 //	                                         baseline — commits/sec, mean
 //	                                         commit latency, max stall, and
 //	                                         checkpoint duration per mode
+//	pdtbench -fig recovery [-rows 20000] [-json BENCH_update.json]
+//	                                         durability: cold Open (manifest +
+//	                                         segment + WAL replay) time and
+//	                                         durable checkpoint cost vs WAL
+//	                                         tail length, plus fsynced commit
+//	                                         latency and log size per tail
 //
 // Output is a plain-text table with one row per parameter combination,
 // mirroring the series of the corresponding figure; -fig scan and
 // -fig update additionally write machine-readable JSON reports, and
-// -fig online merges its rows into the update report's "online" section.
+// -fig online and -fig recovery merge their rows into the update report's
+// "online" and "recovery" sections.
 package main
 
 import (
@@ -33,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"pdtstore/internal/bench"
 	"pdtstore/internal/table"
@@ -46,6 +55,8 @@ func main() {
 	blockRows := flag.Int("blockrows", 8192, "values per column block")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for -fig scan")
 	jsonPath := flag.String("json", "", "write -fig scan results to this JSON file")
+	rows := flag.Int("rows", 0, "base table rows for -fig recovery (0 = default)")
+	tails := flag.String("tails", "", "comma-separated WAL tail lengths for -fig recovery")
 	flag.Parse()
 
 	switch *fig {
@@ -61,6 +72,8 @@ func main() {
 		runUpdate(*jsonPath)
 	case "online":
 		runOnline(*jsonPath)
+	case "recovery":
+		runRecovery(*rows, *tails, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "pdtbench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -165,6 +178,40 @@ func runOnline(jsonPath string) {
 	// Merge into the update report (BENCH_update.json gains an "online"
 	// section) without disturbing its other sections.
 	if err := mergeReportSections(jsonPath, map[string]any{"online": rows}); err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+}
+
+func runRecovery(rows int, tails, jsonPath string) {
+	cfg := bench.RecoveryConfig{Rows: rows}
+	if tails != "" {
+		for _, part := range strings.Split(tails, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pdtbench: bad -tails value %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			cfg.Tails = append(cfg.Tails, v)
+		}
+	}
+	pts, err := bench.RecoveryProfile(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Durability: cold open/replay and checkpoint cost vs WAL tail length")
+	fmt.Printf("%12s %12s %10s %12s %14s %14s\n",
+		"tail commits", "WAL KB", "WAL files", "open ms", "checkpoint ms", "commit us")
+	for _, p := range pts {
+		fmt.Printf("%12d %12.1f %10d %12.2f %14.2f %14.1f\n",
+			p.TailCommits, float64(p.WALBytes)/1024, p.WALFiles, p.OpenMs, p.CheckpointMs, p.CommitUs)
+	}
+	if jsonPath == "" {
+		return
+	}
+	if err := mergeReportSections(jsonPath, map[string]any{"recovery": pts}); err != nil {
 		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,390 @@
+package pdtstore
+
+// Durable store lifecycle: Open(dir) either bootstraps a fresh store
+// directory or recovers one — load the MANIFEST's segment generation as the
+// stable image, replay the WAL tail past the manifest's LSN, and resume the
+// commit clock — and DB.Checkpoint makes the online checkpoint durable:
+//
+//	stream image  →  fsync segment  →  swap MANIFEST  →  truncate WAL
+//
+// The manifest swap (an atomic rename) is the commit point. A crash anywhere
+// in that sequence recovers exactly the committed state: before the swap the
+// old manifest still pairs the old segment with the full log; after it the
+// new manifest's LSN tells recovery which log records the new image already
+// contains, so the untruncated tail cannot double-apply.
+//
+// Directory layout:
+//
+//	dir/
+//	  MANIFEST                  current generation + segment + freeze LSN
+//	  seg-<generation>.seg      stable image segments (one live, rest GC'd)
+//	  wal/<seq>.wal             rotated commit log files
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"pdtstore/internal/colstore"
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/storage"
+	"pdtstore/internal/table"
+	"pdtstore/internal/txn"
+	"pdtstore/internal/types"
+	"pdtstore/internal/wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// Schema is required when creating a new store directory; for an existing
+	// one it is optional and validated against the segment's schema.
+	Schema *types.Schema
+	// BlockRows is the per-column block size of checkpointed images (0 =
+	// colstore default).
+	BlockRows int
+	// Compressed selects compressed stable blocks.
+	Compressed bool
+	// Fanout is the PDT fanout (0 = paper default).
+	Fanout int
+	// WriteBudget caps the Write-PDT before background Write→Read folds
+	// (0 = transaction-manager default).
+	WriteBudget uint64
+	// Device shares a buffer pool across stores; nil creates a private one.
+	Device *colstore.Device
+}
+
+// DB is a durable, transactional PDT store rooted at a directory.
+type DB struct {
+	mu     sync.Mutex // serializes Checkpoint and Close
+	dir    string
+	lock   *os.File // exclusive flock on dir/LOCK for the DB's lifetime
+	opts   Options
+	schema *types.Schema
+	dev    *colstore.Device
+	tbl    *table.Table
+	mgr    *txn.Manager
+	log    *wal.FileLog
+	man    storage.Manifest
+	// nextGen is the highest generation number ever handed to a checkpoint,
+	// advanced even when the checkpoint fails: a failed attempt may have
+	// installed its segment as the manager's live store (only the manifest
+	// write failed), so a retry must never reuse — and O_TRUNC — that name.
+	nextGen uint64
+	// retired keeps superseded file-backed images open until Close:
+	// transactions begun before a checkpoint may still read them.
+	retired []*colstore.Store
+	closed  bool
+
+	// fault, when set (crash tests only), is invoked at named points of the
+	// checkpoint sequence; a non-nil return simulates the process dying there
+	// (the step and everything after it never run).
+	fault func(point string) error
+}
+
+// Checkpoint fault-injection points, in execution order.
+const (
+	faultMidSegmentWrite     = "mid-segment-write"
+	faultPreManifestSwap     = "pre-manifest-swap"
+	faultPostSwapPreTruncate = "post-swap-pre-truncate"
+)
+
+func segmentName(gen uint64) string { return fmt.Sprintf("seg-%016x.seg", gen) }
+
+// Open opens or creates a durable store at dir and recovers its committed
+// state: the manifest's segment generation becomes the stable image (blocks
+// pread lazily through the buffer pool), the WAL tail beyond the manifest's
+// LSN is replayed into the Write-PDT, and the commit clock resumes the
+// pre-crash sequence. A torn final WAL record (crash mid-append) is truncated
+// away; every earlier record is applied exactly once.
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			unlockDir(lock)
+		}
+	}()
+	dev := opts.Device
+	if dev == nil {
+		dev = colstore.NewDevice()
+	}
+	man, found, err := storage.LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var store *colstore.Store
+	if found {
+		seg, err := storage.OpenSegment(filepath.Join(dir, man.Segment))
+		if err != nil {
+			return nil, fmt.Errorf("pdtstore: open segment generation %d: %w", man.Generation, err)
+		}
+		if opts.Schema != nil && !schemaEqual(opts.Schema, seg.Schema()) {
+			seg.Close()
+			return nil, fmt.Errorf("pdtstore: schema mismatch: store holds %v", seg.Schema())
+		}
+		store = colstore.FromSegment(seg, dev)
+	} else {
+		if opts.Schema == nil {
+			return nil, fmt.Errorf("pdtstore: creating a new store at %s requires Options.Schema", dir)
+		}
+		// Bootstrap: generation 1 is an empty, durable image. If the process
+		// dies between segment and manifest, the next Open simply bootstraps
+		// again over the stray file.
+		name := segmentName(1)
+		b, err := colstore.NewFileBuilder(opts.Schema, dev, opts.BlockRows, opts.Compressed, filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		store, err = b.Finish()
+		if err != nil {
+			return nil, err
+		}
+		man = storage.Manifest{Generation: 1, Segment: name, LSN: 0}
+		if err := storage.WriteManifest(dir, man); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	gcStraySegments(dir, man.Segment)
+
+	tbl, err := table.FromStore(store, table.Options{
+		Mode:       table.ModePDT,
+		BlockRows:  opts.BlockRows,
+		Compressed: opts.Compressed,
+		Fanout:     opts.Fanout,
+		Device:     dev,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	flog, records, err := wal.OpenFileLog(filepath.Join(dir, "wal"))
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	// The clock must sit at the max of the manifest's freeze LSN and the last
+	// log record: a fully truncated log must not rewind it below the
+	// checkpoint, or post-recovery commits would reuse spent LSNs.
+	if man.LSN > flog.LSN() {
+		flog.SetLSN(man.LSN)
+	}
+	mgr, err := txn.NewManager(tbl, txn.Options{WriteBudget: opts.WriteBudget, Log: flog})
+	if err != nil {
+		flog.Close()
+		store.Close()
+		return nil, err
+	}
+	// Replay only the records the checkpointed image does not already
+	// contain: everything at or below the manifest LSN was materialized into
+	// the segment before the manifest swapped (the post-swap-pre-truncate
+	// crash leaves exactly such records behind).
+	tail := records[:0]
+	for _, rec := range records {
+		if rec.LSN > man.LSN {
+			tail = append(tail, rec)
+		}
+	}
+	if err := mgr.Recover(tail); err != nil {
+		flog.Close()
+		store.Close()
+		return nil, fmt.Errorf("pdtstore: WAL replay: %w", err)
+	}
+	db := &DB{
+		dir:     dir,
+		lock:    lock,
+		opts:    opts,
+		schema:  store.Schema(),
+		dev:     dev,
+		tbl:     tbl,
+		mgr:     mgr,
+		log:     flog,
+		man:     man,
+		nextGen: man.Generation,
+	}
+	opened = true
+	return db, nil
+}
+
+// Schema returns the store's schema.
+func (db *DB) Schema() *types.Schema { return db.schema }
+
+// Dir returns the store directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Table returns the underlying table (reads and plans build over it).
+func (db *DB) Table() *table.Table { return db.tbl }
+
+// Manager returns the transaction manager.
+func (db *DB) Manager() *txn.Manager { return db.mgr }
+
+// Begin starts a snapshot-isolated transaction.
+func (db *DB) Begin() *txn.Txn { return db.mgr.Begin() }
+
+// Log returns the durable commit log (for stats: size, file count).
+func (db *DB) Log() *wal.FileLog { return db.log }
+
+// Manifest returns the current durable manifest.
+func (db *DB) Manifest() storage.Manifest {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.man
+}
+
+// Checkpoint makes the online checkpoint durable: the committed state is
+// streamed into segment generation N+1 and fsynced, the MANIFEST swaps to it
+// (the commit point), and the WAL drops every record the new image contains.
+// Commits keep flowing throughout — they land in a side delta layer and stay
+// in the log until the next checkpoint.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("pdtstore: checkpoint on closed DB")
+	}
+	db.nextGen++
+	gen := db.nextGen
+	name := segmentName(gen)
+	var freezeLSN uint64
+	var retired *colstore.Store
+	err := db.mgr.CheckpointInto(func(lsn uint64, store *colstore.Store, deltas ...*pdt.PDT) (*colstore.Store, error) {
+		freezeLSN = lsn
+		retired = store
+		b, err := colstore.NewFileBuilder(db.schema, db.dev, db.opts.BlockRows, db.opts.Compressed, filepath.Join(db.dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if err := db.tbl.MaterializeStream(b, store, deltas...); err != nil {
+			b.Abort()
+			return nil, err
+		}
+		if err := db.injectFault(faultMidSegmentWrite); err != nil {
+			return nil, err // crash sim: partial file stays, no footer
+		}
+		return b.Finish() // footer + fsync: image durable past here
+	})
+	if err != nil {
+		return err
+	}
+	// The manager has installed the new image: the base store is superseded
+	// in memory from here on, whatever happens to the manifest below.
+	if retired != nil {
+		db.retired = append(db.retired, retired)
+	}
+	if err := db.injectFault(faultPreManifestSwap); err != nil {
+		return err
+	}
+	prev := db.man
+	man := storage.Manifest{Generation: gen, Segment: name, LSN: freezeLSN}
+	if err := storage.WriteManifest(db.dir, man); err != nil {
+		return err
+	}
+	db.man = man
+	// Unlink the superseded segment's directory entry. Pinned readers keep
+	// their open descriptor (POSIX keeps the data alive until Close releases
+	// it); recovery never needs a non-manifest segment.
+	if prev.Segment != man.Segment {
+		os.Remove(filepath.Join(db.dir, prev.Segment))
+	}
+	if err := db.injectFault(faultPostSwapPreTruncate); err != nil {
+		return err
+	}
+	// Past the swap the checkpoint is already durable; truncation is space
+	// reclamation (recovery filters by the manifest LSN either way).
+	return db.log.TruncateBelow(freezeLSN)
+}
+
+// Close waits for background maintenance, then releases the log and every
+// file-backed image. It reports a sticky maintenance failure, if any.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	maintErr := db.mgr.WaitMaintenance()
+	err := db.log.Close()
+	if cerr := db.tbl.Store().Close(); err == nil {
+		err = cerr
+	}
+	for _, s := range db.retired {
+		s.Close()
+	}
+	unlockDir(db.lock)
+	if maintErr != nil {
+		return maintErr
+	}
+	return err
+}
+
+// crash simulates process death in the kill-and-reopen tests: every
+// descriptor is released with no orderly shutdown — no maintenance wait, no
+// log flush, no manifest work. On-disk state stays exactly as the last fsync
+// left it (closing a descriptor never undoes durable writes), and the
+// advisory LOCK is released just as a dying process would release it.
+func (db *DB) crash() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return
+	}
+	db.closed = true
+	db.log.Close()
+	db.tbl.Store().Close()
+	for _, s := range db.retired {
+		s.Close()
+	}
+	unlockDir(db.lock)
+}
+
+func (db *DB) injectFault(point string) error {
+	if db.fault == nil {
+		return nil
+	}
+	return db.fault(point)
+}
+
+// gcStraySegments removes segment files other than the one the manifest
+// names: partial images from crashed checkpoints and fully superseded
+// generations.
+func gcStraySegments(dir, keep string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == keep || e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+func schemaEqual(a, b *types.Schema) bool {
+	if a.NumCols() != b.NumCols() || len(a.SortKey) != len(b.SortKey) {
+		return false
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			return false
+		}
+	}
+	for i := range a.SortKey {
+		if a.SortKey[i] != b.SortKey[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -168,3 +168,27 @@ func TestOnlineHarness(t *testing.T) {
 		}
 	}
 }
+
+// TestRecoveryHarness runs a miniature durability profile: open time must be
+// measured for every tail, the WAL must grow with the tail, and the
+// checkpoint that absorbs it must complete.
+func TestRecoveryHarness(t *testing.T) {
+	pts, err := RecoveryProfile(RecoveryConfig{Rows: 1500, OpsPerCommit: 8, Tails: []int{0, 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].TailCommits != 0 || pts[0].WALBytes != 0 {
+		t.Fatalf("tail-0 point not clean: %+v", pts[0])
+	}
+	if pts[1].WALBytes == 0 || pts[1].CommitUs <= 0 {
+		t.Fatalf("tail-12 point missing WAL growth: %+v", pts[1])
+	}
+	for _, p := range pts {
+		if p.OpenMs <= 0 || p.CheckpointMs <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+// Recovery profile: what durability costs. For a fixed checkpointed base
+// image, the WAL tail grows commit by commit; each point measures how long a
+// cold Open(dir) takes (manifest load + segment open + WAL replay), and how
+// long the durable checkpoint that absorbs the tail takes (stream + fsync +
+// manifest swap + truncation). The paper's argument for checkpointing the
+// Read-PDT is exactly this trade: replay time grows with the tail, and the
+// checkpoint resets it.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pdtstore"
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+)
+
+// RecoveryConfig sizes the recovery profile.
+type RecoveryConfig struct {
+	Rows         int   `json:"rows"`           // checkpointed base rows (default 20k)
+	OpsPerCommit int   `json:"ops_per_commit"` // updates per WAL record (default 32)
+	Tails        []int `json:"tails"`          // WAL tail lengths, in commits
+}
+
+// RecoveryPoint is one measured tail length.
+type RecoveryPoint struct {
+	TailCommits  int     `json:"tail_commits"`
+	WALBytes     int64   `json:"wal_bytes"`
+	WALFiles     int     `json:"wal_files"`
+	OpenMs       float64 `json:"open_ms"`       // cold Open: manifest + segment + replay
+	CheckpointMs float64 `json:"checkpoint_ms"` // durable checkpoint absorbing the tail
+	CommitUs     float64 `json:"commit_us"`     // mean fsynced commit latency while growing the tail
+}
+
+var recoverySchema = types.MustSchema([]types.Column{
+	{Name: "k", Kind: types.Int64},
+	{Name: "a", Kind: types.Int64},
+	{Name: "s", Kind: types.String},
+}, []int{0})
+
+// RecoveryProfile measures cold-open/replay time and durable-checkpoint cost
+// as a function of WAL tail length.
+func RecoveryProfile(cfg RecoveryConfig) ([]RecoveryPoint, error) {
+	if cfg.Rows == 0 {
+		cfg.Rows = 20_000
+	}
+	if cfg.OpsPerCommit == 0 {
+		cfg.OpsPerCommit = 32
+	}
+	if len(cfg.Tails) == 0 {
+		cfg.Tails = []int{0, 16, 64, 256, 1024}
+	}
+	var out []RecoveryPoint
+	for _, tail := range cfg.Tails {
+		p, err := recoveryPoint(cfg, tail)
+		if err != nil {
+			return nil, fmt.Errorf("bench: recovery tail=%d: %w", tail, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func recoveryPoint(cfg RecoveryConfig, tail int) (RecoveryPoint, error) {
+	dir, err := os.MkdirTemp("", "pdtbench-recovery-")
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := pdtstore.Open(dir, pdtstore.Options{Schema: recoverySchema, Compressed: true, WriteBudget: 1 << 30})
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	// Base image: one bulk insert commit, checkpointed into generation 2 so
+	// the WAL starts empty.
+	ops := make([]table.Op, cfg.Rows)
+	for i := range ops {
+		ops[i] = table.Op{Kind: table.OpInsert,
+			Row: types.Row{types.Int(int64(i)), types.Int(int64(i % 97)), types.Str(fmt.Sprintf("row-%08d", i))}}
+	}
+	tx := db.Begin()
+	if _, err := tx.ApplyBatch(ops); err != nil {
+		return RecoveryPoint{}, err
+	}
+	if err := tx.Commit(); err != nil {
+		return RecoveryPoint{}, err
+	}
+	if err := db.Checkpoint(); err != nil {
+		return RecoveryPoint{}, err
+	}
+
+	// Grow the WAL tail: `tail` fsynced commits of OpsPerCommit modifies each.
+	commitStart := time.Now()
+	for c := 0; c < tail; c++ {
+		batch := make([]table.Op, cfg.OpsPerCommit)
+		for i := range batch {
+			k := int64((c*cfg.OpsPerCommit + i*131) % cfg.Rows)
+			batch[i] = table.Op{Kind: table.OpUpdate, Key: types.Row{types.Int(k)}, Col: 1, Val: types.Int(int64(c))}
+		}
+		tx := db.Begin()
+		if _, err := tx.ApplyBatch(batch); err != nil {
+			return RecoveryPoint{}, err
+		}
+		if err := tx.Commit(); err != nil {
+			return RecoveryPoint{}, err
+		}
+	}
+	var commitUs float64
+	if tail > 0 {
+		commitUs = float64(time.Since(commitStart).Microseconds()) / float64(tail)
+	}
+	pt := RecoveryPoint{
+		TailCommits: tail,
+		WALBytes:    db.Log().SizeBytes(),
+		WALFiles:    db.Log().Files(),
+		CommitUs:    commitUs,
+	}
+	if err := db.Close(); err != nil {
+		return RecoveryPoint{}, err
+	}
+
+	// Cold open: manifest + segment footer + full tail replay.
+	openStart := time.Now()
+	db2, err := pdtstore.Open(dir, pdtstore.Options{Compressed: true, WriteBudget: 1 << 30})
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	pt.OpenMs = float64(time.Since(openStart).Nanoseconds()) / 1e6
+	if got := db2.Manager().LSN(); got != uint64(tail)+1 {
+		db2.Close()
+		return RecoveryPoint{}, fmt.Errorf("clock after reopen = %d, want %d", got, tail+1)
+	}
+
+	// The checkpoint that absorbs the tail: stream + fsync + swap + truncate.
+	ckptStart := time.Now()
+	if err := db2.Checkpoint(); err != nil {
+		db2.Close()
+		return RecoveryPoint{}, err
+	}
+	pt.CheckpointMs = float64(time.Since(ckptStart).Nanoseconds()) / 1e6
+	return pt, db2.Close()
+}

@@ -2,13 +2,17 @@
 // column is stored as a sequence of independently encoded blocks (compressed
 // or plain), all columns block-aligned by row position, together with a
 // sparse min-key index on the sort key (the paper's "Sparse Index") and a
-// simulated block device that accounts every byte fetched.
+// block device fronting every fetch with a buffer pool that accounts every
+// byte read.
 //
-// The device substitutes for the paper's hard-disk/SSD testbeds: queries
-// report exact I/O volume (bytes of encoded blocks fetched cold), and the
-// benchmark harness models cold execution time as CPU time plus
-// bytes/bandwidth. Stable IDs (SIDs) are implicit: the value at position i of
-// every column belongs to the tuple with SID i.
+// A store is either RAM-resident (built by NewBuilder/BulkLoad — the paper's
+// simulated-I/O benchmark configuration, where the device only accounts
+// bytes) or file-backed (built by NewFileBuilder or opened via FromSegment):
+// its blocks live in an on-disk segment file and are pread lazily through the
+// device's buffer pool, so cold scans do real I/O, Device.Stats reports real
+// bytes, and DropCaches makes the next scan hit the disk again. Stable IDs
+// (SIDs) are implicit: the value at position i of every column belongs to the
+// tuple with SID i.
 package colstore
 
 import (
@@ -16,6 +20,7 @@ import (
 	"sync"
 
 	"pdtstore/internal/compress"
+	"pdtstore/internal/storage"
 	"pdtstore/internal/types"
 	"pdtstore/internal/vector"
 )
@@ -23,16 +28,19 @@ import (
 // DefaultBlockRows is the default number of values per column block.
 const DefaultBlockRows = 8192
 
-// Device simulates the disk + buffer pool boundary. The first fetch of any
-// block is a cold read and is charged to the byte counter; subsequent
-// fetches hit the (unbounded) buffer pool and are free, so a benchmark can
-// measure a query's cold I/O volume by calling DropCaches and ResetStats
-// first, and its hot time by re-running with the pool warm.
+// Device is the disk + buffer pool boundary. The first fetch of any block is
+// a cold read and is charged to the byte counter; subsequent fetches hit the
+// (unbounded) buffer pool and are free, so a benchmark can measure a query's
+// cold I/O volume by calling DropCaches and ResetStats first, and its hot
+// time by re-running with the pool warm. For a RAM-resident store the pool
+// entry is presence-only (the bytes live in the store); for a file-backed
+// store the pool owns the bytes read from disk, so evicting them really does
+// make the next fetch a pread.
 type Device struct {
 	mu        sync.Mutex
 	bytesRead uint64
 	reads     uint64
-	cached    map[devKey]struct{}
+	cached    map[devKey][]byte
 	nextStore uint64
 }
 
@@ -47,7 +55,7 @@ type devKey struct {
 
 // NewDevice returns a device with an empty buffer pool.
 func NewDevice() *Device {
-	return &Device{cached: make(map[devKey]struct{})}
+	return &Device{cached: make(map[devKey][]byte)}
 }
 
 func (d *Device) register() uint64 {
@@ -57,6 +65,7 @@ func (d *Device) register() uint64 {
 	return d.nextStore
 }
 
+// fetch charges a RAM-resident block's first read (presence-only pool entry).
 func (d *Device) fetch(store uint64, col, blk, size int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -64,8 +73,29 @@ func (d *Device) fetch(store uint64, col, blk, size int) {
 	if _, ok := d.cached[k]; ok {
 		return
 	}
-	d.cached[k] = struct{}{}
+	d.cached[k] = nil
 	d.bytesRead += uint64(size)
+	d.reads++
+}
+
+// poolGet returns a file-backed block's bytes if resident in the pool.
+func (d *Device) poolGet(k devKey) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, ok := d.cached[k]
+	return b, ok
+}
+
+// poolFill inserts bytes just pread from disk, charging the cold read. A
+// concurrent fill of the same block charges only once; both copies are valid.
+func (d *Device) poolFill(k devKey, b []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.cached[k]; ok {
+		return
+	}
+	d.cached[k] = b
+	d.bytesRead += uint64(len(b))
 	d.reads++
 }
 
@@ -74,7 +104,7 @@ func (d *Device) fetch(store uint64, col, blk, size int) {
 func (d *Device) DropCaches() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.cached = make(map[devKey]struct{})
+	d.cached = make(map[devKey][]byte)
 }
 
 // evictStore drops every buffer-pool entry belonging to one store.
@@ -112,14 +142,18 @@ func (d *Device) Stats() (bytesRead, reads uint64) {
 	return d.bytesRead, d.reads
 }
 
-// Store is one table's immutable stable image.
+// Store is one table's immutable stable image. It is RAM-resident (blocks
+// held in memory) or file-backed (blocks pread from a segment file through
+// the device's buffer pool); readers cannot tell the difference except
+// through the device's byte accounting.
 type Store struct {
 	schema     *types.Schema
 	id         uint64 // identity within the device's buffer pool
 	blockRows  int
 	compressed bool
 	nrows      uint64
-	blocks     [][][]byte // blocks[col][blk] = encoded bytes
+	blocks     [][][]byte       // blocks[col][blk] = encoded bytes (RAM-resident)
+	seg        *storage.Segment // on-disk block source (file-backed)
 	sparse     []types.Row
 	dev        *Device
 
@@ -127,9 +161,11 @@ type Store struct {
 	decoded map[blockKey]*vector.Vector // small point-read decode cache
 }
 
-// Builder accumulates rows in sort-key order and produces a Store.
+// Builder accumulates rows in sort-key order and produces a Store — in RAM,
+// or streamed block by block into an on-disk segment file (NewFileBuilder).
 type Builder struct {
 	store   *Store
+	segw    *storage.SegmentWriter // nil for RAM-resident builds
 	pending *vector.Batch
 	lastKey types.Row
 	err     error
@@ -160,6 +196,32 @@ func NewBuilder(schema *types.Schema, dev *Device, blockRows int, compressed boo
 			decoded:    make(map[blockKey]*vector.Vector),
 		},
 		pending: vector.NewBatch(kinds, blockRows),
+	}
+}
+
+// NewFileBuilder is NewBuilder with a durable destination: every flushed
+// block streams to a segment file at path, and Finish seals the footer,
+// fsyncs, and returns a file-backed store reading lazily through the device.
+func NewFileBuilder(schema *types.Schema, dev *Device, blockRows int, compressed bool, path string) (*Builder, error) {
+	b := NewBuilder(schema, dev, blockRows, compressed)
+	segw, err := storage.CreateSegment(path, schema, b.store.blockRows, compressed)
+	if err != nil {
+		return nil, err
+	}
+	b.segw = segw
+	b.store.blocks = nil
+	return b, nil
+}
+
+// Abort discards a file-backed build, removing the partial segment file. It
+// is a no-op for RAM builds and after Finish.
+func (b *Builder) Abort() {
+	if b.segw != nil {
+		b.segw.Abort()
+		b.segw = nil
+	}
+	if b.err == nil {
+		b.err = fmt.Errorf("colstore: builder aborted")
 	}
 }
 
@@ -246,19 +308,42 @@ func (b *Builder) flush() {
 		default:
 			enc = compress.EncodeInt64s(v.I, s.compressed)
 		}
-		s.blocks[c] = append(s.blocks[c], enc)
+		if b.segw != nil {
+			if err := b.segw.AppendBlock(c, enc); err != nil {
+				b.err = err
+				return
+			}
+		} else {
+			s.blocks[c] = append(s.blocks[c], enc)
+		}
 	}
 	s.nrows += uint64(n)
 	b.pending.Reset()
 }
 
-// Finish seals the store. The builder must not be used afterwards.
+// Finish seals the store. The builder must not be used afterwards. For a
+// file-backed build this writes the segment footer and fsyncs: when Finish
+// returns, the image is durable.
 func (b *Builder) Finish() (*Store, error) {
+	if b.pending.Len() > 0 && b.err == nil {
+		b.flush()
+	}
 	if b.err != nil {
+		if b.segw != nil {
+			b.segw.Abort()
+			b.segw = nil
+		}
 		return nil, b.err
 	}
-	if b.pending.Len() > 0 {
-		b.flush()
+	if b.segw != nil {
+		seg, err := b.segw.Finish(b.store.nrows, b.store.sparse)
+		if err != nil {
+			b.segw.Abort()
+			b.segw = nil
+			return nil, err
+		}
+		b.store.seg = seg
+		b.segw = nil
 	}
 	return b.store, nil
 }
@@ -272,6 +357,41 @@ func BulkLoad(schema *types.Schema, dev *Device, blockRows int, compressed bool,
 		}
 	}
 	return b.Finish()
+}
+
+// FromSegment wraps an opened segment file in a file-backed store: blocks are
+// pread on demand through the device's buffer pool, with cold bytes charged
+// to its counters. The store owns the segment and closes it via Close.
+func FromSegment(seg *storage.Segment, dev *Device) *Store {
+	if dev == nil {
+		dev = NewDevice()
+	}
+	return &Store{
+		schema:     seg.Schema(),
+		id:         dev.register(),
+		blockRows:  seg.BlockRows(),
+		compressed: seg.Compressed(),
+		nrows:      seg.NRows(),
+		seg:        seg,
+		sparse:     seg.Sparse(),
+		dev:        dev,
+		decoded:    make(map[blockKey]*vector.Vector),
+	}
+}
+
+// Segment returns the on-disk segment backing this store, or nil for a
+// RAM-resident store.
+func (s *Store) Segment() *storage.Segment { return s.seg }
+
+// Close releases the on-disk segment of a file-backed store (no-op for a
+// RAM-resident one). The store must not be read afterwards; buffer-pool
+// residents are evicted so a stale hit cannot outlive the file.
+func (s *Store) Close() error {
+	if s.seg == nil {
+		return nil
+	}
+	s.Evict()
+	return s.seg.Close()
 }
 
 // Schema returns the store's schema.
@@ -304,25 +424,55 @@ func (s *Store) Evict() {
 
 // NumBlocks returns the per-column block count.
 func (s *Store) NumBlocks() int {
+	if s.seg != nil {
+		return s.seg.NumBlocks()
+	}
 	if len(s.blocks) == 0 {
 		return 0
 	}
 	return len(s.blocks[0])
 }
 
-// EncodedSize returns the on-"disk" size in bytes of the given column, or of
+// EncodedSize returns the on-disk size in bytes of the given column, or of
 // the whole table when col is negative.
 func (s *Store) EncodedSize(col int) uint64 {
 	var total uint64
-	for c, blks := range s.blocks {
+	nb := s.NumBlocks()
+	for c := 0; c < s.schema.NumCols(); c++ {
 		if col >= 0 && c != col {
 			continue
 		}
-		for _, b := range blks {
-			total += uint64(len(b))
+		for blk := 0; blk < nb; blk++ {
+			if s.seg != nil {
+				total += uint64(s.seg.BlockLen(c, blk))
+			} else {
+				total += uint64(len(s.blocks[c][blk]))
+			}
 		}
 	}
 	return total
+}
+
+// encodedBlock returns one column block's encoded bytes, charging the device
+// for a cold fetch: a RAM-resident block is charged on first touch; a
+// file-backed block is pread from the segment unless the buffer pool already
+// holds it.
+func (s *Store) encodedBlock(col, blk int) ([]byte, error) {
+	if s.seg == nil {
+		enc := s.blocks[col][blk]
+		s.dev.fetch(s.id, col, blk, len(enc))
+		return enc, nil
+	}
+	k := devKey{s.id, col, blk}
+	if b, ok := s.dev.poolGet(k); ok {
+		return b, nil
+	}
+	b, err := s.seg.ReadBlock(col, blk)
+	if err != nil {
+		return nil, err
+	}
+	s.dev.poolFill(k, b)
+	return b, nil
 }
 
 // decodeBlock fetches (charging the device) and decodes one column block
@@ -340,10 +490,11 @@ func (s *Store) decodeBlock(col, blk int) (*vector.Vector, error) {
 // vector for every block of a column, so steady-state scans decode without
 // per-block allocation.
 func (s *Store) decodeBlockInto(col, blk int, v *vector.Vector) error {
-	enc := s.blocks[col][blk]
-	s.dev.fetch(s.id, col, blk, len(enc))
+	enc, err := s.encodedBlock(col, blk)
+	if err != nil {
+		return err
+	}
 	v.Reset()
-	var err error
 	switch v.Kind {
 	case types.Float64:
 		v.F, err = compress.DecodeFloat64s(enc, v.F)

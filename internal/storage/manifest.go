@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the pointer file naming the current segment generation.
+const ManifestName = "MANIFEST"
+
+// Manifest is the durable root of a store directory. Swapping it (an atomic
+// rename) is the commit point of a checkpoint: after the swap, recovery loads
+// Segment and replays only WAL records with LSN > LSN; before it, recovery
+// loads the previous generation and replays the full log. Either way the
+// reconstructed state is exactly the committed state.
+type Manifest struct {
+	// Generation counts checkpoints; segment files are named after it.
+	Generation uint64 `json:"generation"`
+	// Segment is the file name (within the store directory) of the stable
+	// image this generation checkpointed.
+	Segment string `json:"segment"`
+	// LSN is the commit clock at the checkpoint's freeze point: every commit
+	// with LSN <= this is contained in Segment, every later commit is only in
+	// the WAL.
+	LSN uint64 `json:"lsn"`
+}
+
+// WriteManifest durably installs m as dir's manifest: write to a temp file,
+// fsync, rename over ManifestName, fsync the directory.
+func WriteManifest(dir string, m Manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: write manifest: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: fsync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: swap manifest: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// LoadManifest reads dir's manifest. ok is false when none exists (a fresh
+// directory); any other failure is an error — a store with an unreadable
+// manifest must not be silently re-initialized over live data.
+func LoadManifest(dir string) (m Manifest, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("storage: corrupt manifest: %w", err)
+	}
+	if m.Segment == "" {
+		return Manifest{}, false, fmt.Errorf("storage: manifest names no segment")
+	}
+	return m, true, nil
+}

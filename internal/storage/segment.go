@@ -1,0 +1,333 @@
+// Package storage implements the durable on-disk layer under the store: the
+// segment file format holding one checkpointed stable table image (per-column
+// encoded blocks plus a self-describing footer), and the MANIFEST pointer
+// that names the current segment generation and the WAL position it contains.
+//
+// A segment is immutable once written. Blocks are laid out in write order and
+// located through the footer's block index, so readers fetch any (column,
+// block) pair with a single pread; every block carries a CRC32 verified on
+// each cold read, and the footer itself is CRC-framed behind a fixed-size
+// trailer at the end of the file. A partially written segment (crash before
+// Finish) has no trailer and is simply unreadable — recovery never trusts a
+// segment that the MANIFEST does not name.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"pdtstore/internal/types"
+)
+
+var segMagic = [8]byte{'P', 'D', 'T', 'S', 'E', 'G', '0', '1'}
+
+// trailerSize is the fixed tail of a finished segment:
+// u64 footer offset, u32 footer length, u32 footer CRC, 8-byte magic.
+const trailerSize = 8 + 4 + 4 + 8
+
+// BlockEntry locates one encoded column block inside a segment file.
+type BlockEntry struct {
+	Off int64
+	Len uint32
+	CRC uint32
+}
+
+// SegmentWriter streams encoded blocks into a new segment file. Blocks may
+// arrive in any column interleaving (the builder emits one row group at a
+// time); the footer index records where each landed.
+type SegmentWriter struct {
+	f          *os.File
+	path       string
+	w          *bufio.Writer
+	off        int64
+	schema     *types.Schema
+	blockRows  int
+	compressed bool
+	index      [][]BlockEntry
+	err        error
+}
+
+// CreateSegment starts writing a segment file at path (truncating any
+// previous file there — stray partial segments from a crashed checkpoint are
+// overwritten, never appended to).
+func CreateSegment(path string, schema *types.Schema, blockRows int, compressed bool) (*SegmentWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create segment: %w", err)
+	}
+	w := &SegmentWriter{
+		f:          f,
+		path:       path,
+		w:          bufio.NewWriterSize(f, 1<<20),
+		schema:     schema,
+		blockRows:  blockRows,
+		compressed: compressed,
+		index:      make([][]BlockEntry, schema.NumCols()),
+	}
+	if _, err := w.w.Write(segMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.off = int64(len(segMagic))
+	return w, nil
+}
+
+// AppendBlock writes one encoded column block and records it in the index.
+func (w *SegmentWriter) AppendBlock(col int, enc []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.w.Write(enc); err != nil {
+		w.err = fmt.Errorf("storage: write block: %w", err)
+		return w.err
+	}
+	w.index[col] = append(w.index[col], BlockEntry{
+		Off: w.off,
+		Len: uint32(len(enc)),
+		CRC: crc32.ChecksumIEEE(enc),
+	})
+	w.off += int64(len(enc))
+	return nil
+}
+
+// Finish writes the footer and trailer, fsyncs the file and its directory,
+// and returns the finished segment opened for reading (the same descriptor;
+// pread works regardless of the write-mode open).
+func (w *SegmentWriter) Finish(nrows uint64, sparse []types.Row) (*Segment, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	footer := encodeFooter(w.schema, nrows, w.blockRows, w.compressed, w.index, sparse)
+	footerOff := w.off
+	var trailer [trailerSize]byte
+	binary.LittleEndian.PutUint64(trailer[0:8], uint64(footerOff))
+	binary.LittleEndian.PutUint32(trailer[8:12], uint32(len(footer)))
+	binary.LittleEndian.PutUint32(trailer[12:16], crc32.ChecksumIEEE(footer))
+	copy(trailer[16:], segMagic[:])
+	if _, err := w.w.Write(footer); err != nil {
+		return nil, err
+	}
+	if _, err := w.w.Write(trailer[:]); err != nil {
+		return nil, err
+	}
+	if err := w.w.Flush(); err != nil {
+		return nil, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return nil, fmt.Errorf("storage: fsync segment: %w", err)
+	}
+	syncDir(filepath.Dir(w.path))
+	return &Segment{
+		f:          w.f,
+		path:       w.path,
+		schema:     w.schema,
+		nrows:      nrows,
+		blockRows:  w.blockRows,
+		compressed: w.compressed,
+		sparse:     sparse,
+		index:      w.index,
+	}, nil
+}
+
+// Abort closes and removes the partial file (the orderly error path; a crash
+// leaves the partial file behind, which Open-side GC removes).
+func (w *SegmentWriter) Abort() {
+	if w.f != nil {
+		w.f.Close()
+		os.Remove(w.path)
+		w.f = nil
+	}
+	w.err = fmt.Errorf("storage: segment writer aborted")
+}
+
+// Segment is a finished, immutable segment file open for block reads.
+type Segment struct {
+	f          *os.File
+	path       string
+	schema     *types.Schema
+	nrows      uint64
+	blockRows  int
+	compressed bool
+	sparse     []types.Row
+	index      [][]BlockEntry
+}
+
+// OpenSegment opens and validates an existing segment file.
+func OpenSegment(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := readSegmentMeta(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func readSegmentMeta(f *os.File, path string) (*Segment, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() < int64(len(segMagic))+trailerSize {
+		return nil, fmt.Errorf("storage: %s: too short to be a segment (%d bytes)", path, fi.Size())
+	}
+	var trailer [trailerSize]byte
+	if _, err := f.ReadAt(trailer[:], fi.Size()-trailerSize); err != nil {
+		return nil, err
+	}
+	if [8]byte(trailer[16:24]) != segMagic {
+		return nil, fmt.Errorf("storage: %s: bad segment magic (torn or foreign file)", path)
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(trailer[0:8]))
+	footerLen := int64(binary.LittleEndian.Uint32(trailer[8:12]))
+	footerCRC := binary.LittleEndian.Uint32(trailer[12:16])
+	if footerOff < int64(len(segMagic)) || footerOff+footerLen+trailerSize != fi.Size() {
+		return nil, fmt.Errorf("storage: %s: inconsistent footer bounds", path)
+	}
+	footer := make([]byte, footerLen)
+	if _, err := f.ReadAt(footer, footerOff); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(footer) != footerCRC {
+		return nil, fmt.Errorf("storage: %s: footer checksum mismatch", path)
+	}
+	s, err := decodeFooter(footer)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	s.f, s.path = f, path
+	return s, nil
+}
+
+// Schema returns the schema stored in the footer.
+func (s *Segment) Schema() *types.Schema { return s.schema }
+
+// NRows returns the row count stored in the footer.
+func (s *Segment) NRows() uint64 { return s.nrows }
+
+// BlockRows returns the rows-per-block geometry.
+func (s *Segment) BlockRows() int { return s.blockRows }
+
+// Compressed reports whether blocks were written compressed.
+func (s *Segment) Compressed() bool { return s.compressed }
+
+// Sparse returns the sparse index: the sort key of each block's first row.
+func (s *Segment) Sparse() []types.Row { return s.sparse }
+
+// NumBlocks returns the per-column block count.
+func (s *Segment) NumBlocks() int {
+	if len(s.index) == 0 {
+		return 0
+	}
+	return len(s.index[0])
+}
+
+// BlockLen returns the encoded size of one block.
+func (s *Segment) BlockLen(col, blk int) int { return int(s.index[col][blk].Len) }
+
+// Path returns the segment's file path.
+func (s *Segment) Path() string { return s.path }
+
+// ReadBlock preads one encoded block and verifies its checksum.
+func (s *Segment) ReadBlock(col, blk int) ([]byte, error) {
+	e := s.index[col][blk]
+	buf := make([]byte, e.Len)
+	if _, err := s.f.ReadAt(buf, e.Off); err != nil {
+		return nil, fmt.Errorf("storage: %s: read col %d blk %d: %w", s.path, col, blk, err)
+	}
+	if crc32.ChecksumIEEE(buf) != e.CRC {
+		return nil, fmt.Errorf("storage: %s: col %d blk %d checksum mismatch", s.path, col, blk)
+	}
+	return buf, nil
+}
+
+// Close closes the underlying file. Reads after Close fail.
+func (s *Segment) Close() error { return s.f.Close() }
+
+// --- footer encoding ---------------------------------------------------------
+
+func encodeFooter(schema *types.Schema, nrows uint64, blockRows int, compressed bool, index [][]BlockEntry, sparse []types.Row) []byte {
+	var buf []byte
+	buf = appendSchema(buf, schema)
+	buf = binary.LittleEndian.AppendUint64(buf, nrows)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(blockRows))
+	if compressed {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(index)))
+	for _, col := range index {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(col)))
+		for _, e := range col {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Off))
+			buf = binary.LittleEndian.AppendUint32(buf, e.Len)
+			buf = binary.LittleEndian.AppendUint32(buf, e.CRC)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sparse)))
+	for _, row := range sparse {
+		buf = appendRow(buf, row)
+	}
+	return buf
+}
+
+func decodeFooter(buf []byte) (*Segment, error) {
+	r := &reader{buf: buf}
+	schema, err := r.schema()
+	if err != nil {
+		return nil, fmt.Errorf("corrupt footer: %w", err)
+	}
+	s := &Segment{schema: schema}
+	s.nrows = r.u64()
+	s.blockRows = int(r.u32())
+	s.compressed = r.u8() != 0
+	ncols := int(r.u32())
+	if r.err != nil || ncols != schema.NumCols() {
+		return nil, fmt.Errorf("corrupt footer: index covers %d columns, schema has %d", ncols, schema.NumCols())
+	}
+	s.index = make([][]BlockEntry, ncols)
+	for c := range s.index {
+		nblk := int(r.u32())
+		if r.err != nil || nblk > len(r.buf) {
+			return nil, fmt.Errorf("corrupt footer: bad block count %d", nblk)
+		}
+		col := make([]BlockEntry, nblk)
+		for b := range col {
+			col[b] = BlockEntry{Off: int64(r.u64()), Len: r.u32(), CRC: r.u32()}
+		}
+		s.index[c] = col
+	}
+	nsparse := int(r.u32())
+	if r.err != nil || nsparse > len(r.buf) {
+		return nil, fmt.Errorf("corrupt footer: bad sparse count %d", nsparse)
+	}
+	s.sparse = make([]types.Row, nsparse)
+	for i := range s.sparse {
+		s.sparse[i] = r.row()
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("corrupt footer: %w", r.err)
+	}
+	return s, nil
+}
+
+// syncDir fsyncs a directory so a just-created/renamed/removed entry is
+// durable. Errors are ignored: some filesystems reject directory fsync, and
+// the worst case is the pre-rename state after a crash, which recovery
+// already handles.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

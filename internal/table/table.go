@@ -409,9 +409,30 @@ func (t *Table) Checkpoint() error {
 // runs it without any lock while commits keep landing in a fresh delta
 // layer.
 func (t *Table) Materialize(store *colstore.Store, deltas ...*pdt.PDT) (*colstore.Store, error) {
+	b := colstore.NewBuilder(t.schema, store.Device(), t.opts.BlockRows, t.opts.Compressed)
+	return t.MaterializeInto(b, store, deltas...)
+}
+
+// MaterializeInto is Materialize with a caller-supplied destination builder —
+// the durable checkpoint passes a file builder streaming to a new segment
+// generation, so the image goes to disk block by block instead of through
+// RAM. On error the builder is aborted (a partial segment file is removed).
+func (t *Table) MaterializeInto(b *colstore.Builder, store *colstore.Store, deltas ...*pdt.PDT) (*colstore.Store, error) {
+	if err := t.MaterializeStream(b, store, deltas...); err != nil {
+		b.Abort()
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// MaterializeStream drains the merged (store ∘ deltas) view into b without
+// sealing it; the caller decides between Finish and Abort. The durable
+// checkpoint uses the split to put its crash-injection point between the last
+// streamed block and the footer write.
+func (t *Table) MaterializeStream(b *colstore.Builder, store *colstore.Store, deltas ...*pdt.PDT) error {
 	cols := t.allCols()
 	src := engine.StackPDTs(store.NewScanner(cols, 0, store.NRows()), cols, 0, true, deltas...)
-	return buildImage(t.schema, src, store.Device(), t.opts.BlockRows, t.opts.Compressed)
+	return drainInto(b, t.schema, src)
 }
 
 // Install atomically swaps in a checkpointed image and its differential
@@ -431,7 +452,20 @@ func (t *Table) Install(store *colstore.Store, p *pdt.PDT) error {
 // buildImage drains a batch source of all schema columns, in sort-key order,
 // into a new stable store.
 func buildImage(schema *types.Schema, src pdt.BatchSource, dev *colstore.Device, blockRows int, compressed bool) (*colstore.Store, error) {
-	b := colstore.NewBuilder(schema, dev, blockRows, compressed)
+	return fillBuilder(colstore.NewBuilder(schema, dev, blockRows, compressed), schema, src)
+}
+
+// fillBuilder drains src into an already-constructed builder (RAM- or
+// file-backed) and seals it.
+func fillBuilder(b *colstore.Builder, schema *types.Schema, src pdt.BatchSource) (*colstore.Store, error) {
+	if err := drainInto(b, schema, src); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// drainInto streams every batch of src into b without sealing it.
+func drainInto(b *colstore.Builder, schema *types.Schema, src pdt.BatchSource) error {
 	kinds := make([]types.Kind, schema.NumCols())
 	for i, c := range schema.Cols {
 		kinds[i] = c.Kind
@@ -441,14 +475,13 @@ func buildImage(schema *types.Schema, src pdt.BatchSource, dev *colstore.Device,
 		buf.Reset()
 		n, err := src.Next(buf, 4096)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if n == 0 {
-			break
+			return nil
 		}
 		if err := b.AddBatch(buf); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return b.Finish()
 }

@@ -22,8 +22,17 @@ package txn
 import (
 	"fmt"
 
+	"pdtstore/internal/colstore"
 	"pdtstore/internal/pdt"
 )
+
+// MaterializeFn builds the new stable image for a checkpoint. It runs with no
+// manager lock held while commits keep flowing. freezeLSN is the commit clock
+// at the freeze point: every commit with LSN <= freezeLSN is contained in the
+// streamed view (store ∘ deltas), every later commit lands only in the side
+// write layer (and the WAL). A durable checkpoint records freezeLSN in its
+// manifest so recovery knows which WAL records the image already contains.
+type MaterializeFn func(freezeLSN uint64, store *colstore.Store, deltas ...*pdt.PDT) (*colstore.Store, error)
 
 // freezeLocked hands the current write layer to maintenance and restarts
 // commits in a fresh one. The three fields must change together: from here
@@ -116,7 +125,13 @@ func (m *Manager) WaitMaintenance() error {
 // and the store swap installs that side layer as the new version's Read-PDT.
 // Transactions begun before or during the checkpoint read their pinned
 // pre-checkpoint view to completion and may still commit afterwards.
-func (m *Manager) Checkpoint() error {
+func (m *Manager) Checkpoint() error { return m.CheckpointInto(nil) }
+
+// CheckpointInto is Checkpoint with a caller-supplied image build: a durable
+// store passes a build that streams into a new on-disk segment generation and
+// uses the freeze LSN as the generation's WAL position. A nil build selects
+// the in-memory tbl.Materialize.
+func (m *Manager) CheckpointInto(build MaterializeFn) error {
 	m.mu.Lock()
 	m.ckptWaiters++ // pauses fold re-arming so the wait below terminates
 	for (m.checkpointing || m.frozen != nil) && m.maintErr == nil {
@@ -129,10 +144,16 @@ func (m *Manager) Checkpoint() error {
 	}
 	m.checkpointing = true
 	base := m.cur
+	freezeLSN := m.lsn // every commit <= this is in (base ∘ read ∘ frozen)
 	frozen := m.freezeLocked()
-	materialize := m.materialize
+	materialize := build
 	if materialize == nil {
-		materialize = m.tbl.Materialize
+		materialize = m.materialize
+	}
+	if materialize == nil {
+		materialize = func(_ uint64, store *colstore.Store, deltas ...*pdt.PDT) (*colstore.Store, error) {
+			return m.tbl.Materialize(store, deltas...)
+		}
 	}
 	m.mu.Unlock()
 
@@ -140,7 +161,7 @@ func (m *Manager) Checkpoint() error {
 	// Write, merged on the fly) into a new stable image. The new image
 	// materializes exactly that view, so the Write-PDT filling up meanwhile
 	// is already positioned in the new image's SID domain.
-	newStore, err := materialize(base.store, base.readPDT, frozen)
+	newStore, err := materialize(freezeLSN, base.store, base.readPDT, frozen)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -72,11 +72,11 @@ type Manager struct {
 	maintErr      error // first background maintenance failure, sticky
 
 	// materialize stubs the checkpoint image build in fault-injection tests;
-	// nil selects tbl.Materialize.
-	materialize func(*colstore.Store, ...*pdt.PDT) (*colstore.Store, error)
+	// nil selects tbl.Materialize (via CheckpointInto's default build).
+	materialize MaterializeFn
 
 	writeBudget uint64 // bytes before Write→Read propagation
-	log         *wal.Writer
+	log         wal.Log
 	entrywise   bool
 }
 
@@ -92,8 +92,9 @@ type Options struct {
 	// to the Read-PDT (the paper keeps the Write-PDT smaller than the CPU
 	// cache). Zero selects 256 KiB.
 	WriteBudget uint64
-	// Log, when set, receives one record per commit (the WAL).
-	Log *wal.Writer
+	// Log, when set, receives one record per commit (the WAL): an in-memory
+	// wal.Writer, or a wal.FileLog for commit-durable operation.
+	Log wal.Log
 	// EntrywisePropagate folds PDT layers with the per-entry reference
 	// algorithm instead of the bulk merge. It exists so the update
 	// benchmarks can measure the pre-vectorized write path; production

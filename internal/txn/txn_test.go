@@ -458,7 +458,7 @@ func TestCheckpointBuildFailureRollsBack(t *testing.T) {
 
 	boom := errors.New("device full")
 	var mid *Txn
-	m.materialize = func(*colstore.Store, ...*pdt.PDT) (*colstore.Store, error) {
+	m.materialize = func(uint64, *colstore.Store, ...*pdt.PDT) (*colstore.Store, error) {
 		// Runs off-lock mid-checkpoint: start a transaction that captures
 		// the frozen layer, then fail the build.
 		mid = m.Begin()
@@ -670,11 +670,12 @@ func TestWALTornTail(t *testing.T) {
 	if _, err := w.Append("t", []pdt.RebuildEntry{{SID: 2, Kind: pdt.KindDel, Del: types.Row{types.Int(2)}}}); err != nil {
 		t.Fatal(err)
 	}
-	// Truncate mid-second-record.
+	// Truncate mid-second-record: the valid prefix comes back along with the
+	// typed tear signal.
 	torn := buf.Bytes()[:full+5]
 	records, err := wal.Replay(bytes.NewReader(torn))
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, wal.ErrTornTail) {
+		t.Fatalf("torn replay: err = %v, want ErrTornTail", err)
 	}
 	if len(records) != 1 {
 		t.Fatalf("torn replay returned %d records, want 1", len(records))
@@ -683,8 +684,8 @@ func TestWALTornTail(t *testing.T) {
 	corrupt := append([]byte(nil), buf.Bytes()...)
 	corrupt[12] ^= 0xFF
 	records, err = wal.Replay(bytes.NewReader(corrupt))
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, wal.ErrTornTail) {
+		t.Fatalf("corrupt replay: err = %v, want ErrTornTail", err)
 	}
 	if len(records) != 0 {
 		t.Fatalf("corrupt head accepted: %d records", len(records))

@@ -8,11 +8,18 @@
 // propagating each rebuilt PDT into a fresh Write-PDT over the checkpointed
 // stable image — exactly the sequence of Propagate calls the original
 // commits performed.
+//
+// Writer frames and encodes records over any io.Writer (tests, benchmarks);
+// FileLog is the durable form: a directory of rotated log files with an
+// fsync per commit, torn-tail repair at open, and LSN-bounded truncation
+// after a checkpoint. Both satisfy Log, which the transaction manager
+// appends to.
 package wal
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -22,11 +29,33 @@ import (
 	"pdtstore/internal/types"
 )
 
+// ErrTornTail reports that a log stream ends in a partial or corrupt record —
+// the normal aftermath of a crash mid-append. Replay returns it alongside the
+// valid prefix: recovery applies the prefix and truncates the tear, while a
+// tear anywhere but the end of the newest log file is treated as real
+// corruption by the file log.
+var ErrTornTail = errors.New("wal: torn tail")
+
+// maxRecordSize bounds a record body; a length prefix beyond it is garbage
+// from a torn header, not a real record.
+const maxRecordSize = 1 << 30
+
 // Record is one committed transaction.
 type Record struct {
 	LSN     uint64
 	Table   string
 	Entries []pdt.RebuildEntry
+}
+
+// Log is the commit log the transaction manager appends to: an in-memory
+// *Writer, or a durable *FileLog that fsyncs every record.
+type Log interface {
+	// Append durably writes one commit record, returning its LSN.
+	Append(tableName string, entries []pdt.RebuildEntry) (uint64, error)
+	// LSN returns the LSN of the last record appended.
+	LSN() uint64
+	// SetLSN moves the clock so the next Append returns lsn+1.
+	SetLSN(lsn uint64)
 }
 
 // Writer appends records to a log stream. The encode buffer is reused
@@ -42,17 +71,29 @@ type Record struct {
 // truncated or repaired log) before logging can resume; the torn tail it may
 // leave behind is exactly what Replay already stops cleanly at.
 type Writer struct {
-	out io.Writer
-	w   *bufio.Writer
-	lsn uint64
-	buf []byte
-	err error // sticky first append failure
+	out  io.Writer
+	w    *bufio.Writer
+	lsn  uint64
+	buf  []byte
+	sync func() error // called after each flushed append (fsync-on-commit)
+	err  error        // sticky first append failure
 }
 
 // NewWriter wraps an io.Writer (a file, or a buffer in tests).
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{out: w, w: bufio.NewWriter(w)}
 }
+
+// NewSyncedWriter is NewWriter plus a durability barrier: sync (typically
+// (*os.File).Sync) runs after every flushed record, so Append returning nil
+// means the commit is on stable storage. A failed sync poisons the writer
+// exactly like a failed write.
+func NewSyncedWriter(w io.Writer, sync func() error) *Writer {
+	return &Writer{out: w, w: bufio.NewWriter(w), sync: sync}
+}
+
+// Err returns the sticky failure that poisoned the writer, if any.
+func (w *Writer) Err() error { return w.err }
 
 // LSN returns the LSN of the last record appended (0 before any append).
 func (w *Writer) LSN() uint64 { return w.lsn }
@@ -83,7 +124,13 @@ func (w *Writer) Append(tableName string, entries []pdt.RebuildEntry) (uint64, e
 		if _, err := w.w.Write(body); err != nil {
 			return err
 		}
-		return w.w.Flush()
+		if err := w.w.Flush(); err != nil {
+			return err
+		}
+		if w.sync != nil {
+			return w.sync()
+		}
+		return nil
 	}()
 	if err != nil {
 		w.err = fmt.Errorf("wal: append failed: %w", err)
@@ -94,33 +141,69 @@ func (w *Writer) Append(tableName string, entries []pdt.RebuildEntry) (uint64, e
 	return w.lsn, nil
 }
 
-// Replay reads records until EOF, stopping cleanly at a torn (partial or
-// corrupt) tail — the standard crash-recovery contract.
+// Replay reads records until EOF. A clean end returns a nil error; a partial
+// or corrupt final record returns the valid prefix together with ErrTornTail,
+// so the caller can distinguish "log ends here" from "log was cut mid-write"
+// and truncate the tear before appending again. Only a record that fails its
+// CRC or length framing is a tear; a CRC-valid record that does not decode is
+// real corruption and fails replay.
 func Replay(r io.Reader) ([]Record, error) {
+	out, _, err := replayConsumed(r, -1)
+	return out, err
+}
+
+// replayConsumed is Replay plus the byte length of the valid prefix — what a
+// file log truncates a torn file down to. total is the stream's byte length
+// when known (a file), or negative: a frame claiming more bytes than the
+// stream holds is then classified as a tear up front, instead of allocating
+// a buffer for a garbage length read out of a torn header.
+func replayConsumed(r io.Reader, total int64) ([]Record, int64, error) {
 	br := bufio.NewReader(r)
 	var out []Record
+	var consumed int64
 	for {
 		var hdr [8]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return out, nil
+			if err == io.EOF {
+				return out, consumed, nil
 			}
-			return out, err
+			if err == io.ErrUnexpectedEOF {
+				return out, consumed, ErrTornTail
+			}
+			return out, consumed, err
 		}
 		size := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if total >= 0 && int64(size) > total-consumed-8 {
+			return out, consumed, fmt.Errorf("%w: record frame overruns the stream", ErrTornTail)
+		}
+		if size == 0 {
+			// A real record body is never empty (it carries at least the LSN,
+			// table length and entry count), and CRC32 of nothing is 0 — so a
+			// zero header would pass framing. Zero-filled tails are a classic
+			// crash artifact of delayed allocation; classify them as a tear,
+			// not corruption, so recovery truncates instead of failing.
+			return out, consumed, fmt.Errorf("%w: zero-length record frame", ErrTornTail)
+		}
+		if size > maxRecordSize {
+			return out, consumed, fmt.Errorf("%w: implausible record size %d", ErrTornTail, size)
+		}
 		body := make([]byte, size)
 		if _, err := io.ReadFull(br, body); err != nil {
-			return out, nil // torn tail
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return out, consumed, ErrTornTail
+			}
+			return out, consumed, err
 		}
 		if crc32.ChecksumIEEE(body) != sum {
-			return out, nil // corrupt tail
+			return out, consumed, fmt.Errorf("%w: record checksum mismatch", ErrTornTail)
 		}
 		rec, err := decodeRecord(body)
 		if err != nil {
-			return out, err
+			return out, consumed, err
 		}
 		out = append(out, rec)
+		consumed += 8 + int64(size)
 	}
 }
 

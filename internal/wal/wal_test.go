@@ -69,8 +69,8 @@ func TestReplayStopsAtCorruptHeader(t *testing.T) {
 	// flip a bit in the CRC
 	data[5] ^= 0x01
 	recs, err := Replay(bytes.NewReader(data))
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrTornTail) {
+		t.Fatalf("corrupt tail: err = %v, want ErrTornTail", err)
 	}
 	if len(recs) != 0 {
 		t.Fatal("corrupt record accepted")
@@ -84,8 +84,41 @@ func TestReplayTruncatedHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	recs, err := Replay(bytes.NewReader(buf.Bytes()[:5]))
-	if err != nil || len(recs) != 0 {
-		t.Fatalf("truncated header: %v, %d records", err, len(recs))
+	if !errors.Is(err, ErrTornTail) || len(recs) != 0 {
+		t.Fatalf("truncated header: %v, %d records (want ErrTornTail, 0)", err, len(recs))
+	}
+}
+
+// TestReplayTornTailEveryOffset is the byte-level regression for the
+// ErrTornTail contract: whatever prefix of the final record survives a crash
+// — any cut from the first header byte to one short of the full record —
+// Replay must return exactly the earlier records plus ErrTornTail, never an
+// error on the prefix and never a phantom record.
+func TestReplayTornTailEveryOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Append("t", sampleEntries()); err != nil {
+		t.Fatal(err)
+	}
+	prefixLen := buf.Len()
+	if _, err := w.Append("t", sampleEntries()[:2]); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// cut == prefixLen is a clean boundary, not a tear; start one byte in.
+	for cut := prefixLen + 1; cut < len(data); cut++ {
+		recs, err := Replay(bytes.NewReader(data[:cut]))
+		if !errors.Is(err, ErrTornTail) {
+			t.Fatalf("cut at %d/%d: err = %v, want ErrTornTail", cut, len(data), err)
+		}
+		if len(recs) != 1 || recs[0].LSN != 1 {
+			t.Fatalf("cut at %d/%d: %d records, want the intact first record", cut, len(data), len(recs))
+		}
+	}
+	// And the intact log replays cleanly, for contrast.
+	recs, err := Replay(bytes.NewReader(data))
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("intact log: %v, %d records", err, len(recs))
 	}
 }
 

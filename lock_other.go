@@ -1,0 +1,16 @@
+//go:build !unix
+
+package pdtstore
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Non-unix fallback: the LOCK file is created but not flock'd — single-opener
+// discipline is the caller's responsibility on these platforms.
+func lockDir(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+}
+
+func unlockDir(f *os.File) { f.Close() }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package pdtstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/LOCK, guarding the store
+// against a second opener: two processes appending to the same WAL with
+// independent LSN clocks, or checkpointing over each other's manifest, would
+// corrupt the directory silently. The lock dies with the process, so a
+// crashed owner never wedges the store.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pdtstore: %s is already open (held LOCK): %w", dir, err)
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}
