@@ -27,12 +27,20 @@
 //	                                         durable checkpoint cost vs WAL
 //	                                         tail length, plus fsynced commit
 //	                                         latency and log size per tail
+//	pdtbench -fig commit [-writers 1,8,64] [-commits 50] [-barriers 0,2000]
+//	                     [-json BENCH_update.json]
+//	                                         group commit: commits/s, commit
+//	                                         latency percentiles and fsync
+//	                                         counts vs concurrent writers and
+//	                                         barrier latency on a durable log,
+//	                                         the sequencer's batching vs the
+//	                                         per-commit-fsync baseline
 //
 // Output is a plain-text table with one row per parameter combination,
 // mirroring the series of the corresponding figure; -fig scan and
 // -fig update additionally write machine-readable JSON reports, and
-// -fig online and -fig recovery merge their rows into the update report's
-// "online" and "recovery" sections.
+// -fig online, -fig recovery and -fig commit merge their rows into the
+// update report's "online", "recovery" and "commit" sections.
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"pdtstore/internal/bench"
 	"pdtstore/internal/table"
@@ -57,6 +66,9 @@ func main() {
 	jsonPath := flag.String("json", "", "write -fig scan results to this JSON file")
 	rows := flag.Int("rows", 0, "base table rows for -fig recovery (0 = default)")
 	tails := flag.String("tails", "", "comma-separated WAL tail lengths for -fig recovery")
+	writers := flag.String("writers", "", "comma-separated writer counts for -fig commit")
+	commits := flag.Int("commits", 0, "commits per writer for -fig commit (0 = default)")
+	barriers := flag.String("barriers", "", "comma-separated barrier latencies in us for -fig commit (default 0,2000)")
 	flag.Parse()
 
 	switch *fig {
@@ -74,6 +86,8 @@ func main() {
 		runOnline(*jsonPath)
 	case "recovery":
 		runRecovery(*rows, *tails, *jsonPath)
+	case "commit":
+		runCommit(*writers, *barriers, *commits, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "pdtbench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -178,6 +192,50 @@ func runOnline(jsonPath string) {
 	// Merge into the update report (BENCH_update.json gains an "online"
 	// section) without disturbing its other sections.
 	if err := mergeReportSections(jsonPath, map[string]any{"online": rows}); err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+}
+
+func runCommit(writersCSV, barriersCSV string, commitsPerWriter int, jsonPath string) {
+	cfg := bench.CommitBenchConfig{CommitsPerWriter: commitsPerWriter}
+	if writersCSV != "" {
+		for _, part := range strings.Split(writersCSV, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "pdtbench: bad -writers value %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Writers = append(cfg.Writers, v)
+		}
+	}
+	if barriersCSV != "" {
+		for _, part := range strings.Split(barriersCSV, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "pdtbench: bad -barriers value %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Barriers = append(cfg.Barriers, time.Duration(v)*time.Microsecond)
+		}
+	}
+	rows, err := bench.CommitProfile(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Group commit: durable commit throughput vs concurrent writers and barrier latency")
+	fmt.Printf("%-32s %12s %9s %8s %11s %10s %10s %10s\n",
+		"case", "mode", "commits", "fsyncs", "commits/s", "p50 us", "p95 us", "p99 us")
+	for _, r := range rows {
+		fmt.Printf("%-32s %12s %9d %8d %11.0f %10.1f %10.1f %10.1f\n",
+			r.Name, r.Mode, r.Commits, r.Fsyncs, r.CommitsPerSec, r.P50Us, r.P95Us, r.P99Us)
+	}
+	if jsonPath == "" {
+		return
+	}
+	if err := mergeReportSections(jsonPath, map[string]any{"commit": rows}); err != nil {
 		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
 		os.Exit(1)
 	}

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"pdtstore/internal/colstore"
 	"pdtstore/internal/pdt"
@@ -51,6 +52,15 @@ type Options struct {
 	// WriteBudget caps the Write-PDT before background Write→Read folds
 	// (0 = transaction-manager default).
 	WriteBudget uint64
+	// MaxCommitBatch caps how many concurrent commits one group-commit
+	// flush folds into a single WAL append and fsync (0 = transaction-
+	// manager default of 128; 1 makes every commit pay its own fsync).
+	MaxCommitBatch int
+	// MaxCommitDelay, when positive, lets the group-commit leader wait that
+	// long for more commits to join a non-full batch. Zero (the default)
+	// relies on natural batching: whatever arrives during the previous
+	// fsync flushes together.
+	MaxCommitDelay time.Duration
 	// Device shares a buffer pool across stores; nil creates a private one.
 	Device *colstore.Device
 }
@@ -72,8 +82,11 @@ type DB struct {
 	// installed its segment as the manager's live store (only the manifest
 	// write failed), so a retry must never reuse — and O_TRUNC — that name.
 	nextGen uint64
-	// retired keeps superseded file-backed images open until Close:
-	// transactions begun before a checkpoint may still read them.
+	// retired tracks superseded file-backed images. The transaction manager
+	// closes each one as soon as its last pinned reader finishes
+	// (txn.releaseVersionLocked); this list is the backstop that closes
+	// whatever is still pinned when the DB itself closes (Close is
+	// idempotent, so the two paths may both run).
 	retired []*colstore.Store
 	closed  bool
 
@@ -177,7 +190,12 @@ func Open(dir string, opts Options) (*DB, error) {
 	if man.LSN > flog.LSN() {
 		flog.SetLSN(man.LSN)
 	}
-	mgr, err := txn.NewManager(tbl, txn.Options{WriteBudget: opts.WriteBudget, Log: flog})
+	mgr, err := txn.NewManager(tbl, txn.Options{
+		WriteBudget:    opts.WriteBudget,
+		Log:            flog,
+		MaxCommitBatch: opts.MaxCommitBatch,
+		MaxCommitDelay: opts.MaxCommitDelay,
+	})
 	if err != nil {
 		flog.Close()
 		store.Close()
@@ -221,6 +239,11 @@ func (db *DB) Schema() *types.Schema { return db.schema }
 func (db *DB) Dir() string { return db.dir }
 
 // Table returns the underlying table (reads and plans build over it).
+// Direct table reads always track the newest installed version and are not
+// pinned: once a checkpoint supersedes a stable image, its descriptor is
+// closed as soon as the last pinned *transaction* releases it, so a direct
+// scan that must survive concurrent maintenance should run through Begin
+// (which pins the version for the transaction's lifetime) instead.
 func (db *DB) Table() *table.Table { return db.tbl }
 
 // Manager returns the transaction manager.

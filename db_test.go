@@ -172,6 +172,9 @@ func TestOpenCreateCommitReopen(t *testing.T) {
 // admitted again once the holder closes — or dies (crash releases the flock
 // exactly as process death does).
 func TestOpenIsExclusive(t *testing.T) {
+	if !lockEnforced {
+		t.Skip("advisory locking not enforced on this platform (lock_other.go fallback)")
+	}
 	dir := t.TempDir()
 	db := openTestDB(t, dir)
 	if _, err := Open(dir, Options{Schema: dbSchema}); err == nil {
@@ -447,4 +450,114 @@ func TestColdScanDoesRealIO(t *testing.T) {
 	if warmBytes, _ := db2.dev.Stats(); warmBytes != 0 {
 		t.Fatalf("warm rescan charged %d bytes", warmBytes)
 	}
+}
+
+// TestGroupCommitFsyncFailureRecovery: a batch of concurrent commits dies at
+// the durability barrier (injected one-shot fsync failure). Every
+// transaction in and behind the batch must fail, the log stays poisoned for
+// the rest of the process's life, and a kill-and-reopen must surface exactly
+// the pre-failure committed state — no record of the failed batch may
+// resurface from the page cache or a torn tail.
+func TestGroupCommitFsyncFailureRecovery(t *testing.T) {
+	dir := t.TempDir()
+	m := model{}
+	db := openTestDB(t, dir)
+	commitInserts(t, db, m, 0, 60)
+	commitMixed(t, db, m, 0, 30)
+	lsn := db.Manager().LSN()
+
+	db.Log().FailNextSync(errors.New("injected: barrier failure under the batch"))
+	const writers = 6
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		go func() {
+			tx := db.Begin()
+			if err := tx.Insert(types.Row{types.Int(int64(9000 + w)), types.Str("doomed"), types.Int(0)}); err != nil {
+				errs <- err
+				return
+			}
+			errs <- tx.Commit()
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		if err := <-errs; err == nil {
+			t.Fatal("a commit in or behind the failed batch succeeded")
+		}
+	}
+	if got := db.Manager().LSN(); got != lsn {
+		t.Fatalf("failed batch moved the clock: %d -> %d", lsn, got)
+	}
+	// The live view still serves exactly the pre-failure state.
+	checkState(t, db, m)
+
+	// Kill and reopen: recovery replays the log cold. None of the failed
+	// batch's records may surface.
+	db.crash()
+	db2 := openTestDB(t, dir)
+	defer db2.Close()
+	checkState(t, db2, m)
+	if got := db2.Manager().LSN(); got != lsn {
+		t.Fatalf("clock after reopen = %d, want %d", got, lsn)
+	}
+	// The reopened store commits normally and continues the LSN sequence.
+	commitInserts(t, db2, m, 9100, 9110)
+	checkState(t, db2, m)
+	if got := db2.Manager().LSN(); got != lsn+1 {
+		t.Fatalf("post-recovery commit got LSN %d, want %d", got, lsn+1)
+	}
+}
+
+// TestRetiredImageClosesOnLastRelease: a checkpoint supersedes the stable
+// image; the old segment's descriptor must stay open while a transaction is
+// still pinned to it — the pinned snapshot keeps reading the unlinked file —
+// and must be closed the moment that last reader finishes, not at DB.Close.
+func TestRetiredImageClosesOnLastRelease(t *testing.T) {
+	dir := t.TempDir()
+	m := model{}
+	db := openTestDB(t, dir)
+	defer db.Close()
+	commitInserts(t, db, m, 0, 120)
+	if err := db.Checkpoint(); err != nil { // gen 2: first image with real data
+		t.Fatal(err)
+	}
+	snapshot := m.clone()
+	long := db.Begin() // pins the gen-2 version
+	seg := db.Table().Store().Segment()
+	if seg == nil {
+		t.Fatal("checkpointed store is not file-backed")
+	}
+
+	commitMixed(t, db, m, 0, 60)
+	if err := db.Checkpoint(); err != nil { // gen 3 retires gen 2
+		t.Fatal(err)
+	}
+	if seg.Closed() {
+		t.Fatal("retired segment closed while a transaction is still pinned to it")
+	}
+	// The pinned transaction reads its full pre-checkpoint snapshot from the
+	// retired (already unlinked) segment.
+	got := model{}
+	err := engine.Scan(long, 0, 1, 2).Run(func(b *vector.Batch, sel []uint32) error {
+		for _, i := range sel {
+			r := b.Row(int(i))
+			got[r[0].I] = modelRow{V: r[1].S, N: r[2].I}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(snapshot) {
+		t.Fatalf("pinned snapshot has %d rows, want %d", len(got), len(snapshot))
+	}
+
+	if err := long.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Closed() {
+		t.Fatal("retired segment's descriptor still open after its last pinned reader released it")
+	}
+	// The live view is unaffected.
+	checkState(t, db, m)
 }

@@ -33,19 +33,29 @@
 // DB.Checkpoint writes it back. The stable image lives in immutable segment
 // files (per-column encoded blocks behind a CRC'd footer, pread lazily
 // through the buffer pool, internal/storage), commits append to a rotated,
-// fsync-per-commit file WAL (internal/wal), and a MANIFEST names the current
+// fsynced file WAL (internal/wal), and a MANIFEST names the current
 // segment generation plus the WAL position it contains. A checkpoint streams
 // the committed view into the next generation, fsyncs, atomically swaps the
 // MANIFEST and truncates the log; recovery loads the manifest's segment,
 // replays only the WAL tail past the manifest's LSN (so an interrupted
 // truncation cannot double-apply), truncates a torn final record, and
 // resumes the commit clock. Crashing at any point of that sequence recovers
-// exactly the committed state.
+// exactly the committed state. A superseded segment's descriptor is closed
+// as soon as its last pinned reader finishes, not at DB.Close.
+//
+// Commits group-commit: concurrent Txn.Commit calls validate and fold under
+// a narrow critical section, park on a commit sequencer, and a leader makes
+// the whole batch durable with one WAL append and one fsync
+// (wal.AppendGroup), waking every waiter with its LSN — Begin and scans
+// never wait behind an in-flight fsync, and a failed barrier aborts the
+// whole batch fail-stop with nothing visible, live or at replay.
+// Options.MaxCommitBatch and Options.MaxCommitDelay tune the batching.
 //
 // See README.md for an architecture tour and quickstart. The benchmarks in
 // bench_test.go regenerate every figure of the paper's §4, plus the engine's
 // scan-pipeline profile (cmd/pdtbench -fig scan), the write-path profile
 // (cmd/pdtbench -fig update), the online-maintenance figure
-// (cmd/pdtbench -fig online) and the durability figure
-// (cmd/pdtbench -fig recovery).
+// (cmd/pdtbench -fig online), the durability figure
+// (cmd/pdtbench -fig recovery) and the group-commit figure
+// (cmd/pdtbench -fig commit).
 package pdtstore

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"testing"
+	"time"
 
 	"pdtstore/internal/table"
 )
@@ -189,6 +190,38 @@ func TestRecoveryHarness(t *testing.T) {
 	for _, p := range pts {
 		if p.OpenMs <= 0 || p.CheckpointMs <= 0 {
 			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+}
+
+// TestCommitHarness runs a miniature group-commit profile: both modes must
+// complete for every (writers, barrier) cell, the per-commit series must pay
+// one barrier per commit, and the group series must never pay more.
+func TestCommitHarness(t *testing.T) {
+	rows, err := CommitProfile(CommitBenchConfig{
+		Writers:          []int{1, 4},
+		CommitsPerWriter: 6,
+		Barriers:         []time.Duration{0, 500 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 barriers x 2 writer counts x 2 modes
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.CommitsPerSec <= 0 || r.P50Us <= 0 || r.Commits != r.Writers*6 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		switch r.Mode {
+		case "per-commit":
+			if r.Fsyncs != uint64(r.Commits) {
+				t.Fatalf("per-commit mode paid %d barriers for %d commits: %+v", r.Fsyncs, r.Commits, r)
+			}
+		case "group":
+			if r.Fsyncs > uint64(r.Commits) {
+				t.Fatalf("group mode paid %d barriers for %d commits: %+v", r.Fsyncs, r.Commits, r)
+			}
 		}
 	}
 }

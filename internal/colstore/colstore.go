@@ -383,14 +383,15 @@ func FromSegment(seg *storage.Segment, dev *Device) *Store {
 // RAM-resident store.
 func (s *Store) Segment() *storage.Segment { return s.seg }
 
-// Close releases the on-disk segment of a file-backed store (no-op for a
-// RAM-resident one). The store must not be read afterwards; buffer-pool
-// residents are evicted so a stale hit cannot outlive the file.
+// Close releases the on-disk segment of a file-backed store (idempotent; a
+// RAM-resident store has no descriptor to free). The store must not be read
+// afterwards; buffer-pool residents are evicted so a stale hit cannot
+// outlive the file.
 func (s *Store) Close() error {
+	s.Evict()
 	if s.seg == nil {
 		return nil
 	}
-	s.Evict()
 	return s.seg.Close()
 }
 

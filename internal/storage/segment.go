@@ -19,6 +19,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"pdtstore/internal/types"
 )
@@ -148,6 +149,7 @@ func (w *SegmentWriter) Abort() {
 type Segment struct {
 	f          *os.File
 	path       string
+	closed     atomic.Bool
 	schema     *types.Schema
 	nrows      uint64
 	blockRows  int
@@ -248,8 +250,20 @@ func (s *Segment) ReadBlock(col, blk int) ([]byte, error) {
 	return buf, nil
 }
 
-// Close closes the underlying file. Reads after Close fail.
-func (s *Segment) Close() error { return s.f.Close() }
+// Close closes the underlying file. Reads after Close fail. It is
+// idempotent — a retired image may be closed both by the version release
+// that saw its last pinned reader finish and by DB.Close's sweep — and safe
+// for those two callers to race.
+func (s *Segment) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	return s.f.Close()
+}
+
+// Closed reports whether Close has run, i.e. the segment's descriptor has
+// been released. The retired-image tests assert on it.
+func (s *Segment) Closed() bool { return s.closed.Load() }
 
 // --- footer encoding ---------------------------------------------------------
 

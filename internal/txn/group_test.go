@@ -1,0 +1,449 @@
+package txn
+
+// Group-commit tests: the commit sequencer's contract under concurrency.
+// Writers parked behind one leader flush must each get their own LSN, one
+// fsync must cover the whole batch, Begin must never wait behind an
+// in-flight fsync, a failed batch fsync must abort every transaction in the
+// batch with nothing visible, and checkpoints must interleave with parked
+// commits without breaking the layer invariants.
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdtstore/internal/types"
+	"pdtstore/internal/wal"
+)
+
+// gateSync is a durability barrier a test holds shut: every sync parks on
+// the gate until the test hands it a verdict (nil, or an injected failure).
+type gateSync struct {
+	entered chan struct{}
+	verdict chan error
+}
+
+func newGateSync() *gateSync {
+	return &gateSync{entered: make(chan struct{}, 16), verdict: make(chan error)}
+}
+
+func (g *gateSync) sync() error {
+	g.entered <- struct{}{}
+	return <-g.verdict
+}
+
+// waitFor polls cond under the manager lock until it holds (or the test
+// deadline would make the failure obvious anyway).
+func waitFor(t *testing.T, m *Manager, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m.mu.Lock()
+		ok := cond()
+		m.mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGroupCommitBatchesFsyncs: concurrent writers commit over a log whose
+// durability barrier is slow; every commit must succeed with a distinct,
+// contiguous LSN, and the batch leader must have amortized the barrier —
+// far fewer fsyncs than commits.
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	var syncs atomic.Int64
+	var buf bytes.Buffer
+	log := wal.NewSyncedWriter(&buf, func() error {
+		time.Sleep(200 * time.Microsecond) // a "disk" slow enough to park writers behind
+		syncs.Add(1)
+		return nil
+	})
+	m := newManager(t, 0, Options{WriteBudget: 1 << 20, Log: log})
+	const workers, perWorker = 8, 25
+	lsns := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tx := m.Begin()
+				key := int64(1000 + w*1000 + i)
+				if err := tx.Insert(types.Row{types.Int(key), types.Int(int64(w)), types.Str("g")}); err != nil {
+					errs <- err
+					tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					continue
+				}
+				lsns[w] = append(lsns[w], tx.CommitLSN())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("worker error: %v", err)
+	}
+	const commits = workers * perWorker
+	// Every waiter woke with its own LSN, and together they are exactly
+	// 1..commits: the batch install walked the group's LSNs in order.
+	var all []uint64
+	for _, l := range lsns {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) != commits {
+		t.Fatalf("collected %d LSNs, want %d", len(all), commits)
+	}
+	for i, lsn := range all {
+		if lsn != uint64(i+1) {
+			t.Fatalf("LSN sequence broken at %d: got %d", i, lsn)
+		}
+	}
+	if got := m.LSN(); got != commits {
+		t.Fatalf("commit clock = %d, want %d", got, commits)
+	}
+	if n := syncs.Load(); n >= commits {
+		t.Fatalf("%d fsyncs for %d commits: no batching happened", n, commits)
+	}
+	// The log replays every commit in LSN order.
+	recs, err := wal.Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != commits {
+		t.Fatalf("log holds %d records, want %d", len(recs), commits)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	if keys := txnKeys(t, check); len(keys) != commits {
+		t.Fatalf("final state has %d rows, want %d", len(keys), commits)
+	}
+}
+
+// TestBeginRunsDuringFsync: the acceptance criterion that motivated the
+// sequencer — the durability wait happens off the manager mutex, so Begin
+// (and scans, and commit validation) proceed while a batch is inside fsync.
+func TestBeginRunsDuringFsync(t *testing.T) {
+	g := newGateSync()
+	var buf bytes.Buffer
+	m := newManager(t, 10, Options{Log: wal.NewSyncedWriter(&buf, g.sync)})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		tx := m.Begin()
+		if err := tx.Insert(types.Row{types.Int(1001), types.Int(0), types.Str("x")}); err != nil {
+			leaderDone <- err
+			return
+		}
+		leaderDone <- tx.Commit()
+	}()
+	<-g.entered // the batch is inside its fsync, manager mutex free
+
+	beginOK := make(chan int, 1)
+	go func() {
+		tx := m.Begin()
+		defer tx.Abort()
+		beginOK <- len(txnKeys(t, tx))
+	}()
+	select {
+	case n := <-beginOK:
+		if n != 10 {
+			t.Fatalf("snapshot during fsync saw %d rows, want 10 (commit not yet durable)", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Begin/Scan blocked behind an in-flight fsync")
+	}
+	select {
+	case err := <-leaderDone:
+		t.Fatalf("commit returned (%v) before its fsync completed", err)
+	default:
+	}
+	g.verdict <- nil
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	if n := len(txnKeys(t, check)); n != 11 {
+		t.Fatalf("post-commit state has %d rows, want 11", n)
+	}
+}
+
+// TestGroupCommitBatchFailureFailsAll: the fsync under a batch fails. Every
+// transaction in the batch — the leader's and everything parked behind it —
+// must get the error, the log must be poisoned, the clock must not move,
+// and none of the batch may become visible.
+func TestGroupCommitBatchFailureFailsAll(t *testing.T) {
+	g := newGateSync()
+	var buf bytes.Buffer
+	m := newManager(t, 10, Options{Log: wal.NewSyncedWriter(&buf, g.sync)})
+
+	const followers = 3
+	results := make(chan error, followers+1)
+	commit := func(key int64) {
+		tx := m.Begin()
+		if err := tx.Insert(types.Row{types.Int(key), types.Int(0), types.Str("f")}); err != nil {
+			results <- err
+			return
+		}
+		results <- tx.Commit()
+	}
+	go commit(2001)
+	<-g.entered // leader parked at the barrier with its one-commit batch
+	for i := 0; i < followers; i++ {
+		go commit(int64(2002 + i))
+	}
+	// The in-flight leader batch stays at the head of pending until install,
+	// so the queue holds it plus every parked follower.
+	waitFor(t, m, "followers to park on the sequencer", func() bool { return len(m.pending) == followers+1 })
+
+	g.verdict <- errors.New("injected: device died at the barrier")
+	for i := 0; i < followers+1; i++ {
+		err := <-results
+		if err == nil {
+			t.Fatal("a transaction in the failed batch committed")
+		}
+		if !strings.Contains(err.Error(), "WAL append failed") {
+			t.Fatalf("unexpected batch failure error: %v", err)
+		}
+	}
+	if got := m.LSN(); got != 0 {
+		t.Fatalf("failed batch advanced the clock to %d", got)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	if n := len(txnKeys(t, check)); n != 10 {
+		t.Fatalf("state has %d rows after failed batch, want the original 10", n)
+	}
+	// The log is poisoned: later commits fail without reaching a barrier.
+	tx := m.Begin()
+	if err := tx.Insert(types.Row{types.Int(3001), types.Int(0), types.Str("p")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit on a poisoned log succeeded")
+	}
+}
+
+// TestParkedCommitConflicts: a commit parked on the sequencer is ahead in
+// the commit order, so a concurrent transaction touching the same tuple
+// must abort with ErrConflict during validation — before parking — even
+// though the earlier commit is not yet durable.
+func TestParkedCommitConflicts(t *testing.T) {
+	g := newGateSync()
+	var buf bytes.Buffer
+	m := newManager(t, 10, Options{Log: wal.NewSyncedWriter(&buf, g.sync)})
+
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if _, err := t1.UpdateByKey(types.Row{types.Int(10)}, 1, types.Int(111)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.UpdateByKey(types.Row{types.Int(10)}, 1, types.Int(222)); err != nil {
+		t.Fatal(err)
+	}
+	done1 := make(chan error, 1)
+	go func() { done1 <- t1.Commit() }()
+	<-g.entered // t1 parked at the barrier, not yet durable
+
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting commit against a parked transaction: err = %v, want ErrConflict", err)
+	}
+	g.verdict <- nil
+	if err := <-done1; err != nil {
+		t.Fatal(err)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	if _, row, found, err := check.findByKey(types.Row{types.Int(10)}); err != nil || !found {
+		t.Fatalf("key 10 missing after commit: %v", err)
+	} else if row[1].I != 111 {
+		t.Fatalf("key 10 col 1 = %d, want the parked winner's 111", row[1].I)
+	}
+}
+
+// TestCheckpointInterleavesWithParkedCommits: a checkpoint arriving while a
+// batch is inside its fsync (with more commits parked behind it) must wait
+// out the round, freeze — rebasing the parked folds onto the fresh write
+// layer — and complete while the rebased commits flush afterwards. Nothing
+// is lost on either side.
+func TestCheckpointInterleavesWithParkedCommits(t *testing.T) {
+	g := newGateSync()
+	var buf bytes.Buffer
+	m := newManager(t, 10, Options{Log: wal.NewSyncedWriter(&buf, g.sync)})
+
+	results := make(chan error, 3)
+	commit := func(key int64) {
+		tx := m.Begin()
+		if err := tx.Insert(types.Row{types.Int(key), types.Int(0), types.Str("c")}); err != nil {
+			results <- err
+			return
+		}
+		results <- tx.Commit()
+	}
+	go commit(5001)
+	<-g.entered // round 1 (just 5001) inside fsync
+	go commit(5002)
+	go commit(5003)
+	waitFor(t, m, "followers to park", func() bool { return len(m.pending) == 3 })
+
+	ckptDone := make(chan error, 1)
+	go func() { ckptDone <- m.Checkpoint() }()
+	waitFor(t, m, "checkpoint to queue behind the round", func() bool { return m.ckptWaiters == 1 })
+
+	g.verdict <- nil // round 1 installs; the leader yields to the checkpointer,
+	// which freezes and rebases the two parked commits, then round 2 flushes.
+	<-g.entered
+	g.verdict <- nil
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-ckptDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	keys := txnKeys(t, check)
+	if len(keys) != 13 {
+		t.Fatalf("final state has %d rows, want 13", len(keys))
+	}
+	for _, want := range []int64{5001, 5002, 5003} {
+		found := false
+		for _, k := range keys {
+			if k == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("key %d lost across the checkpoint/group-commit interleave", want)
+		}
+	}
+	if err := m.WritePDT().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitStress is the commit-stress lane's main load: many writers
+// over a real fsynced file log, racing an explicit checkpoint loop and
+// background Write→Read folds (tiny budget). Every commit must succeed and
+// be durable exactly once in a cold replay of the log directory. (Barrier
+// failure under a batch is covered by TestGroupCommitBatchFailureFailsAll
+// here and TestGroupCommitFsyncFailureRecovery at the DB level.)
+func TestGroupCommitStress(t *testing.T) {
+	dir := t.TempDir()
+	log, recs, err := wal.OpenFileLog(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	defer log.Close()
+	m := newManager(t, 0, Options{WriteBudget: 1 << 12, Log: log})
+
+	const workers, perWorker = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker+8)
+	stopCkpt := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	ckptWG.Add(1)
+	go func() {
+		defer ckptWG.Done()
+		for {
+			select {
+			case <-stopCkpt:
+				return
+			default:
+			}
+			if err := m.Checkpoint(); err != nil {
+				errs <- err
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tx := m.Begin()
+				key := int64(10_000 + w*1000 + i)
+				if err := tx.Insert(types.Row{types.Int(key), types.Int(int64(w)), types.Str("s")}); err != nil {
+					errs <- err
+					tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopCkpt)
+	ckptWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("stress error: %v", err)
+	}
+	if err := m.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+	const commits = workers * perWorker
+	if got := m.LSN(); got != commits {
+		t.Fatalf("commit clock = %d, want %d", got, commits)
+	}
+	check := m.Begin()
+	defer check.Abort()
+	keys := txnKeys(t, check)
+	if len(keys) != commits {
+		t.Fatalf("final state has %d rows, want %d", len(keys), commits)
+	}
+	seen := map[int64]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	// Durability: a cold replay of the log directory holds every commit
+	// exactly once, in LSN order.
+	log2, recs, err := wal.OpenFileLog(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if len(recs) != commits {
+		t.Fatalf("cold replay found %d records, want %d", len(recs), commits)
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, rec.LSN)
+		}
+	}
+}

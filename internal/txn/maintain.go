@@ -38,6 +38,9 @@ type MaterializeFn func(freezeLSN uint64, store *colstore.Store, deltas ...*pdt.
 // commits in a fresh one. The three fields must change together: from here
 // on every view stacks the frozen layer between the Read-PDT and its
 // Write-PDT snapshot, and the stale snapshot cache must not resurface.
+// Callers must exclude an in-flight group-commit round (m.inflight == 0):
+// parked commits have their folds rebased onto the fresh layer here, but a
+// batch already handed to the WAL cannot be.
 func (m *Manager) freezeLocked() *pdt.PDT {
 	frozen := m.writePDT
 	m.frozen = frozen
@@ -45,7 +48,40 @@ func (m *Manager) freezeLocked() *pdt.PDT {
 	// as the next Read-PDT, so the configured geometry must carry through.
 	m.writePDT = pdt.New(m.tbl.Schema(), m.tbl.Fanout())
 	m.snapCache = nil
+	m.rebasePendingLocked()
 	return frozen
+}
+
+// rebasePendingLocked refolds the parked commit chain onto the current
+// Write-PDT after the layer under it changed (a freeze moved the old write
+// layer into the frozen slot, or a checkpoint swap/rollback replaced it).
+// The commits' serialized entries are already positioned in the RID domain
+// the new layer absorbs, so only the precomputed folds need recomputing. A
+// refold failure aborts that commit and everything parked behind it (their
+// serializations chained onto it).
+func (m *Manager) rebasePendingLocked() {
+	m.commitChain = nil
+	base := m.writePDT
+	for i, r := range m.pending {
+		folded, err := m.fold(base, r.serialized)
+		if err != nil {
+			werr := fmt.Errorf("txn: rebasing parked commit: %w", err)
+			for _, rest := range m.pending[i:] {
+				rest.err = werr
+				m.finishLocked(rest.t)
+				close(rest.done)
+			}
+			m.pending = m.pending[:i]
+			break
+		}
+		r.folded = folded
+		base = folded
+	}
+	if len(m.pending) > 0 {
+		m.commitChain = base
+	} else {
+		m.pending = nil
+	}
 }
 
 // maybeFoldLocked starts a background Write→Read fold once the Write-PDT
@@ -56,7 +92,8 @@ func (m *Manager) freezeLocked() *pdt.PDT {
 // checkpoint folds the write layer down anyway.
 func (m *Manager) maybeFoldLocked() {
 	if m.writePDT.MemBytes() < m.writeBudget ||
-		m.frozen != nil || m.checkpointing || m.ckptWaiters > 0 || m.maintErr != nil {
+		m.frozen != nil || m.checkpointing || m.ckptWaiters > 0 ||
+		m.inflight > 0 || m.maintErr != nil {
 		return
 	}
 	go m.completeFold(m.cur, m.freezeLocked())
@@ -94,7 +131,11 @@ func (m *Manager) installVersionLocked(v *version) {
 
 // releaseVersionLocked drops a version's claim on its stable image once it
 // is retired (no longer current) and unpinned (no running transaction).
-// When an image loses its last version its blocks leave the buffer pool.
+// When an image loses its last version its blocks leave the buffer pool and
+// — for a file-backed image — its descriptor is closed right here, so a
+// long-running store does not accumulate one open fd per superseded segment
+// until DB.Close. Readers that need the image to stay readable must pin it
+// through a transaction; direct table reads always track the newest version.
 func (m *Manager) releaseVersionLocked(v *version) {
 	if v == m.cur || v.refs > 0 {
 		return
@@ -102,7 +143,9 @@ func (m *Manager) releaseVersionLocked(v *version) {
 	m.storeRefs[v.store]--
 	if m.storeRefs[v.store] == 0 {
 		delete(m.storeRefs, v.store)
-		v.store.Evict()
+		// Evict-then-close: pool residents first so a stale hit cannot
+		// outlive the file, then the descriptor (no-op for RAM images).
+		_ = v.store.Close()
 	}
 }
 
@@ -134,8 +177,8 @@ func (m *Manager) Checkpoint() error { return m.CheckpointInto(nil) }
 func (m *Manager) CheckpointInto(build MaterializeFn) error {
 	m.mu.Lock()
 	m.ckptWaiters++ // pauses fold re-arming so the wait below terminates
-	for (m.checkpointing || m.frozen != nil) && m.maintErr == nil {
-		m.cond.Wait() // one maintenance operation at a time
+	for (m.checkpointing || m.frozen != nil || m.inflight > 0) && m.maintErr == nil {
+		m.cond.Wait() // one maintenance operation at a time, between flush rounds
 	}
 	m.ckptWaiters--
 	if err := m.maintErr; err != nil {
@@ -155,6 +198,9 @@ func (m *Manager) CheckpointInto(build MaterializeFn) error {
 			return m.tbl.Materialize(store, deltas...)
 		}
 	}
+	// The commit leader yields round boundaries while a checkpointer waits;
+	// wake it now that the freeze is done — commits flow during the build.
+	m.cond.Broadcast()
 	m.mu.Unlock()
 
 	// Off-lock: stream the full committed delta state (base ∘ Read ∘ frozen
@@ -166,6 +212,15 @@ func (m *Manager) CheckpointInto(build MaterializeFn) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	defer m.cond.Broadcast()
+	// The swap (or rollback) replaces the write layer, so it must not race a
+	// group-commit round whose precomputed folds chain onto the current one:
+	// signal the leader to pause at its next boundary and wait the round out.
+	m.ckptInstalling = true
+	m.cond.Broadcast()
+	for m.inflight > 0 {
+		m.cond.Wait()
+	}
+	m.ckptInstalling = false
 	m.checkpointing = false
 	if err != nil {
 		// Roll the frozen layer back under the write layer so the two-layer
@@ -178,12 +233,14 @@ func (m *Manager) CheckpointInto(build MaterializeFn) error {
 		m.writePDT = restored
 		m.frozen = nil
 		m.snapCache = nil
+		m.rebasePendingLocked()
 		return err
 	}
 	side := m.writePDT // commits that landed during the build
 	m.writePDT = pdt.New(m.tbl.Schema(), m.tbl.Fanout())
 	m.snapCache = nil
 	m.frozen = nil
+	m.rebasePendingLocked()
 	m.installVersionLocked(&version{store: newStore, readPDT: side})
 	return nil
 }

@@ -10,6 +10,12 @@
 // (Algorithm 9's TZ set, with reference counting) — aborting on write-write
 // conflict — and folds the result into the master Write-PDT.
 //
+// Commits are group-committed: a validated commit parks on a sequencer and
+// one leader makes a whole batch durable with a single WAL append (one
+// fsync), so the durability wait happens off the manager mutex and
+// concurrent writers share the barrier instead of queueing on it. See
+// Txn.Commit and commitLeader.
+//
 // Maintenance is online (maintain.go): the (store, Read-PDT) pair a
 // transaction reads is an immutable version pinned at Begin. When the
 // Write-PDT outgrows its budget it is frozen and folded into a fresh
@@ -23,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"pdtstore/internal/colstore"
 	"pdtstore/internal/engine"
@@ -66,10 +73,24 @@ type Manager struct {
 	running   map[*Txn]struct{}
 	committed []*committedTxn // Algorithm 9's TZ, in commit order
 
-	storeRefs     map[*colstore.Store]int // live versions per stable image
-	checkpointing bool
-	ckptWaiters   int   // callers blocked in Checkpoint; pauses fold re-arming
-	maintErr      error // first background maintenance failure, sticky
+	// Commit sequencer (group commit): validated commits park here, in
+	// commit order, until a leader makes a whole batch durable with one
+	// WAL append. pending[:inflight] is the batch the current leader round
+	// is flushing; commitChain is writePDT ∘ every uninstalled pending
+	// commit (nil when none are parked), the base the next enqueued
+	// commit folds onto so install is a single pointer swap.
+	pending      []*commitReq
+	inflight     int      // head of pending taken by the in-flight leader round
+	commitChain  *pdt.PDT // fold of writePDT with every parked commit
+	leaderActive bool     // a goroutine is running the sequencer loop
+	maxBatch     int      // commits per WAL append (1 = per-commit fsync)
+	maxDelay     time.Duration
+
+	storeRefs      map[*colstore.Store]int // live versions per stable image
+	checkpointing  bool
+	ckptWaiters    int   // callers blocked in Checkpoint; pauses fold re-arming
+	ckptInstalling bool  // checkpoint swap waiting for the leader round to end
+	maintErr       error // first background maintenance failure, sticky
 
 	// materialize stubs the checkpoint image build in fault-injection tests;
 	// nil selects tbl.Materialize (via CheckpointInto's default build).
@@ -86,6 +107,21 @@ type committedTxn struct {
 	refcnt     int
 }
 
+// commitReq is one validated commit parked on the sequencer: its serialized
+// Trans-PDT (the WAL record body), the precomputed fold of the write chain
+// including it, and the channel its transaction waits on until the leader
+// reports durability (lsn) or batch failure (err). Closing lead instead
+// promotes the parked goroutine to flush leader (leadership handoff).
+type commitReq struct {
+	t          *Txn
+	serialized *pdt.PDT
+	folded     *pdt.PDT
+	lsn        uint64
+	err        error
+	done       chan struct{}
+	lead       chan struct{}
+}
+
 // Options configures the manager.
 type Options struct {
 	// WriteBudget caps the Write-PDT's memory before its contents migrate
@@ -100,6 +136,17 @@ type Options struct {
 	// benchmarks can measure the pre-vectorized write path; production
 	// callers leave it false.
 	EntrywisePropagate bool
+	// MaxCommitBatch caps how many parked commits one leader flush folds
+	// into a single WAL append (and fsync). Zero selects 128. One disables
+	// group commit — every commit pays its own durability barrier — which
+	// is the baseline the commit benchmark measures against.
+	MaxCommitBatch int
+	// MaxCommitDelay, when positive, lets the flush leader wait that long
+	// for more commits to join a batch smaller than MaxCommitBatch. The
+	// natural batching — whatever arrives while the previous fsync runs —
+	// is usually enough; the delay trades single-writer commit latency for
+	// fewer, fuller batches.
+	MaxCommitDelay time.Duration
 }
 
 // NewManager wraps a ModePDT table. The table's own PDT becomes the first
@@ -112,6 +159,10 @@ func NewManager(tbl *table.Table, opts Options) (*Manager, error) {
 	if budget == 0 {
 		budget = 256 << 10
 	}
+	maxBatch := opts.MaxCommitBatch
+	if maxBatch <= 0 {
+		maxBatch = 128
+	}
 	m := &Manager{
 		tbl:         tbl,
 		cur:         &version{store: tbl.Store(), readPDT: tbl.PDT()},
@@ -120,6 +171,8 @@ func NewManager(tbl *table.Table, opts Options) (*Manager, error) {
 		writeBudget: budget,
 		log:         opts.Log,
 		entrywise:   opts.EntrywisePropagate,
+		maxBatch:    maxBatch,
+		maxDelay:    opts.MaxCommitDelay,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.storeRefs = map[*colstore.Store]int{m.cur.store: 1}
@@ -250,8 +303,14 @@ type Txn struct {
 	frozen    *pdt.PDT // maintenance layer in flight at Begin, or nil
 	writeSnap *pdt.PDT
 	trans     *pdt.PDT
+	commitLSN uint64 // LSN the group-commit leader assigned, once durable
 	done      bool
 }
+
+// CommitLSN returns the log sequence number the transaction's commit record
+// was assigned, valid once Commit has returned nil. It is 0 for aborted or
+// failed transactions and for empty commits (which never consume an LSN).
+func (t *Txn) CommitLSN() uint64 { return t.commitLSN }
 
 // Schema returns the table schema (making Txn an engine.Relation: plans can
 // be built directly over a transaction's view).
@@ -430,20 +489,27 @@ func (t *Txn) ApplyBatch(ops []table.Op) (int, error) {
 // Commit serializes the transaction against everything that committed during
 // its lifetime (Algorithm 9) and folds it into the master Write-PDT. On
 // conflict the transaction aborts and ErrConflict (wrapping the PDT-level
-// detail) is returned. The fold goes through a copy, and the commit clock
-// only advances when the WAL record is durable: a failed fold or append
-// leaves the Write-PDT, the clock and the log all untouched, so a logged
-// commit is always an applied commit.
+// detail) is returned.
+//
+// Commits are group-committed: validation and the fold happen under a narrow
+// critical section, then the commit parks on the sequencer and the manager
+// mutex is released — Begin, Scan and other commits' validation never wait
+// behind an fsync. One leader flushes every parked commit with a single WAL
+// append (one durability barrier for the whole batch) and wakes each waiter
+// with its LSN; the Write-PDT and the commit clock advance, in LSN order,
+// only after the batch is durable. Fail-stop: a failed append or fsync
+// aborts every transaction in the batch — the log is poisoned, the clock
+// stays put, and none of the batch becomes visible, here or at replay.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
 	}
 	m := t.mgr
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	t.done = true
 	if err := m.maintErr; err != nil {
 		m.finishLocked(t)
+		m.mu.Unlock()
 		return err
 	}
 
@@ -455,6 +521,20 @@ func (t *Txn) Commit() error {
 		next, err := serialized.Serialize(c.serialized)
 		if err != nil {
 			m.finishLocked(t)
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %v", ErrConflict, err)
+		}
+		serialized = next
+	}
+	// Commits parked on the sequencer (validated but not yet durable) are
+	// ahead of this one in the commit order: serialize against them too.
+	// The dependency is safe under fail-stop — if their batch's fsync
+	// fails, they all abort and so does everything parked behind them.
+	for _, r := range m.pending {
+		next, err := serialized.Serialize(r.serialized)
+		if err != nil {
+			m.finishLocked(t)
+			m.mu.Unlock()
 			return fmt.Errorf("%w: %v", ErrConflict, err)
 		}
 		serialized = next
@@ -463,35 +543,194 @@ func (t *Txn) Commit() error {
 		// Nothing to log or apply: the clock must not advance (only durable
 		// records move it) and the shared snapshot stays valid.
 		m.finishLocked(t)
+		m.mu.Unlock()
 		return nil
 	}
-	folded, err := m.fold(m.writePDT, serialized)
+	// Fold onto the chain of parked commits (or the Write-PDT itself when
+	// none are parked): once the batch is durable, installing it is one
+	// pointer swap to the last member's fold.
+	base := m.commitChain
+	if base == nil {
+		base = m.writePDT
+	}
+	folded, err := m.fold(base, serialized)
 	if err != nil {
 		m.finishLocked(t)
+		m.mu.Unlock()
 		return err
 	}
-	if m.log != nil {
-		lsn, err := m.log.Append("table", serialized.Dump())
-		if err != nil {
-			m.finishLocked(t)
-			return fmt.Errorf("txn: WAL append failed, aborting: %w", err)
-		}
-		m.lsn = lsn // commit clock tracks the durable WAL clock
+	req := &commitReq{t: t, serialized: serialized, folded: folded,
+		done: make(chan struct{}), lead: make(chan struct{})}
+	m.pending = append(m.pending, req)
+	m.commitChain = folded
+	lead := !m.leaderActive
+	if lead {
+		m.leaderActive = true
+	}
+	m.mu.Unlock()
+
+	if lead {
+		m.commitLeader(req)
 	} else {
-		m.lsn++
+		// Park until the batch resolves — or until the outgoing leader hands
+		// this commit the queue (leadership handoff).
+		select {
+		case <-req.done:
+			// Both channels can be ready (a handoff promoted this commit,
+			// then a rebase failure resolved it before this select ran) and
+			// Go picks either — leadership must not be dropped on the
+			// floor, or every later commit parks with no one flushing.
+			select {
+			case <-req.lead:
+				m.commitLeader(req)
+			default:
+			}
+		case <-req.lead:
+			m.commitLeader(req)
+		}
 	}
-	m.writePDT = folded
-	m.snapCache = nil
-	m.finishLocked(t)
-	if refs := len(m.running); refs > 0 {
-		m.committed = append(m.committed, &committedTxn{
-			serialized: serialized,
-			commitLSN:  m.lsn,
-			refcnt:     refs,
-		})
+	<-req.done
+	if req.err != nil {
+		return req.err
 	}
-	m.maybeFoldLocked()
+	t.commitLSN = req.lsn
 	return nil
+}
+
+// commitLeader is the sequencer loop: whoever finds the sequencer idle at
+// enqueue runs it, starting from its own parked commit `own`. Each round
+// takes a batch off the queue, makes it durable with one WAL append (no
+// manager lock held across the fsync — followers keep enqueueing and Begin
+// keeps running), then installs the whole batch in LSN order and wakes its
+// waiters. Once the leader's own commit has resolved it hands the queue to
+// the next parked committer instead of draining it (leadership handoff), so
+// under sustained arrivals no writer's Commit is held hostage flushing
+// other writers' batches — every commit's latency is bounded by its own
+// batch plus the round in front of it. Between rounds the leader also
+// yields to a checkpointer waiting to freeze or to swap in a finished
+// image, so maintenance cannot starve under a saturated queue.
+func (m *Manager) commitLeader(own *commitReq) {
+	m.mu.Lock()
+	for {
+		if m.maintErr == nil &&
+			(m.ckptInstalling || (m.ckptWaiters > 0 && !m.checkpointing && m.frozen == nil)) {
+			// A checkpoint is ready to freeze the write layer or install a
+			// finished image: let it take the round boundary (both are quick
+			// locked operations; commits resume immediately after).
+			m.cond.Broadcast()
+			m.cond.Wait()
+			continue
+		}
+		if len(m.pending) == 0 {
+			m.leaderActive = false
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			return
+		}
+		n := min(len(m.pending), m.maxBatch)
+		m.inflight = n
+		batch := m.pending[:n:n]
+		m.mu.Unlock()
+
+		if m.maxDelay > 0 && len(batch) < m.maxBatch {
+			// Optional batching window: give concurrent writers a moment to
+			// join before paying the durability barrier.
+			time.Sleep(m.maxDelay)
+			m.mu.Lock()
+			if extra := min(m.maxBatch-len(batch), len(m.pending)-m.inflight); extra > 0 {
+				batch = append(batch, m.pending[m.inflight:m.inflight+extra]...)
+				m.inflight += extra
+			}
+			m.mu.Unlock()
+		}
+
+		// Off-lock: one append, one fsync, for the whole batch.
+		var first uint64
+		var err error
+		if m.log != nil {
+			recs := make([]wal.GroupRecord, len(batch))
+			for i, r := range batch {
+				recs[i] = wal.GroupRecord{Table: "table", Entries: r.serialized.Dump()}
+			}
+			first, err = m.log.AppendGroup(recs)
+		}
+
+		m.mu.Lock()
+		m.inflight = 0
+		if err != nil {
+			werr := fmt.Errorf("txn: WAL append failed, aborting: %w", err)
+			// Fail-stop for the whole batch — and for everything parked
+			// behind it, whose folds and serializations chained onto the
+			// failed commits (the poisoned log would refuse them anyway).
+			m.failPendingLocked(werr)
+		} else {
+			m.installBatchLocked(batch, first)
+		}
+		m.cond.Broadcast()
+		m.maybeFoldLocked()
+		select {
+		case <-own.done:
+			// The leader's own commit is resolved: hand the rest of the
+			// queue to the next parked committer and return to the caller.
+			if len(m.pending) > 0 {
+				close(m.pending[0].lead)
+			} else {
+				m.leaderActive = false
+				m.cond.Broadcast()
+			}
+			m.mu.Unlock()
+			return
+		default:
+			// Own commit still queued (the batch cap left it behind): keep
+			// leading until its round comes up.
+		}
+	}
+}
+
+// installBatchLocked makes a durable batch visible: the commit clock walks
+// the batch's LSNs in order, the Write-PDT advances to the last member's
+// precomputed fold, each member joins the TZ set for the transactions still
+// running, and every waiter wakes with its LSN.
+func (m *Manager) installBatchLocked(batch []*commitReq, first uint64) {
+	if m.log == nil {
+		first = m.lsn + 1
+	}
+	for i, r := range batch {
+		m.lsn = first + uint64(i)
+		r.lsn = m.lsn
+		m.writePDT = r.folded
+		m.finishLocked(r.t)
+		if refs := len(m.running); refs > 0 {
+			m.committed = append(m.committed, &committedTxn{
+				serialized: r.serialized,
+				commitLSN:  r.lsn,
+				refcnt:     refs,
+			})
+		}
+	}
+	m.pending = m.pending[len(batch):]
+	if len(m.pending) == 0 {
+		m.pending = nil
+		m.commitChain = nil
+	}
+	m.snapCache = nil
+	for _, r := range batch {
+		close(r.done)
+	}
+}
+
+// failPendingLocked aborts every parked commit (the in-flight batch and
+// everything queued behind it) with err. None of them consumed an LSN and
+// none may become visible.
+func (m *Manager) failPendingLocked(err error) {
+	for _, r := range m.pending {
+		r.err = err
+		m.finishLocked(r.t)
+		close(r.done)
+	}
+	m.pending = nil
+	m.inflight = 0
+	m.commitChain = nil
 }
 
 // Abort discards the transaction. It returns any deferred background

@@ -2,9 +2,10 @@ package wal
 
 // FileLog: the durable write-ahead log. A log is a directory of numbered
 // segment files (%016x.wal); records append to the newest with an fsync per
-// commit, the log rotates to a fresh file when the current one outgrows its
-// budget (and at every checkpoint truncation), and recovery replays the files
-// in sequence order. A torn record is tolerated only at the very end of the
+// appended batch — one commit via Append, or a whole group of parked commits
+// via AppendGroup — the log rotates to a fresh file when the current one
+// outgrows its budget (and at every checkpoint truncation), and recovery
+// replays the files in sequence order. A torn record is tolerated only at the very end of the
 // newest file — exactly where a crash mid-append leaves one — and is
 // truncated away before new appends; a tear anywhere earlier is corruption
 // and fails the open.
@@ -46,6 +47,8 @@ type FileLog struct {
 	curMax   uint64 // LSN of the last record in the current file
 	sealed   []sealedFile
 	maxBytes int64
+	syncs    uint64 // durability barriers performed (fsyncs that succeeded)
+	failSync error  // armed one-shot fsync failure (FailNextSync, tests only)
 }
 
 func logFileName(seq uint64) string { return fmt.Sprintf("%016x.wal", seq) }
@@ -121,10 +124,26 @@ func OpenFileLog(dir string) (*FileLog, []Record, error) {
 		return nil, nil, err
 	}
 	l.f = f
-	l.w = NewSyncedWriter(f, f.Sync)
+	l.w = NewSyncedWriter(f, l.syncCurrent)
 	l.w.SetLSN(lastLSN)
 	syncDirBestEffort(dir)
 	return l, records, nil
+}
+
+// syncCurrent is the durability barrier of the current file: one fsync per
+// flushed append (single record or whole group). It runs under l.mu, from
+// inside the writer's append. The armed test failure is consumed first so
+// fault-injection tests can simulate a dying disk at exactly this barrier.
+func (l *FileLog) syncCurrent() error {
+	if err := l.failSync; err != nil {
+		l.failSync = nil
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.syncs++
+	return nil
 }
 
 func replayFile(path string) ([]Record, int64, error) {
@@ -145,15 +164,31 @@ func replayFile(path string) ([]Record, int64, error) {
 func (l *FileLog) Append(tableName string, entries []pdt.RebuildEntry) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(1, func() (uint64, error) { return l.w.Append(tableName, entries) })
+}
+
+// AppendGroup durably writes a batch of commit records behind one fsync,
+// returning the LSN of the first (record i carries LSN first+i). The batch
+// is all-or-nothing: on error the log is poisoned and none of the group's
+// records may surface at replay.
+func (l *FileLog) AppendGroup(recs []GroupRecord) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(len(recs), func() (uint64, error) { return l.w.AppendGroup(recs) })
+}
+
+// appendLocked runs one append (single record or group of n) with the shared
+// failure retraction and rotation policy around it.
+func (l *FileLog) appendLocked(n int, do func() (uint64, error)) (uint64, error) {
 	var preSize int64 = -1
 	if fi, serr := l.f.Stat(); serr == nil {
 		preSize = fi.Size()
 	}
-	lsn, err := l.w.Append(tableName, entries)
+	first, err := do()
 	if err != nil {
 		// The writer is poisoned, but a failed *fsync* may have left the
-		// whole record flushed to the page cache, where writeback could later
-		// make the aborted commit durable behind our back. Best-effort
+		// records flushed to the page cache, where writeback could later
+		// make the aborted commits durable behind our back. Best-effort
 		// retract the bytes; if even that fails, the log stays poisoned and
 		// replay's torn-tail handling covers whatever lands on disk.
 		if preSize >= 0 {
@@ -163,14 +198,14 @@ func (l *FileLog) Append(tableName string, entries []pdt.RebuildEntry) (uint64, 
 		}
 		return 0, err
 	}
-	l.curRecs++
-	l.curMax = lsn
+	l.curRecs += n
+	l.curMax = first + uint64(n-1)
 	if fi, err := l.f.Stat(); err == nil && fi.Size() >= l.maxBytes {
-		// Rotation failure is not a commit failure — the record is durable;
+		// Rotation failure is not a commit failure — the records are durable;
 		// the next append keeps the current file and retries rotation.
 		_ = l.rotateLocked()
 	}
-	return lsn, nil
+	return first, nil
 }
 
 // LSN returns the LSN of the last record appended.
@@ -195,6 +230,26 @@ func (l *FileLog) Err() error {
 	return l.w.Err()
 }
 
+// Syncs returns how many durability barriers (successful fsyncs) the log has
+// performed. The group-commit benchmark reads it to show batching: far fewer
+// fsyncs than committed records.
+func (l *FileLog) Syncs() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
+}
+
+// FailNextSync arms a one-shot failure of the next append's durability
+// barrier: the records reach the page cache but the fsync reports err,
+// simulating a dying disk at the worst moment. Fault-injection tests use it
+// to assert group-commit's fail-stop contract (every transaction in the
+// batch fails, the log is poisoned, recovery surfaces none of the batch).
+func (l *FileLog) FailNextSync(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failSync = err
+}
+
 // rotateLocked seals the current file and starts a fresh one, carrying the
 // LSN clock over. On failure the current file stays active.
 func (l *FileLog) rotateLocked() error {
@@ -210,7 +265,7 @@ func (l *FileLog) rotateLocked() error {
 		return err
 	}
 	l.sealed = append(l.sealed, sealedFile{path: l.curPath, records: l.curRecs, maxLSN: l.curMax})
-	w := NewSyncedWriter(f, f.Sync)
+	w := NewSyncedWriter(f, l.syncCurrent)
 	w.SetLSN(l.w.LSN())
 	l.f, l.w = f, w
 	l.seq, l.curPath, l.curRecs, l.curMax = next, path, 0, 0

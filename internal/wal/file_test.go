@@ -232,3 +232,94 @@ func TestFileLogAppendIsDurable(t *testing.T) {
 	}
 	l.Close()
 }
+
+// TestFileLogGroupAppend: one AppendGroup is one fsync for the whole batch,
+// the records are individually durable on disk, and a reopen replays them
+// with consecutive LSNs.
+func TestFileLogGroupAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenFileLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2)
+	preSyncs := l.Syncs()
+	group := make([]GroupRecord, 5)
+	for i := range group {
+		group[i] = GroupRecord{Table: "t", Entries: sampleEntries()}
+	}
+	first, err := l.AppendGroup(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 || l.LSN() != 7 {
+		t.Fatalf("group LSNs: first=%d lsn=%d, want 3 and 7", first, l.LSN())
+	}
+	if got := l.Syncs() - preSyncs; got != 1 {
+		t.Fatalf("group of 5 cost %d fsyncs, want 1", got)
+	}
+	recs, _, err := replayFile(filepath.Join(dir, logFileName(1)))
+	if err != nil || len(recs) != 7 {
+		t.Fatalf("on-disk state after group: %d records, err=%v", len(recs), err)
+	}
+	l.Close()
+
+	l2, recs, err := OpenFileLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != 7 {
+		t.Fatalf("reopen replayed %d records, want 7", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, rec.LSN)
+		}
+	}
+}
+
+// TestFileLogGroupSyncFailureRetracts: when the batch's one fsync fails, the
+// log is poisoned, the flushed bytes are retracted, and a reopen surfaces
+// only the pre-failure records — no transaction of the failed batch can
+// resurface via page-cache writeback.
+func TestFileLogGroupSyncFailureRetracts(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenFileLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	l.FailNextSync(errors.New("injected: device died at the barrier"))
+	group := []GroupRecord{
+		{Table: "t", Entries: sampleEntries()},
+		{Table: "t", Entries: sampleEntries()},
+	}
+	if _, err := l.AppendGroup(group); err == nil {
+		t.Fatal("group append with failing fsync succeeded")
+	}
+	if l.LSN() != 3 {
+		t.Fatalf("failed group consumed LSNs: %d", l.LSN())
+	}
+	if l.Err() == nil {
+		t.Fatal("log not poisoned after failed group fsync")
+	}
+	if _, err := l.Append("t", sampleEntries()); err == nil {
+		t.Fatal("poisoned log accepted another append")
+	}
+	l.Close()
+
+	l2, recs, err := OpenFileLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != 3 {
+		t.Fatalf("reopen surfaced %d records, want the 3 pre-failure ones", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, rec.LSN)
+		}
+	}
+}

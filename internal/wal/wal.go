@@ -11,9 +11,12 @@
 //
 // Writer frames and encodes records over any io.Writer (tests, benchmarks);
 // FileLog is the durable form: a directory of rotated log files with an
-// fsync per commit, torn-tail repair at open, and LSN-bounded truncation
-// after a checkpoint. Both satisfy Log, which the transaction manager
-// appends to.
+// fsync per flushed batch, torn-tail repair at open, and LSN-bounded
+// truncation after a checkpoint. Both satisfy Log, which the transaction
+// manager appends to — one record at a time (Append), or a whole group of
+// parked commits behind a single durability barrier (AppendGroup, the
+// group-commit fast path: n records, one write, one fsync, consecutive
+// LSNs, all-or-nothing).
 package wal
 
 import (
@@ -47,11 +50,24 @@ type Record struct {
 	Entries []pdt.RebuildEntry
 }
 
+// GroupRecord is one commit of a batched append: the table it targets and
+// the serialized Trans-PDT entries of the transaction.
+type GroupRecord struct {
+	Table   string
+	Entries []pdt.RebuildEntry
+}
+
 // Log is the commit log the transaction manager appends to: an in-memory
-// *Writer, or a durable *FileLog that fsyncs every record.
+// *Writer, or a durable *FileLog that fsyncs every batch.
 type Log interface {
 	// Append durably writes one commit record, returning its LSN.
 	Append(tableName string, entries []pdt.RebuildEntry) (uint64, error)
+	// AppendGroup durably writes a batch of commit records behind one
+	// flush (and one fsync, on a synced log), returning the LSN of the
+	// first: record i carries LSN first+i. The batch is all-or-nothing —
+	// on error none of its records is appended, the clock does not move,
+	// and the log is poisoned exactly as a failed Append poisons it.
+	AppendGroup(recs []GroupRecord) (uint64, error)
 	// LSN returns the LSN of the last record appended.
 	LSN() uint64
 	// SetLSN moves the clock so the next Append returns lsn+1.
@@ -62,12 +78,15 @@ type Log interface {
 // across Append calls, so steady-state commits serialize without
 // per-record allocation.
 //
-// A failed Append poisons the writer (fail-stop): the half-written record is
-// dropped from the buffer, the clock rolls back, and every later Append
-// returns the original error. Without this, a record whose flush failed —
-// for a commit the caller therefore aborted — would linger in the buffer and
-// ride out to disk with the next successful append, resurrecting an aborted
-// transaction at replay. A poisoned writer must be replaced (over a
+// A failed Append or AppendGroup poisons the writer (fail-stop): the
+// half-written frames are dropped from the buffer, the clock stays put, and
+// every later append returns the original error. Without this, a record
+// whose flush failed — for a commit the caller therefore aborted — would
+// linger in the buffer and ride out to disk with the next successful append,
+// resurrecting an aborted transaction at replay. For a group the poisoning
+// is collective: none of the batch's records consumed an LSN, so every
+// transaction parked on the batch must abort. A poisoned writer must be
+// replaced (over a
 // truncated or repaired log) before logging can resume; the torn tail it may
 // leave behind is exactly what Replay already stops cleanly at.
 type Writer struct {
@@ -75,8 +94,9 @@ type Writer struct {
 	w    *bufio.Writer
 	lsn  uint64
 	buf  []byte
-	sync func() error // called after each flushed append (fsync-on-commit)
-	err  error        // sticky first append failure
+	one  [1]GroupRecord // scratch so Append reuses the group path allocation-free
+	sync func() error   // called after each flushed append (fsync-on-commit)
+	err  error          // sticky first append failure
 }
 
 // NewWriter wraps an io.Writer (a file, or a buffer in tests).
@@ -109,19 +129,43 @@ func (w *Writer) SetLSN(lsn uint64) { w.lsn = lsn }
 // buffered and the LSN is not consumed. The entries are serialized before
 // Append returns, so they may alias live PDT storage (pdt.Dump's contract).
 func (w *Writer) Append(tableName string, entries []pdt.RebuildEntry) (uint64, error) {
+	w.one[0] = GroupRecord{Table: tableName, Entries: entries}
+	lsn, err := w.AppendGroup(w.one[:])
+	w.one[0] = GroupRecord{}
+	return lsn, err
+}
+
+// AppendGroup writes a batch of commit records framed back to back, with one
+// buffered write, one flush and — on a synced writer — one fsync for the
+// whole batch: the group-commit durability barrier. It returns the LSN of
+// the first record; record i carries LSN first+i, so the caller can hand
+// every parked transaction in the batch its own LSN. The batch is
+// all-or-nothing: when AppendGroup returns nil every record is durable in
+// order, and on error the writer is poisoned, the clock stays put, and no
+// record of the group may surface at replay (a torn prefix of the batch is
+// exactly the tail Replay truncates).
+func (w *Writer) AppendGroup(recs []GroupRecord) (uint64, error) {
 	if w.err != nil {
 		return 0, w.err
 	}
-	w.buf = encodeRecord(w.buf[:0], Record{LSN: w.lsn + 1, Table: tableName, Entries: entries})
-	body := w.buf
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	if len(recs) == 0 {
+		return 0, errors.New("wal: empty append group")
+	}
+	// One frame per record, all in the reused encode buffer: 8-byte header
+	// (length + CRC of the body) followed by the body, exactly the layout
+	// Replay expects, so a group is indistinguishable from the same records
+	// appended one by one.
+	w.buf = w.buf[:0]
+	for i, rec := range recs {
+		start := len(w.buf)
+		w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+		w.buf = encodeRecord(w.buf, Record{LSN: w.lsn + 1 + uint64(i), Table: rec.Table, Entries: rec.Entries})
+		body := w.buf[start+8:]
+		binary.LittleEndian.PutUint32(w.buf[start:start+4], uint32(len(body)))
+		binary.LittleEndian.PutUint32(w.buf[start+4:start+8], crc32.ChecksumIEEE(body))
+	}
 	err := func() error {
-		if _, err := w.w.Write(hdr[:]); err != nil {
-			return err
-		}
-		if _, err := w.w.Write(body); err != nil {
+		if _, err := w.w.Write(w.buf); err != nil {
 			return err
 		}
 		if err := w.w.Flush(); err != nil {
@@ -134,11 +178,12 @@ func (w *Writer) Append(tableName string, entries []pdt.RebuildEntry) (uint64, e
 	}()
 	if err != nil {
 		w.err = fmt.Errorf("wal: append failed: %w", err)
-		w.w.Reset(w.out) // drop the unflushed record
+		w.w.Reset(w.out) // drop whatever of the group is still unflushed
 		return 0, w.err
 	}
-	w.lsn++
-	return w.lsn, nil
+	first := w.lsn + 1
+	w.lsn += uint64(len(recs))
+	return first, nil
 }
 
 // Replay reads records until EOF. A clean end returns a nil error; a partial

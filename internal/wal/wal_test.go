@@ -202,3 +202,99 @@ func TestAppendFailureIsFailStop(t *testing.T) {
 		t.Fatalf("log holds %d records (want only the pre-failure one): %+v", len(recs), recs)
 	}
 }
+
+// TestAppendGroupRoundTrip: a group append is byte-identical to the same
+// records appended one by one — consecutive LSNs, per-record frames, the
+// same replay.
+func TestAppendGroupRoundTrip(t *testing.T) {
+	group := []GroupRecord{
+		{Table: "orders", Entries: sampleEntries()},
+		{Table: "lineitem", Entries: nil},
+		{Table: "orders", Entries: sampleEntries()[:2]},
+	}
+	var grouped, single bytes.Buffer
+	gw := NewWriter(&grouped)
+	if _, err := gw.Append("seed", sampleEntries()); err != nil {
+		t.Fatal(err)
+	}
+	first, err := gw.AppendGroup(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 || gw.LSN() != 4 {
+		t.Fatalf("group LSNs: first=%d lsn=%d, want 2 and 4", first, gw.LSN())
+	}
+	sw := NewWriter(&single)
+	if _, err := sw.Append("seed", sampleEntries()); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range group {
+		if _, err := sw.Append(rec.Table, rec.Entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(grouped.Bytes(), single.Bytes()) {
+		t.Fatal("group append produced different bytes than per-record appends")
+	}
+	recs, err := Replay(bytes.NewReader(grouped.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, rec.LSN)
+		}
+	}
+	if recs[2].Table != "lineitem" || len(recs[2].Entries) != 0 {
+		t.Fatalf("group record 1 = %+v", recs[2])
+	}
+}
+
+// TestAppendGroupFailureIsFailStop: a failed group consumes no LSNs, poisons
+// the writer collectively, and none of the group's records may surface.
+func TestAppendGroupFailureIsFailStop(t *testing.T) {
+	rec := []pdt.RebuildEntry{{SID: 1, Kind: pdt.KindDel, Del: types.Row{types.Int(1)}}}
+	f := &flakyWriter{}
+	w := NewWriter(f)
+	if _, err := w.Append("t", rec); err != nil {
+		t.Fatal(err)
+	}
+	f.tripped = true
+	group := []GroupRecord{{Table: "t", Entries: rec}, {Table: "t", Entries: rec}, {Table: "t", Entries: rec}}
+	if _, err := w.AppendGroup(group); err == nil {
+		t.Fatal("group append over failing device succeeded")
+	}
+	if w.LSN() != 1 {
+		t.Fatalf("failed group consumed LSNs: %d", w.LSN())
+	}
+	f.tripped = false
+	if _, err := w.AppendGroup(group); err == nil {
+		t.Fatal("poisoned writer accepted another group")
+	}
+	recs, err := Replay(bytes.NewReader(f.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].LSN != 1 {
+		t.Fatalf("log holds %d records (want only the pre-failure one): %+v", len(recs), recs)
+	}
+}
+
+// TestAppendGroupEmpty: an empty group is a caller bug, reported without
+// touching the clock or the stream.
+func TestAppendGroupEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.AppendGroup(nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if w.LSN() != 0 || buf.Len() != 0 {
+		t.Fatalf("empty group moved state: lsn=%d bytes=%d", w.LSN(), buf.Len())
+	}
+	if _, err := w.Append("t", nil); err != nil {
+		t.Fatalf("writer poisoned by empty group: %v", err)
+	}
+}

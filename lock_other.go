@@ -7,6 +7,10 @@ import (
 	"path/filepath"
 )
 
+// lockEnforced reports whether lockDir actually excludes a second opener on
+// this platform (tests gate their exclusivity assertions on it).
+const lockEnforced = false
+
 // Non-unix fallback: the LOCK file is created but not flock'd — single-opener
 // discipline is the caller's responsibility on these platforms.
 func lockDir(dir string) (*os.File, error) {

@@ -9,6 +9,10 @@ import (
 	"syscall"
 )
 
+// lockEnforced reports whether lockDir actually excludes a second opener on
+// this platform (tests gate their exclusivity assertions on it).
+const lockEnforced = true
+
 // lockDir takes an exclusive advisory flock on dir/LOCK, guarding the store
 // against a second opener: two processes appending to the same WAL with
 // independent LSN clocks, or checkpointing over each other's manifest, would
