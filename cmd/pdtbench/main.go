@@ -48,6 +48,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -69,7 +71,39 @@ func main() {
 	writers := flag.String("writers", "", "comma-separated writer counts for -fig commit")
 	commits := flag.Int("commits", 0, "commits per writer for -fig commit (0 = default)")
 	barriers := flag.String("barriers", "", "comma-separated barrier latencies in us for -fig commit (default 0,2000)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the figure run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+			}
+		}()
+	}
 
 	switch *fig {
 	case "16":

@@ -51,6 +51,18 @@
 // whole batch fail-stop with nothing visible, live or at replay.
 // Options.MaxCommitBatch and Options.MaxCommitDelay tune the batching.
 //
+// The serialized part of that commit path is O(change), not O(state):
+// Begin takes a copy-on-write Write-PDT snapshot in O(1) (pdt.Snapshot;
+// later updates path-copy only the spine they touch, and the commit-time
+// fold forks rather than rebuilds its base via pdt.FoldSnap), committing
+// over k overlapping transactions runs one cascaded sweep instead of k
+// serialize passes (pdt.SerializeChain), and an insert's position probe
+// stages merge-scan batches at the consumer's size, compares keys against
+// column vectors without materializing rows, and decodes only the tail of
+// the stable block it enters — for every encoding, dictionary and RLE
+// included — while still fetching (and charging) whole blocks from the
+// device.
+//
 // See README.md for an architecture tour and quickstart. The benchmarks in
 // bench_test.go regenerate every figure of the paper's §4, plus the engine's
 // scan-pipeline profile (cmd/pdtbench -fig scan), the write-path profile

@@ -491,6 +491,14 @@ func (s *Store) decodeBlock(col, blk int) (*vector.Vector, error) {
 // vector for every block of a column, so steady-state scans decode without
 // per-block allocation.
 func (s *Store) decodeBlockInto(col, blk int, v *vector.Vector) error {
+	return s.decodeBlockTailInto(col, blk, 0, v)
+}
+
+// decodeBlockTailInto is decodeBlockInto starting at value index skip: v
+// receives only the block's values from skip on. The whole encoded block is
+// still fetched — the device's byte accounting is unchanged — but a point
+// probe entering mid-block materializes just the tail it will read.
+func (s *Store) decodeBlockTailInto(col, blk, skip int, v *vector.Vector) error {
 	enc, err := s.encodedBlock(col, blk)
 	if err != nil {
 		return err
@@ -498,13 +506,13 @@ func (s *Store) decodeBlockInto(col, blk int, v *vector.Vector) error {
 	v.Reset()
 	switch v.Kind {
 	case types.Float64:
-		v.F, err = compress.DecodeFloat64s(enc, v.F)
+		v.F, err = compress.DecodeFloat64sFrom(enc, skip, v.F)
 	case types.String:
-		v.S, err = compress.DecodeStrings(enc, v.S)
+		v.S, err = compress.DecodeStringsFrom(enc, skip, v.S)
 	case types.Bool:
-		v.I, err = compress.DecodeBools(enc, v.I)
+		v.I, err = compress.DecodeBoolsFrom(enc, skip, v.I)
 	default:
-		v.I, err = compress.DecodeInt64s(enc, v.I)
+		v.I, err = compress.DecodeInt64sFrom(enc, skip, v.I)
 	}
 	if err != nil {
 		return fmt.Errorf("colstore: column %d block %d: %w", col, blk, err)
@@ -644,9 +652,10 @@ type Scanner struct {
 	cols  []int
 	sid   uint64 // next SID to produce
 	end   uint64
-	// decoded block per requested column, covering blkStart..blkStart+blockRows
-	bufs   []*vector.Vector
-	blkIdx int // which block the bufs hold, -1 if none
+	// decoded block (tail) per requested column
+	bufs    []*vector.Vector
+	blkIdx  int // which block the bufs hold, -1 if none
+	blkSkip int // value index the bufs start at within that block
 }
 
 // NewScanner returns a scanner over SIDs [from, to) producing the given
@@ -684,17 +693,22 @@ func (sc *Scanner) Next(out *vector.Batch, max int) (int, error) {
 	s := sc.store
 	blk := int(sc.sid) / s.blockRows
 	if blk != sc.blkIdx {
+		// Entering a block mid-way (only ever the scan's first block) decodes
+		// just the tail from the entry offset: a point probe at the end of a
+		// big block skips the bulk of its decode work.
+		skip := int(sc.sid) % s.blockRows
 		for i, c := range sc.cols {
 			if sc.bufs[i] == nil {
-				sc.bufs[i] = vector.New(s.schema.Cols[c].Kind, s.blockRows)
+				sc.bufs[i] = vector.New(s.schema.Cols[c].Kind, s.blockRows-skip)
 			}
-			if err := s.decodeBlockInto(c, blk, sc.bufs[i]); err != nil {
+			if err := s.decodeBlockTailInto(c, blk, skip, sc.bufs[i]); err != nil {
 				return 0, err
 			}
 		}
 		sc.blkIdx = blk
+		sc.blkSkip = skip
 	}
-	off := int(sc.sid) % s.blockRows
+	off := int(sc.sid)%s.blockRows - sc.blkSkip
 	blockEnd := uint64(blk+1) * uint64(s.blockRows)
 	if blockEnd > sc.end {
 		blockEnd = sc.end

@@ -17,7 +17,7 @@ func testSchema() *types.Schema {
 	}, []int{0})
 }
 
-func buildStore(t *testing.T, n, blockRows int, compressed bool) *Store {
+func buildStore(t testing.TB, n, blockRows int, compressed bool) *Store {
 	t.Helper()
 	b := NewBuilder(testSchema(), nil, blockRows, compressed)
 	for i := 0; i < n; i++ {
@@ -358,5 +358,55 @@ func TestPointCacheEviction(t *testing.T) {
 		if row[0].I != int64(i*2) {
 			t.Fatalf("RowAt(%d) = %v", i, row)
 		}
+	}
+}
+
+// TestScannerMidBlockStart checks the partial first-block decode: a scanner
+// entering at every offset of a block must produce exactly the suffix a
+// full-range scan produces, for all column kinds, compressed or not.
+func TestScannerMidBlockStart(t *testing.T) {
+	const n, blockRows = 100, 16
+	for _, compressed := range []bool{false, true} {
+		s := buildStore(t, n, blockRows, compressed)
+		cols := []int{0, 1, 2, 3}
+		full := scanAll(t, s, cols, 0, uint64(n), 7)
+		for from := uint64(0); from < uint64(n); from += 3 {
+			got := scanAll(t, s, cols, from, uint64(n), 7)
+			if got.Len() != n-int(from) {
+				t.Fatalf("compressed=%v from=%d: got %d rows, want %d", compressed, from, got.Len(), n-int(from))
+			}
+			for i := 0; i < got.Len(); i++ {
+				for c := range cols {
+					a, b := got.Vecs[c].Get(i), full.Vecs[c].Get(i+int(from))
+					if types.Compare(a, b) != 0 {
+						t.Fatalf("compressed=%v from=%d row %d col %d: %v != %v", compressed, from, i, c, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScannerMidBlockByteAccounting checks that tail decode does not change
+// what the device charges: the whole encoded block is still a single cold
+// fetch of its full size.
+func TestScannerMidBlockByteAccounting(t *testing.T) {
+	const n, blockRows = 64, 16
+	s := buildStore(t, n, blockRows, true)
+	dev := s.Device()
+
+	dev.DropCaches()
+	dev.ResetStats()
+	scanAll(t, s, []int{0}, 3, 8, 4) // mid-block probe within block 0
+	partialBytes, partialReads := dev.Stats()
+
+	dev.DropCaches()
+	dev.ResetStats()
+	scanAll(t, s, []int{0}, 0, 16, 4) // whole block 0
+	fullBytes, fullReads := dev.Stats()
+
+	if partialBytes != fullBytes || partialReads != fullReads {
+		t.Errorf("tail decode changed accounting: partial %d/%d, full %d/%d",
+			partialBytes, partialReads, fullBytes, fullReads)
 	}
 }

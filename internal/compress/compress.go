@@ -113,16 +113,32 @@ func encodeRLEInt(vals []int64) []byte {
 
 // DecodeInt64s decodes a block produced by EncodeInt64s, appending to out.
 func DecodeInt64s(buf []byte, out []int64) ([]int64, error) {
+	return DecodeInt64sFrom(buf, 0, out)
+}
+
+// DecodeInt64sFrom decodes the tail of a block starting at value index skip,
+// appending to out. Point probes entering a block mid-way use it to
+// materialize only the values they will read: plain blocks jump straight to
+// the offset, varint blocks walk but never append the skipped prefix, and RLE
+// blocks skip whole runs arithmetically. skip at or past the block length
+// decodes nothing.
+func DecodeInt64sFrom(buf []byte, skip int, out []int64) ([]int64, error) {
 	scheme, n, body, err := readHeader(buf)
 	if err != nil {
 		return nil, err
+	}
+	if skip < 0 {
+		skip = 0
+	}
+	if skip > n {
+		skip = n
 	}
 	switch scheme {
 	case PlainInt:
 		if len(body) < 8*n {
 			return nil, fmt.Errorf("compress: plain int block truncated")
 		}
-		for i := 0; i < n; i++ {
+		for i := skip; i < n; i++ {
 			out = append(out, int64(binary.LittleEndian.Uint64(body[8*i:])))
 		}
 		return out, nil
@@ -135,7 +151,9 @@ func DecodeInt64s(buf []byte, out []int64) ([]int64, error) {
 			}
 			body = body[sz:]
 			prev += unzigzag(u)
-			out = append(out, prev)
+			if i >= skip {
+				out = append(out, prev)
+			}
 		}
 		return out, nil
 	case RLEInt:
@@ -154,11 +172,18 @@ func DecodeInt64s(buf []byte, out []int64) ([]int64, error) {
 			if run == 0 || got+int(run) > n {
 				return nil, fmt.Errorf("compress: RLE run overflows block")
 			}
-			v := unzigzag(u)
-			for k := uint64(0); k < run; k++ {
-				out = append(out, v)
+			end := got + int(run)
+			if end > skip {
+				v := unzigzag(u)
+				from := got
+				if from < skip {
+					from = skip
+				}
+				for k := from; k < end; k++ {
+					out = append(out, v)
+				}
 			}
-			got += int(run)
+			got = end
 		}
 		return out, nil
 	}
@@ -179,6 +204,12 @@ func EncodeFloat64s(vals []float64) []byte {
 
 // DecodeFloat64s decodes a block produced by EncodeFloat64s, appending to out.
 func DecodeFloat64s(buf []byte, out []float64) ([]float64, error) {
+	return DecodeFloat64sFrom(buf, 0, out)
+}
+
+// DecodeFloat64sFrom decodes the block tail starting at value index skip
+// (see DecodeInt64sFrom).
+func DecodeFloat64sFrom(buf []byte, skip int, out []float64) ([]float64, error) {
 	scheme, n, body, err := readHeader(buf)
 	if err != nil {
 		return nil, err
@@ -189,7 +220,10 @@ func DecodeFloat64s(buf []byte, out []float64) ([]float64, error) {
 	if len(body) < 8*n {
 		return nil, fmt.Errorf("compress: float block truncated")
 	}
-	for i := 0; i < n; i++ {
+	if skip < 0 {
+		skip = 0
+	}
+	for i := skip; i < n; i++ {
 		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:])))
 	}
 	return out, nil
@@ -212,6 +246,12 @@ func EncodeBools(vals []int64) []byte {
 
 // DecodeBools decodes a block produced by EncodeBools, appending 0/1 int64s.
 func DecodeBools(buf []byte, out []int64) ([]int64, error) {
+	return DecodeBoolsFrom(buf, 0, out)
+}
+
+// DecodeBoolsFrom decodes the block tail starting at value index skip
+// (see DecodeInt64sFrom).
+func DecodeBoolsFrom(buf []byte, skip int, out []int64) ([]int64, error) {
 	scheme, n, body, err := readHeader(buf)
 	if err != nil {
 		return nil, err
@@ -222,7 +262,10 @@ func DecodeBools(buf []byte, out []int64) ([]int64, error) {
 	if len(body) < (n+7)/8 {
 		return nil, fmt.Errorf("compress: bool block truncated")
 	}
-	for i := 0; i < n; i++ {
+	if skip < 0 {
+		skip = 0
+	}
+	for i := skip; i < n; i++ {
 		out = append(out, int64(body[i/8]>>(i%8)&1))
 	}
 	return out, nil
@@ -283,9 +326,23 @@ func encodeDictString(vals []string) []byte {
 
 // DecodeStrings decodes a block produced by EncodeStrings, appending to out.
 func DecodeStrings(buf []byte, out []string) ([]string, error) {
+	return DecodeStringsFrom(buf, 0, out)
+}
+
+// DecodeStringsFrom decodes the block tail starting at value index skip (see
+// DecodeInt64sFrom). Plain blocks random-access the offset array; dictionary
+// blocks still parse the dictionary but skip the prefix codes without
+// materializing their strings.
+func DecodeStringsFrom(buf []byte, skip int, out []string) ([]string, error) {
 	scheme, n, body, err := readHeader(buf)
 	if err != nil {
 		return nil, err
+	}
+	if skip < 0 {
+		skip = 0
+	}
+	if skip > n {
+		skip = n
 	}
 	switch scheme {
 	case PlainString:
@@ -294,7 +351,13 @@ func DecodeStrings(buf []byte, out []string) ([]string, error) {
 		}
 		data := body[4*n:]
 		prev := uint32(0)
-		for i := 0; i < n; i++ {
+		if skip > 0 {
+			prev = binary.LittleEndian.Uint32(body[4*(skip-1):])
+			if int(prev) > len(data) {
+				return nil, fmt.Errorf("compress: bad string offset")
+			}
+		}
+		for i := skip; i < n; i++ {
 			off := binary.LittleEndian.Uint32(body[4*i:])
 			if off < prev || int(off) > len(data) {
 				return nil, fmt.Errorf("compress: bad string offset")
@@ -309,14 +372,40 @@ func DecodeStrings(buf []byte, out []string) ([]string, error) {
 			return nil, fmt.Errorf("compress: bad dict length")
 		}
 		body = body[sz:]
-		dict := make([]string, dictLen)
-		for i := range dict {
+		if skip == 0 {
+			// Full decode: materialize each dict string once, share it across
+			// all its codes.
+			dict := make([]string, dictLen)
+			for i := range dict {
+				l, sz := binary.Uvarint(body)
+				if sz <= 0 || int(l) > len(body)-sz {
+					return nil, fmt.Errorf("compress: bad dict entry")
+				}
+				body = body[sz:]
+				dict[i] = string(body[:l])
+				body = body[l:]
+			}
+			for i := 0; i < n; i++ {
+				code, sz := binary.Uvarint(body)
+				if sz <= 0 || code >= dictLen {
+					return nil, fmt.Errorf("compress: bad dict code")
+				}
+				body = body[sz:]
+				out = append(out, dict[code])
+			}
+			return out, nil
+		}
+		// Tail decode: index the dict entries without converting them, then
+		// materialize strings only for the codes actually emitted — a probe
+		// reading a handful of rows must not pay one allocation per dict entry.
+		spans := make([][]byte, dictLen)
+		for i := range spans {
 			l, sz := binary.Uvarint(body)
 			if sz <= 0 || int(l) > len(body)-sz {
 				return nil, fmt.Errorf("compress: bad dict entry")
 			}
 			body = body[sz:]
-			dict[i] = string(body[:l])
+			spans[i] = body[:l]
 			body = body[l:]
 		}
 		for i := 0; i < n; i++ {
@@ -325,7 +414,9 @@ func DecodeStrings(buf []byte, out []string) ([]string, error) {
 				return nil, fmt.Errorf("compress: bad dict code")
 			}
 			body = body[sz:]
-			out = append(out, dict[code])
+			if i >= skip {
+				out = append(out, string(spans[code]))
+			}
 		}
 		return out, nil
 	}

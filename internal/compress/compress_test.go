@@ -210,3 +210,147 @@ func TestZigzag(t *testing.T) {
 		}
 	}
 }
+
+// tailSkips picks skip points that exercise every boundary: start, one-in,
+// mid-block, run boundaries, last value, exactly the end, and past the end.
+func tailSkips(n int) []int {
+	skips := []int{0, 1, n / 3, n / 2, n - 1, n, n + 7, -2}
+	out := skips[:0:0]
+	for _, s := range skips {
+		if s >= -2 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func clampSkip(skip, n int) int {
+	if skip < 0 {
+		return 0
+	}
+	if skip > n {
+		return n
+	}
+	return skip
+}
+
+func TestDecodeInt64sFrom(t *testing.T) {
+	cases := map[string][]int64{
+		"sorted":   nil,
+		"constant": nil,
+		"mixed":    {3, -1, 0, 1 << 40, -(1 << 40), 7, 7, 7, -9, 0, 0, 2},
+	}
+	sorted := make([]int64, 300)
+	constant := make([]int64, 300)
+	for i := range sorted {
+		sorted[i] = int64(1000000 + i)
+		constant[i] = 42
+	}
+	cases["sorted"], cases["constant"] = sorted, constant
+	// runs of varying length to hit RLE partial-run skips
+	var runs []int64
+	for i := 0; i < 20; i++ {
+		for k := 0; k <= i%5; k++ {
+			runs = append(runs, int64(i*i))
+		}
+	}
+	cases["runs"] = runs
+
+	for name, vals := range cases {
+		for _, compress := range []bool{false, true} {
+			buf := EncodeInt64s(vals, compress)
+			full, err := DecodeInt64s(buf, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, skip := range tailSkips(len(vals)) {
+				got, err := DecodeInt64sFrom(buf, skip, nil)
+				if err != nil {
+					t.Fatalf("%s skip=%d: %v", name, skip, err)
+				}
+				want := full[clampSkip(skip, len(vals)):]
+				if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+					t.Errorf("%s scheme=%d skip=%d: got %d vals, want %d", name, BlockScheme(buf), skip, len(got), len(want))
+				}
+			}
+		}
+	}
+	// force each int scheme explicitly
+	for _, enc := range [][]byte{encodePlainInt(sorted), encodeDeltaVarint(sorted), encodeRLEInt(constant), encodeRLEInt(runs)} {
+		full, err := DecodeInt64s(enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, skip := range tailSkips(len(full)) {
+			got, err := DecodeInt64sFrom(enc, skip, nil)
+			if err != nil {
+				t.Fatalf("scheme=%d skip=%d: %v", BlockScheme(enc), skip, err)
+			}
+			want := full[clampSkip(skip, len(full)):]
+			if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+				t.Errorf("scheme=%d skip=%d mismatch", BlockScheme(enc), skip)
+			}
+		}
+	}
+}
+
+func TestDecodeFloat64sFrom(t *testing.T) {
+	vals := []float64{0, -1.5, 3.25, 1e300, -1e-300, 42}
+	buf := EncodeFloat64s(vals)
+	for _, skip := range tailSkips(len(vals)) {
+		got, err := DecodeFloat64sFrom(buf, skip, nil)
+		if err != nil {
+			t.Fatalf("skip=%d: %v", skip, err)
+		}
+		want := vals[clampSkip(skip, len(vals)):]
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Errorf("skip=%d mismatch", skip)
+		}
+	}
+}
+
+func TestDecodeBoolsFrom(t *testing.T) {
+	vals := make([]int64, 77)
+	for i := range vals {
+		if i%3 == 0 || i%7 == 0 {
+			vals[i] = 1
+		}
+	}
+	buf := EncodeBools(vals)
+	for _, skip := range tailSkips(len(vals)) {
+		got, err := DecodeBoolsFrom(buf, skip, nil)
+		if err != nil {
+			t.Fatalf("skip=%d: %v", skip, err)
+		}
+		want := vals[clampSkip(skip, len(vals)):]
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Errorf("skip=%d mismatch", skip)
+		}
+	}
+}
+
+func TestDecodeStringsFrom(t *testing.T) {
+	lowCard := make([]string, 200)
+	for i := range lowCard {
+		lowCard[i] = []string{"alpha", "beta", "gamma"}[i%3]
+	}
+	cases := [][]string{
+		{"", "a", "bc", "", "def", "ghij"},
+		lowCard,
+	}
+	for _, vals := range cases {
+		for _, compress := range []bool{false, true} {
+			buf := EncodeStrings(vals, compress)
+			for _, skip := range tailSkips(len(vals)) {
+				got, err := DecodeStringsFrom(buf, skip, nil)
+				if err != nil {
+					t.Fatalf("scheme=%d skip=%d: %v", BlockScheme(buf), skip, err)
+				}
+				want := vals[clampSkip(skip, len(vals)):]
+				if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+					t.Errorf("scheme=%d skip=%d mismatch", BlockScheme(buf), skip)
+				}
+			}
+		}
+	}
+}

@@ -46,10 +46,11 @@ func (b *bulkBuilder) reserve(n int) {
 
 func (b *bulkBuilder) newLeaf() *leaf {
 	if len(b.slab) == 0 {
-		return &leaf{}
+		return &leaf{cow: b.t.cow}
 	}
 	lf := &b.slab[0]
 	b.slab = b.slab[1:]
+	lf.cow = b.t.cow
 	f := b.t.fanout
 	lf.sids, b.sidSlab = b.sidSlab[:0:f], b.sidSlab[f:]
 	lf.kinds, b.kindSlab = b.kindSlab[:0:f], b.kindSlab[f:]
@@ -79,26 +80,10 @@ func (b *bulkBuilder) append(sid uint64, kind uint16, val uint64) {
 func (b *bulkBuilder) finish() {
 	t := b.t
 	if len(b.leaves) == 0 {
-		lf := &leaf{}
-		t.root, t.first, t.last = lf, lf, lf
+		t.root = &leaf{cow: t.cow}
+		t.height = 1
 		return
 	}
-	for i, lf := range b.leaves {
-		lf.parent = nil
-		if i > 0 {
-			lf.prev = b.leaves[i-1]
-			b.leaves[i-1].next = lf
-		} else {
-			lf.prev = nil
-		}
-		if i < len(b.leaves)-1 {
-			lf.next = b.leaves[i+1]
-		} else {
-			lf.next = nil
-		}
-	}
-	t.first = b.leaves[0]
-	t.last = b.leaves[len(b.leaves)-1]
 
 	level := make([]node, len(b.leaves))
 	mins := make([]uint64, len(b.leaves))
@@ -108,7 +93,9 @@ func (b *bulkBuilder) finish() {
 		mins[i] = lf.sids[0]
 		deltas[i] = lf.localDelta()
 	}
+	height := 1
 	for len(level) > 1 {
+		height++
 		// One inner slab per level: node structs plus the per-child delta
 		// backing array. Children slices alias the level slice itself (full
 		// slice expressions, so a later split reallocates instead of
@@ -128,15 +115,13 @@ func (b *bulkBuilder) finish() {
 				j = len(level)
 			}
 			in := &inners[k]
+			in.cow = t.cow
 			in.children = level[i:j:j]
 			in.seps = sepSlab[i+1 : j : j]
 			in.deltas = deltaSlab[i:j:j]
 			var sum int64
 			for _, d := range in.deltas {
 				sum += d
-			}
-			for _, c := range in.children {
-				c.setParent(in)
 			}
 			min0 := mins[i]
 			nextMins = append(nextMins, min0)
@@ -149,5 +134,5 @@ func (b *bulkBuilder) finish() {
 		level, mins, deltas = nextLevel, nextMins[:nNodes], nextDeltas[:nNodes]
 	}
 	t.root = level[0]
-	t.root.setParent(nil)
+	t.height = height
 }

@@ -3,23 +3,70 @@ package pdt
 // cursor walks leaf entries left-to-right, maintaining the running delta so
 // each entry's RID is available in O(1). delta is always the accumulated
 // shift of all entries strictly before the current position.
+//
+// With persistent nodes there is no leaf sibling chain, so a cursor carries
+// its root-to-leaf spine: stack[d] names the inner node at depth d and the
+// child index the path takes through it (empty when the root is a leaf).
+// Leaf-boundary moves climb the spine to the nearest ancestor with a sibling
+// and re-descend. The exhausted position ("END") keeps the spine to the last
+// leaf with pos == count, so placeEntry can append there and peekPrev can
+// still walk backwards off the end.
+//
+// Cursor copies share the spine's backing array; only one copy may keep
+// advancing (peekPrev allocates a fresh spine when it crosses a leaf).
 type cursor struct {
 	lf    *leaf
 	pos   int
 	delta int64
+	stack []pathEnt
 }
 
+type pathEnt struct {
+	in  *inner
+	idx int
+}
+
+// newCursorAtStart positions a cursor at the tree's first entry.
 func (t *PDT) newCursorAtStart() cursor {
-	c := cursor{lf: t.first}
-	c.skipEmpty()
-	return c
+	c := cursor{stack: make([]pathEnt, 0, t.height-1)}
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			c.lf = n.(*leaf)
+			return c
+		}
+		c.stack = append(c.stack, pathEnt{in: in})
+		n = in.children[0]
+	}
 }
 
-// newCursorAtSid positions a cursor at the first entry with SID >= sid.
+// newCursorAtSid positions a cursor at the first entry with SID >= sid. The
+// descent takes the leftmost child that can contain such an entry (children
+// to the right start at strictly larger SIDs), accumulating the deltas of
+// the skipped siblings, then scans forward to the exact position.
 func (t *PDT) newCursorAtSid(sid uint64) cursor {
-	lf, delta := t.findLeafLeftBySid(sid)
-	c := cursor{lf: lf, delta: delta}
-	c.skipEmpty()
+	c := cursor{stack: make([]pathEnt, 0, t.height-1)}
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			c.lf = n.(*leaf)
+			break
+		}
+		chosen := len(in.children) - 1
+		for j := 0; j < len(in.seps); j++ {
+			if sid <= in.seps[j] {
+				chosen = j
+				break
+			}
+		}
+		for j := 0; j < chosen; j++ {
+			c.delta += in.deltas[j]
+		}
+		c.stack = append(c.stack, pathEnt{in: in, idx: chosen})
+		n = in.children[chosen]
+	}
 	for c.valid() && c.sid() < sid {
 		c.advance()
 	}
@@ -28,13 +75,35 @@ func (t *PDT) newCursorAtSid(sid uint64) cursor {
 
 // newCursorAtRidChain positions a cursor at the first entry whose RID >= rid
 // (the head of the update chain for rid, if one exists). Chains may span
-// leaves in both directions: descent lands on the rightmost leaf whose first
-// RID <= rid, the forward scan finds the first in-leaf entry at >= rid, and
-// the retreat loop walks back across leaf boundaries to the true chain head.
+// leaves in both directions: descent picks, per level, the rightmost child
+// whose minimum RID (= separator SID + delta entering the child) is <= rid,
+// the forward scan finds the first entry at >= rid, and the retreat loop
+// walks back across leaf boundaries to the true chain head.
 func (t *PDT) newCursorAtRidChain(rid uint64) cursor {
-	lf, delta := t.findLeafRightByRid(rid)
-	c := cursor{lf: lf, delta: delta}
-	c.skipEmpty()
+	c := cursor{stack: make([]pathEnt, 0, t.height-1)}
+	n := t.root
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			c.lf = n.(*leaf)
+			break
+		}
+		chosen := 0
+		chosenDelta := c.delta
+		sum := c.delta + in.deltas[0]
+		for j := 1; j < len(in.children); j++ {
+			if int64(in.seps[j-1])+sum <= int64(rid) {
+				chosen = j
+				chosenDelta = sum
+			} else {
+				break // children's min RIDs are non-decreasing
+			}
+			sum += in.deltas[j]
+		}
+		c.stack = append(c.stack, pathEnt{in: in, idx: chosen})
+		n = in.children[chosen]
+		c.delta = chosenDelta
+	}
 	for c.valid() && c.rid() < rid {
 		c.advance()
 	}
@@ -47,36 +116,77 @@ func (t *PDT) newCursorAtRidChain(rid uint64) cursor {
 	}
 }
 
-// peekPrev returns a cursor at the entry immediately before c, if any.
-func (c *cursor) peekPrev() (cursor, bool) {
-	lf, pos := c.lf, c.pos
-	if lf == nil {
-		return cursor{}, false
-	}
+// newCursorBySidRid positions a cursor at the insertion point of a new
+// insert at (sid, rid): after every entry whose SID < sid or RID < rid
+// (Algorithm 3's advance condition). Descent picks the rightmost child whose
+// first entry precedes that point, then scans forward within reach.
+func (t *PDT) newCursorBySidRid(sid, rid uint64) cursor {
+	c := cursor{stack: make([]pathEnt, 0, t.height-1)}
+	n := t.root
 	for {
-		if pos > 0 {
-			pos--
+		in, ok := n.(*inner)
+		if !ok {
+			c.lf = n.(*leaf)
 			break
 		}
-		lf = lf.prev
-		if lf == nil {
-			return cursor{}, false
+		chosen := 0
+		chosenDelta := c.delta
+		sum := c.delta + in.deltas[0]
+		for j := 1; j < len(in.children); j++ {
+			mSID := in.seps[j-1]
+			mRID := int64(mSID) + sum
+			if mSID < sid || mRID < int64(rid) {
+				chosen = j
+				chosenDelta = sum
+			} else {
+				break
+			}
+			sum += in.deltas[j]
 		}
-		pos = lf.count()
+		c.stack = append(c.stack, pathEnt{in: in, idx: chosen})
+		n = in.children[chosen]
+		c.delta = chosenDelta
 	}
-	prev := cursor{lf: lf, pos: pos}
-	prev.delta = c.delta - kindShift(lf.kinds[pos])
-	return prev, true
+	return c
 }
 
-func (c *cursor) skipEmpty() {
-	for c.lf != nil && c.pos >= c.lf.count() {
-		c.lf = c.lf.next
-		c.pos = 0
+// peekPrev returns a cursor at the entry immediately before c, if any. A
+// same-leaf retreat shares c's spine; a cross-leaf retreat allocates its own.
+func (c *cursor) peekPrev() (cursor, bool) {
+	if c.pos > 0 {
+		p := *c
+		p.pos--
+		p.delta = c.delta - kindShift(p.lf.kinds[p.pos])
+		return p, true
 	}
+	d := len(c.stack) - 1
+	for ; d >= 0; d-- {
+		if c.stack[d].idx > 0 {
+			break
+		}
+	}
+	if d < 0 {
+		return cursor{}, false
+	}
+	p := cursor{stack: make([]pathEnt, d+1, len(c.stack))}
+	copy(p.stack, c.stack[:d+1])
+	p.stack[d].idx--
+	var n node = p.stack[d].in.children[p.stack[d].idx]
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			break
+		}
+		p.stack = append(p.stack, pathEnt{in: in, idx: len(in.children) - 1})
+		n = in.children[len(in.children)-1]
+	}
+	p.lf = n.(*leaf)
+	p.pos = p.lf.count() - 1
+	p.delta = c.delta - kindShift(p.lf.kinds[p.pos])
+	return p, true
 }
 
-func (c *cursor) valid() bool { return c.lf != nil && c.pos < c.lf.count() }
+func (c *cursor) valid() bool { return c.pos < c.lf.count() }
 
 func (c *cursor) sid() uint64  { return c.lf.sids[c.pos] }
 func (c *cursor) kind() uint16 { return c.lf.kinds[c.pos] }
@@ -84,9 +194,36 @@ func (c *cursor) val() uint64  { return c.lf.vals[c.pos] }
 func (c *cursor) rid() uint64  { return uint64(int64(c.lf.sids[c.pos]) + c.delta) }
 
 // advance moves to the next entry, folding the current entry's shift into
-// the running delta.
+// the running delta. Non-root leaves are never empty, so a leaf-boundary
+// climb lands directly on the next entry; with no right sibling anywhere the
+// cursor parks at END (pos == count of the last leaf).
 func (c *cursor) advance() {
 	c.delta += kindShift(c.lf.kinds[c.pos])
 	c.pos++
-	c.skipEmpty()
+	if c.pos < c.lf.count() {
+		return
+	}
+	d := len(c.stack) - 1
+	for ; d >= 0; d-- {
+		ent := &c.stack[d]
+		if ent.idx+1 < len(ent.in.children) {
+			break
+		}
+	}
+	if d < 0 {
+		return // END: stay parked past the last entry
+	}
+	c.stack = c.stack[:d+1]
+	c.stack[d].idx++
+	var n node = c.stack[d].in.children[c.stack[d].idx]
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			break
+		}
+		c.stack = append(c.stack, pathEnt{in: in, idx: 0})
+		n = in.children[0]
+	}
+	c.lf = n.(*leaf)
+	c.pos = 0
 }

@@ -75,18 +75,17 @@ func (t *PDT) String() string {
 // DepthAndLeaves reports the tree height and leaf count (for tests and the
 // pdtdump tool).
 func (t *PDT) DepthAndLeaves() (depth, leaves int) {
-	depth = 1
-	n := t.root
-	for {
+	var count func(n node)
+	count = func(n node) {
 		in, ok := n.(*inner)
 		if !ok {
-			break
+			leaves++
+			return
 		}
-		depth++
-		n = in.children[0]
+		for _, c := range in.children {
+			count(c)
+		}
 	}
-	for lf := t.first; lf != nil; lf = lf.next {
-		leaves++
-	}
-	return depth, leaves
+	count(t.root)
+	return t.height, leaves
 }

@@ -148,5 +148,34 @@ func Fold(base, w *PDT) (*PDT, error) {
 		emitBase()
 	}
 	b.finish()
+	// The output's rows alias the inputs' rows, so later point mutations of
+	// the output must repoint rather than rewrite them.
+	out.sharedPayload = true
+	return out, nil
+}
+
+// foldSnapRatio is FoldSnap's cutover: when w holds at least 1/foldSnapRatio
+// of base's entries the full bulk merge beats per-entry insertion.
+const foldSnapRatio = 8
+
+// FoldSnap is Fold for the common commit-path shape — a small w landing on a
+// large base. Instead of rebuilding base's whole tree it forks base (O(1),
+// structure shared) and applies w entry by entry, path-copying only the
+// nodes w touches; large w falls back to the bulk merge. Both inputs stay
+// valid. The result is entry-equivalent to Fold but not offset-identical:
+// payloads may occupy different value-space slots.
+func FoldSnap(base, w *PDT) (*PDT, error) {
+	if w.schema.NumCols() != base.schema.NumCols() {
+		return nil, fmt.Errorf("pdt: fold across different schemas")
+	}
+	if base.nEntries == 0 || w.nEntries*foldSnapRatio >= base.nEntries {
+		return Fold(base, w)
+	}
+	out := base.fork()
+	if err := out.PropagateEntrywise(w); err != nil {
+		// out is abandoned; base was never written (all mutation was
+		// copy-on-write into out's own nodes and reallocated payload tables).
+		return nil, err
+	}
 	return out, nil
 }

@@ -33,10 +33,11 @@ type SizeHinter interface {
 
 // MergeScan applies one PDT layer on top of a positional row source.
 type MergeScan struct {
-	t    *PDT
-	src  BatchSource
-	cols []int // schema column indexes present in the batches, in order
-	proj []int // schema column -> batch index, -1 if not projected
+	t     *PDT
+	src   BatchSource
+	cols  []int // schema column indexes present in the batches, in order
+	proj  []int // schema column -> batch index, -1 if not projected
+	kinds []types.Kind
 
 	cur        cursor
 	nextSID    uint64 // SID of the next stable row to consume from src
@@ -46,6 +47,7 @@ type MergeScan struct {
 
 	buf     *vector.Batch
 	bufPos  int
+	want    int // rows per staging refill: the consumer's batch size
 	srcDone bool
 	done    bool
 }
@@ -73,12 +75,12 @@ func NewMergeScan(t *PDT, src BatchSource, cols []int, startSID uint64, includeE
 		src:        src,
 		cols:       append([]int(nil), cols...),
 		proj:       proj,
+		kinds:      kinds,
 		cur:        cur,
 		nextSID:    startSID,
 		rid:        rid,
 		startRID:   rid,
 		includeEnd: includeEnd,
-		buf:        vector.NewBatch(kinds, 1024),
 	}
 }
 
@@ -103,17 +105,24 @@ func (m *MergeScan) SizeHint() int {
 	return n
 }
 
-// refill tops up the staging buffer; reports whether rows are available.
+// refill tops up the staging buffer; reports whether rows are available. The
+// refill granularity is the consumer's batch size, not a fixed buffer width:
+// a point probe reading 16 rows pulls 16 rows through every stacked layer
+// instead of materializing a full-width batch per layer, and the buffer
+// itself is allocated on first use at that size.
 func (m *MergeScan) refill() (bool, error) {
-	if m.bufPos < m.buf.Len() {
+	if m.buf != nil && m.bufPos < m.buf.Len() {
 		return true, nil
 	}
 	if m.srcDone {
 		return false, nil
 	}
+	if m.buf == nil {
+		m.buf = vector.NewBatch(m.kinds, m.want)
+	}
 	m.buf.Reset()
 	m.bufPos = 0
-	n, err := m.src.Next(m.buf, 1024)
+	n, err := m.src.Next(m.buf, m.want)
 	if err != nil {
 		return false, err
 	}
@@ -171,6 +180,9 @@ func (m *MergeScan) skipStable() (bool, error) {
 func (m *MergeScan) Next(out *vector.Batch, max int) (int, error) {
 	if m.done {
 		return 0, nil
+	}
+	if max > m.want {
+		m.want = max
 	}
 	produced := 0
 	for produced < max {

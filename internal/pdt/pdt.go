@@ -11,6 +11,11 @@
 // (package-level MergeScan), never touching sort-key columns; update queries
 // locate their target by RID; and the Propagate and Serialize operations make
 // PDTs a building block for layered snapshot-isolation transactions.
+//
+// Tree nodes are persistent (copy-on-write): Snapshot returns an immutable
+// O(1) view sharing the whole structure, and subsequent mutations of the
+// origin path-copy only the nodes they touch, so snapshotting the Write-PDT
+// per transaction costs O(1) instead of a deep copy.
 package pdt
 
 import (
@@ -84,15 +89,40 @@ func (vs *valueSpace) clone() *valueSpace {
 	return out
 }
 
+// share returns a new valueSpace struct whose slice headers are capacity-
+// clamped views of vs's: reads see the same rows, but the first append to
+// any table reallocates its backing array instead of growing into memory a
+// snapshot may be reading. O(#columns), no payload copies.
+func (vs *valueSpace) share() *valueSpace {
+	out := &valueSpace{
+		ins:  vs.ins[:len(vs.ins):len(vs.ins)],
+		del:  vs.del[:len(vs.del):len(vs.del)],
+		mods: make([][]types.Value, len(vs.mods)),
+	}
+	for c, col := range vs.mods {
+		out.mods[c] = col[:len(col):len(col)]
+	}
+	return out
+}
+
 // PDT is a positional delta tree over a table with the given schema. The
 // zero value is not usable; construct with New.
 type PDT struct {
 	schema *types.Schema
 	fanout int
 	root   node
-	first  *leaf
-	last   *leaf
+	height int // levels incl. the leaf level; an empty tree has height 1
+	cow    *cowTag
 	vals   *valueSpace
+
+	// valsOwned reports that vals (the struct and its slice headers) is
+	// exclusively ours to append to. sharedPayload reports that the backing
+	// arrays and rows behind those headers may be visible to a snapshot, so
+	// stored payloads must be repointed, never overwritten in place. Both
+	// flags are conservative: sharedPayload stays set for the PDT's lifetime
+	// once any sharing has happened.
+	valsOwned     bool
+	sharedPayload bool
 
 	nEntries int
 	nIns     int
@@ -109,14 +139,15 @@ func New(schema *types.Schema, fanout int) *PDT {
 	if schema.NumCols() > MaxColumns {
 		panic(fmt.Sprintf("pdt: %d columns exceeds the 16-bit type field", schema.NumCols()))
 	}
-	lf := &leaf{}
+	cow := newCowTag()
 	return &PDT{
-		schema: schema,
-		fanout: fanout,
-		root:   lf,
-		first:  lf,
-		last:   lf,
-		vals:   newValueSpace(schema.NumCols()),
+		schema:    schema,
+		fanout:    fanout,
+		root:      &leaf{cow: cow},
+		height:    1,
+		cow:       cow,
+		vals:      newValueSpace(schema.NumCols()),
+		valsOwned: true,
 	}
 }
 
@@ -187,8 +218,55 @@ func valueBytes(v types.Value) uint64 {
 	return uint64(len(v.S)) + 4
 }
 
-// Copy returns a deep copy of the PDT (used to snapshot the Write-PDT for a
-// starting transaction). The copy shares nothing with the original.
+// mutableVals returns the value space prepared for appends, lazily unsharing
+// the slice headers if a snapshot still references the struct.
+func (t *PDT) mutableVals() *valueSpace {
+	if !t.valsOwned {
+		t.vals = t.vals.share()
+		t.valsOwned = true
+	}
+	return t.vals
+}
+
+// fork returns a PDT sharing t's entire structure without writing a single
+// field of t — safe to call on a PDT other goroutines are reading. The fork
+// carries a fresh ownership token, so its mutations path-copy away from the
+// shared nodes. The contract is one-sided: t itself must never again be
+// mutated in place (use Snapshot when the receiver keeps writing).
+func (t *PDT) fork() *PDT {
+	return &PDT{
+		schema:        t.schema,
+		fanout:        t.fanout,
+		root:          t.root,
+		height:        t.height,
+		cow:           newCowTag(),
+		vals:          t.vals,
+		valsOwned:     false,
+		sharedPayload: true,
+		nEntries:      t.nEntries,
+		nIns:          t.nIns,
+		nDel:          t.nDel,
+		nMod:          t.nMod,
+		deadIns:       t.deadIns,
+	}
+}
+
+// Snapshot returns an O(1) frozen copy of the PDT. The snapshot never
+// changes; t remains fully mutable, path-copying shared nodes as it goes.
+// Logically equivalent to Copy at none of the cost: no nodes or payloads are
+// copied until one side actually diverges.
+func (t *PDT) Snapshot() *PDT {
+	out := t.fork()
+	// Retag the receiver as well: nodes stamped with the old tag are now
+	// reachable from the snapshot and must no longer be mutated in place.
+	t.cow = newCowTag()
+	t.valsOwned = false
+	t.sharedPayload = true
+	return out
+}
+
+// Copy returns a deep copy of the PDT. The copy shares nothing with the
+// original; Snapshot is the cheap alternative when the copy stays read-only.
 func (t *PDT) Copy() *PDT {
 	out := New(t.schema, t.fanout)
 	b := newBulkBuilder(out)

@@ -37,6 +37,7 @@ func (t *PDT) Propagate(w *PDT) error {
 	if w.Empty() {
 		return nil
 	}
+	t.mutableVals()
 	ct := t.newCursorAtStart()
 	cw := w.newCursorAtStart()
 	oldEntries := t.nEntries
@@ -108,9 +109,19 @@ func (t *PDT) Propagate(w *PDT) error {
 		// Modify run of w at p.
 		if ct.valid() && ct.rid() == p && ct.kind() == KindIns {
 			// The visible tuple at p is an insert of t: rewrite its stored
-			// tuple in place (AddModify's insert fast path). The insert
-			// entry itself is emitted by the outer merge.
+			// tuple (AddModify's insert fast path). When a snapshot still
+			// shares the row, write into a clone at a fresh slot and emit
+			// the insert entry here, repointed; otherwise rewrite in place
+			// and let the outer merge emit the entry unchanged.
 			row := t.vals.ins[ct.val()]
+			if t.sharedPayload {
+				row = row.Clone()
+				b.append(ct.sid(), KindIns, uint64(len(t.vals.ins)))
+				t.vals.ins = append(t.vals.ins, row)
+				t.deadIns++
+				dOut++
+				ct.advance()
+			}
 			for cw.valid() && cw.sid() == p {
 				row[cw.kind()] = w.vals.mods[cw.kind()][cw.val()]
 				cw.advance()
@@ -126,8 +137,17 @@ func (t *PDT) Propagate(w *PDT) error {
 				emitT()
 			}
 			if ct.valid() && ct.rid() == p && ct.kind() == col {
-				t.vals.mods[col][ct.val()] = w.vals.mods[col][cw.val()]
-				emitT()
+				if t.sharedPayload {
+					// Repoint t's entry at a fresh slot holding w's value
+					// rather than overwriting memory a snapshot reads.
+					b.append(ct.sid(), col, uint64(len(t.vals.mods[col])))
+					t.vals.mods[col] = append(t.vals.mods[col], w.vals.mods[col][cw.val()])
+					dOut += kindShift(uint16(col))
+					ct.advance()
+				} else {
+					t.vals.mods[col][ct.val()] = w.vals.mods[col][cw.val()]
+					emitT()
+				}
 			} else {
 				b.append(uint64(int64(cw.rid())-dOut), col, uint64(len(t.vals.mods[col])))
 				t.vals.mods[col] = append(t.vals.mods[col], w.vals.mods[col][cw.val()])

@@ -18,6 +18,15 @@ package pdt
 // the committing transaction meets a delete of the committed one (line 24);
 // that double-counts the delete when several inserts share the SID, so this
 // implementation accounts each delete exactly once, in the catch-up loop.
+//
+// SerializeChain generalizes Serialize to a whole stack of overlapping
+// committed transactions: instead of materializing an intermediate PDT per
+// layer (k tree rebuilds and payload clones for k overlaps), it threads each
+// entry's position through every layer's cursor in one sweep and builds a
+// single output. Serialize never consumes an entry of the committing
+// transaction — each input entry maps to exactly one output entry with its
+// kind and payload unchanged, only the SID shifted — which is what makes the
+// per-layer cascade equivalent to running Serialize k times.
 
 import (
 	"fmt"
@@ -39,35 +48,42 @@ func (e *ConflictError) Error() string {
 // domain of ty (an aligned, earlier-committed PDT). tx and ty are not
 // modified. A *ConflictError is returned when the transactions conflict.
 func (tx *PDT) Serialize(ty *PDT) (*PDT, error) {
-	out := New(tx.schema, tx.fanout)
-	b := newBulkBuilder(out)
-	b.reserve(tx.nEntries)
-	cx := tx.newCursorAtStart()
-	cy := ty.newCursorAtStart()
-	var shift int64
+	return tx.SerializeChain([]*PDT{ty})
+}
 
-	emit := func(kind uint16, val uint64) {
-		b.append(uint64(int64(cx.sid())+shift), kind, val)
-		cx.advance()
+// serLayer is one committed transaction's cursor state inside a
+// SerializeChain sweep: the running shift is the net RID displacement of
+// every layer entry already passed, i.e. Algorithm 8's δ for this layer.
+type serLayer struct {
+	ty    *PDT
+	cy    cursor
+	shift int64
+}
+
+// step converts sid — the committing entry's position expressed in this
+// layer's input domain — into the layer's output domain, advancing the
+// layer's cursor past entries at smaller positions and resolving the
+// Algorithm 8 cases against entries at the same position. cx names the
+// committing entry (kind and, for inserts, payload key). The layer's cursor
+// only ever moves forward: converted positions arrive in non-decreasing
+// order because serialization preserves entry order.
+func (s *serLayer) step(tx *PDT, cx *cursor, sid uint64) (uint64, error) {
+	ty := s.ty
+	cy := &s.cy
+	for cy.valid() && cy.sid() < sid {
+		s.shift += kindShift(cy.kind())
+		cy.advance()
 	}
-
-	for cx.valid() {
-		sx := cx.sid()
-		for cy.valid() && cy.sid() < sx {
-			shift += kindShift(cy.kind())
-			cy.advance()
+	for {
+		if !cy.valid() || cy.sid() > sid {
+			return uint64(int64(sid) + s.shift), nil
 		}
-		if !cy.valid() || cy.sid() > sx {
-			emit(cx.kind(), cx.val())
-			continue
-		}
-		// Both transactions touch stable position sx.
 		kx, ky := cx.kind(), cy.kind()
 		switch {
 		case ky == KindIns:
 			if kx != KindIns {
 				// ty's insert precedes the stable tuple tx targets.
-				shift++
+				s.shift++
 				cy.advance()
 				continue
 			}
@@ -76,39 +92,70 @@ func (tx *PDT) Serialize(ty *PDT) (*PDT, error) {
 				tx.schema.KeyOf(tx.vals.ins[cx.val()]))
 			switch {
 			case cmp < 0:
-				shift++
+				s.shift++
 				cy.advance()
+				continue
 			case cmp == 0:
-				return nil, &ConflictError{sx, "concurrent insert of the same key"}
+				return 0, &ConflictError{sid, "concurrent insert of the same key"}
 			default:
-				emit(KindIns, cx.val())
+				return uint64(int64(sid) + s.shift), nil
 			}
 		case ky == KindDel:
 			if kx != KindIns {
-				return nil, &ConflictError{sx, "tuple deleted by concurrent transaction"}
+				return 0, &ConflictError{sid, "tuple deleted by concurrent transaction"}
 			}
 			// An insert never conflicts with the delete; it converts with
 			// the shift as of *before* the delete (ghosts share the RID of
-			// their successor, so the insert's position is unchanged).
-			emit(KindIns, cx.val())
-		default: // ky modifies a column of the stable tuple at sx
+			// their successor, so the insert's position is unchanged). The
+			// delete is not consumed: later entries account it in catch-up.
+			return uint64(int64(sid) + s.shift), nil
+		default: // ky modifies a column of the stable tuple at sid
 			switch {
 			case kx == KindIns:
-				emit(KindIns, cx.val())
+				return uint64(int64(sid) + s.shift), nil
 			case kx == KindDel:
-				return nil, &ConflictError{sx, "delete of a tuple modified by concurrent transaction"}
+				return 0, &ConflictError{sid, "delete of a tuple modified by concurrent transaction"}
 			case kx == ky:
-				return nil, &ConflictError{sx, fmt.Sprintf("both transactions modified column %d", kx)}
+				return 0, &ConflictError{sid, fmt.Sprintf("both transactions modified column %d", kx)}
 			case ky < kx:
 				// Modify runs are column-ordered: ty's column is smaller
 				// than every remaining tx modify of this tuple — no
 				// conflict possible with it.
 				cy.advance()
+				continue
 			default:
 				// kx < ky: tx's modify cannot match any remaining ty modify.
-				emit(kx, cx.val())
+				return uint64(int64(sid) + s.shift), nil
 			}
 		}
+	}
+}
+
+// SerializeChain returns a new PDT equal to tx with its SIDs converted
+// through the RID domains of every PDT in chain, oldest first — equivalent
+// to tx.Serialize(chain[0]).Serialize(chain[1])… but with one output build
+// and one payload clone regardless of chain length. None of the inputs is
+// modified. A *ConflictError is returned when the transactions conflict
+// (with several conflicts present, which one is reported may differ from the
+// sequential composition; any conflict aborts the commit either way).
+func (tx *PDT) SerializeChain(chain []*PDT) (*PDT, error) {
+	out := New(tx.schema, tx.fanout)
+	b := newBulkBuilder(out)
+	b.reserve(tx.nEntries)
+	layers := make([]serLayer, len(chain))
+	for i, ty := range chain {
+		layers[i] = serLayer{ty: ty, cy: ty.newCursorAtStart()}
+	}
+	for cx := tx.newCursorAtStart(); cx.valid(); cx.advance() {
+		sid := cx.sid()
+		var err error
+		for i := range layers {
+			sid, err = layers[i].step(tx, &cx, sid)
+			if err != nil {
+				return nil, err
+			}
+		}
+		b.append(sid, cx.kind(), cx.val())
 	}
 	b.finish()
 	out.vals = tx.vals.clone()

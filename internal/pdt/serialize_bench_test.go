@@ -1,0 +1,107 @@
+package pdt
+
+// Benchmarks and regression guards for the batched TZ serialization path.
+
+import (
+	"fmt"
+	"testing"
+
+	"pdtstore/internal/types"
+)
+
+func serBenchSchema() *types.Schema {
+	return types.MustSchema([]types.Column{
+		{Name: "k", Kind: types.Int64},
+		{Name: "v", Kind: types.Int64},
+	}, []int{0})
+}
+
+// buildSerPDT makes an aligned PDT of n inserts with keys drawn from a
+// disjoint range per keyBase, so chained serialization never conflicts.
+func buildSerPDT(tb testing.TB, schema *types.Schema, n int, keyBase int64) *PDT {
+	tb.Helper()
+	p := New(schema, 0)
+	visible := int64(1 << 20)
+	for i := 0; i < n; i++ {
+		rid := uint64(int64(i*7919) % visible)
+		key := keyBase + int64(i)
+		if err := p.Insert(rid, types.Row{types.Int(key), types.Int(int64(i))}); err != nil {
+			tb.Fatal(err)
+		}
+		visible++
+	}
+	return p
+}
+
+// BenchmarkTZSerializeChain measures converting one committing transaction
+// through a chain of overlapping committed transactions: the single-sweep
+// cascade versus what used to be one intermediate PDT build per layer.
+func BenchmarkTZSerializeChain(b *testing.B) {
+	schema := serBenchSchema()
+	for _, chainLen := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("chain=%d", chainLen), func(b *testing.B) {
+			tx := buildSerPDT(b, schema, 256, 1<<40)
+			chain := make([]*PDT, chainLen)
+			for i := range chain {
+				chain[i] = buildSerPDT(b, schema, 256, int64(i+1)<<28)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tx.SerializeChain(chain); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestSerializeChainAllocs is the alloc guard: the chained sweep must stay
+// well under the sequential composition, which rebuilds the transaction's
+// tree and clones its payload once per layer.
+func TestSerializeChainAllocs(t *testing.T) {
+	schema := serBenchSchema()
+	tx := buildSerPDT(t, schema, 256, 1<<40)
+	chain := make([]*PDT, 8)
+	for i := range chain {
+		chain[i] = buildSerPDT(t, schema, 256, int64(i+1)<<28)
+	}
+	chained := testing.AllocsPerRun(20, func() {
+		if _, err := tx.SerializeChain(chain); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sequential := testing.AllocsPerRun(20, func() {
+		cur := tx
+		for _, ty := range chain {
+			next, err := cur.Serialize(ty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = next
+		}
+	})
+	if chained*2 > sequential {
+		t.Errorf("chained serialization allocates %0.0f, sequential %0.0f: batching regressed", chained, sequential)
+	}
+	// The two paths must agree on the result.
+	got, err := tx.SerializeChain(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := tx
+	for _, ty := range chain {
+		if cur, err = cur.Serialize(ty); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := got.Dump(), cur.Dump()
+	if len(a) != len(b) {
+		t.Fatalf("chained %d entries, sequential %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].SID != b[i].SID || a[i].Kind != b[i].Kind {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -10,24 +10,34 @@ package pdt
 // the right subtree (counted-B-tree style). RIDs are never materialized:
 // RID(entry) = SID(entry) + sum of deltas of all entries to its left, which
 // descent reconstructs by accumulating the per-child deltas it passes.
+//
+// Nodes are persistent (copy-on-write): there are no parent pointers and no
+// leaf sibling chain, so whole subtrees can be shared between a PDT and its
+// snapshots. Each node carries an ownership token; a PDT may mutate a node
+// in place only when the node's token matches its own (ownPath path-copies
+// the root-to-leaf spine of foreign nodes before any structural mutation).
+// Snapshot hands out fresh tokens to both trees in O(1), after which either
+// side's mutations clone only the nodes they touch.
+
+type cowTag struct {
+	_ uint8 // non-zero size: distinct allocations get distinct addresses
+}
+
+func newCowTag() *cowTag { return new(cowTag) }
 
 type node interface {
-	parentNode() *inner
-	setParent(*inner)
+	isNode()
 }
 
 type leaf struct {
-	parent *inner
-	sids   []uint64
-	kinds  []uint16
-	vals   []uint64
-	prev   *leaf
-	next   *leaf
+	cow   *cowTag
+	sids  []uint64
+	kinds []uint16
+	vals  []uint64
 }
 
-func (l *leaf) parentNode() *inner { return l.parent }
-func (l *leaf) setParent(p *inner) { l.parent = p }
-func (l *leaf) count() int         { return len(l.sids) }
+func (l *leaf) isNode()    {}
+func (l *leaf) count() int { return len(l.sids) }
 func (l *leaf) localDelta() int64 {
 	var d int64
 	for _, k := range l.kinds {
@@ -36,23 +46,39 @@ func (l *leaf) localDelta() int64 {
 	return d
 }
 
+func (l *leaf) clone(tag *cowTag) *leaf {
+	out := &leaf{
+		cow:   tag,
+		sids:  make([]uint64, len(l.sids), len(l.sids)+1),
+		kinds: make([]uint16, len(l.kinds), len(l.kinds)+1),
+		vals:  make([]uint64, len(l.vals), len(l.vals)+1),
+	}
+	copy(out.sids, l.sids)
+	copy(out.kinds, l.kinds)
+	copy(out.vals, l.vals)
+	return out
+}
+
 type inner struct {
-	parent   *inner
+	cow      *cowTag
 	children []node
 	seps     []uint64 // len == len(children)-1; seps[i] = min SID of children[i+1]
 	deltas   []int64  // len == len(children); net inserts-deletes per subtree
 }
 
-func (in *inner) parentNode() *inner { return in.parent }
-func (in *inner) setParent(p *inner) { in.parent = p }
+func (in *inner) isNode() {}
 
-func (in *inner) indexOf(child node) int {
-	for i, c := range in.children {
-		if c == child {
-			return i
-		}
+func (in *inner) clone(tag *cowTag) *inner {
+	out := &inner{
+		cow:      tag,
+		children: make([]node, len(in.children), len(in.children)+1),
+		seps:     make([]uint64, len(in.seps), len(in.seps)+1),
+		deltas:   make([]int64, len(in.deltas), len(in.deltas)+1),
 	}
-	panic("pdt: child not found in parent")
+	copy(out.children, in.children)
+	copy(out.seps, in.seps)
+	copy(out.deltas, in.deltas)
+	return out
 }
 
 // minSID returns the smallest SID in the subtree rooted at n. Must not be
@@ -67,126 +93,73 @@ func minSID(n node) uint64 {
 	}
 }
 
-// addDeltaUp adds d to the per-child delta counters of every ancestor of lf
-// (the paper's AddNodeDeltas).
-func addDeltaUp(lf *leaf, d int64) {
-	var child node = lf
-	for p := child.parentNode(); p != nil; p = child.parentNode() {
-		p.deltas[p.indexOf(child)] += d
-		child = p
+// ownPath path-copies every foreign node on the cursor's root-to-leaf spine,
+// rewriting the tree's child pointers and the cursor's references to the
+// owned copies. After it returns, every node the cursor's stack (and leaf)
+// names is exclusively owned by t and safe to mutate in place; nodes off the
+// spine stay shared.
+func (t *PDT) ownPath(c *cursor) {
+	if len(c.stack) == 0 {
+		if c.lf.cow != t.cow {
+			lf := c.lf.clone(t.cow)
+			t.root = lf
+			c.lf = lf
+		}
+		return
+	}
+	if c.stack[0].in.cow != t.cow {
+		in := c.stack[0].in.clone(t.cow)
+		t.root = in
+		c.stack[0].in = in
+	}
+	for d := 0; d < len(c.stack); d++ {
+		in, idx := c.stack[d].in, c.stack[d].idx
+		if d+1 < len(c.stack) {
+			child := c.stack[d+1].in
+			if child.cow != t.cow {
+				child = child.clone(t.cow)
+				in.children[idx] = child
+				c.stack[d+1].in = child
+			}
+		} else if c.lf.cow != t.cow {
+			lf := c.lf.clone(t.cow)
+			in.children[idx] = lf
+			c.lf = lf
+		}
+	}
+}
+
+// addDeltaUp adds d to the per-child delta counter of every node on the
+// cursor's spine (the paper's AddNodeDeltas). The spine must be owned.
+func addDeltaUp(stack []pathEnt, d int64) {
+	for i := range stack {
+		stack[i].in.deltas[stack[i].idx] += d
 	}
 }
 
 // fixMinUp repairs the separator that records the minimum SID of the subtree
-// lf is the leftmost leaf of, after lf's first entry changed.
-func fixMinUp(lf *leaf) {
-	if lf.count() == 0 {
+// the cursor's leaf is the leftmost leaf of, after its first entry changed.
+// The spine must be owned.
+func (t *PDT) fixMinUp(c *cursor) {
+	if c.lf.count() == 0 {
 		return
 	}
-	newMin := lf.sids[0]
-	var child node = lf
-	for p := child.parentNode(); p != nil; p = child.parentNode() {
-		idx := p.indexOf(child)
-		if idx > 0 {
-			p.seps[idx-1] = newMin
+	newMin := c.lf.sids[0]
+	for d := len(c.stack) - 1; d >= 0; d-- {
+		if idx := c.stack[d].idx; idx > 0 {
+			c.stack[d].in.seps[idx-1] = newMin
 			return
 		}
-		child = p
-	}
-}
-
-// descent helpers ------------------------------------------------------------
-
-// findLeafRightByRid locates the rightmost leaf whose first entry's RID is
-// <= rid (or the leftmost leaf if every entry's RID exceeds rid), returning
-// the leaf and the accumulated delta of all entries before it.
-func (t *PDT) findLeafRightByRid(rid uint64) (*leaf, int64) {
-	n := t.root
-	var delta int64
-	for {
-		in, ok := n.(*inner)
-		if !ok {
-			return n.(*leaf), delta
-		}
-		chosen := 0
-		chosenDelta := delta
-		sum := delta + in.deltas[0]
-		for j := 1; j < len(in.children); j++ {
-			// minRID of children[j] = its min SID + delta entering it.
-			if int64(in.seps[j-1])+sum <= int64(rid) {
-				chosen = j
-				chosenDelta = sum
-			} else {
-				break // children's min RIDs are non-decreasing
-			}
-			sum += in.deltas[j]
-		}
-		n = in.children[chosen]
-		delta = chosenDelta
-	}
-}
-
-// findLeafLeftBySid locates the leftmost leaf that can contain entries with
-// SID >= sid, returning the leaf and the delta of all entries before it.
-// (The caller then advances within/past the leaf to the exact position.)
-func (t *PDT) findLeafLeftBySid(sid uint64) (*leaf, int64) {
-	n := t.root
-	var delta int64
-	for {
-		in, ok := n.(*inner)
-		if !ok {
-			return n.(*leaf), delta
-		}
-		chosen := len(in.children) - 1
-		for j := 0; j < len(in.seps); j++ {
-			if sid <= in.seps[j] {
-				chosen = j
-				break
-			}
-		}
-		for j := 0; j < chosen; j++ {
-			delta += in.deltas[j]
-		}
-		n = in.children[chosen]
-	}
-}
-
-// findLeafBySidRid locates the rightmost leaf whose first entry precedes the
-// insertion point of a new insert at (sid, rid) — an entry precedes when its
-// SID < sid or its RID < rid (Algorithm 3's advance condition) — returning
-// the leaf and the delta before it.
-func (t *PDT) findLeafBySidRid(sid, rid uint64) (*leaf, int64) {
-	n := t.root
-	var delta int64
-	for {
-		in, ok := n.(*inner)
-		if !ok {
-			return n.(*leaf), delta
-		}
-		chosen := 0
-		chosenDelta := delta
-		sum := delta + in.deltas[0]
-		for j := 1; j < len(in.children); j++ {
-			mSID := in.seps[j-1]
-			mRID := int64(mSID) + sum
-			if mSID < sid || mRID < int64(rid) {
-				chosen = j
-				chosenDelta = sum
-			} else {
-				break
-			}
-			sum += in.deltas[j]
-		}
-		n = in.children[chosen]
-		delta = chosenDelta
 	}
 }
 
 // mutation -------------------------------------------------------------------
 
-// insertEntryAt places a new triplet at position pos of lf, maintaining
-// ancestor deltas and separators and splitting on overflow.
-func (t *PDT) insertEntryAt(lf *leaf, pos int, sid uint64, kind uint16, val uint64) {
+// insertEntryAt places a new triplet at the cursor's position, maintaining
+// ancestor deltas and separators and splitting on overflow. The caller must
+// have owned the cursor's path (placeEntry does).
+func (t *PDT) insertEntryAt(c *cursor, sid uint64, kind uint16, val uint64) {
+	lf, pos := c.lf, c.pos
 	lf.sids = append(lf.sids, 0)
 	copy(lf.sids[pos+1:], lf.sids[pos:])
 	lf.sids[pos] = sid
@@ -199,19 +172,23 @@ func (t *PDT) insertEntryAt(lf *leaf, pos int, sid uint64, kind uint16, val uint
 
 	t.nEntries++
 	if d := kindShift(kind); d != 0 {
-		addDeltaUp(lf, d)
+		addDeltaUp(c.stack, d)
 	}
 	if pos == 0 {
-		fixMinUp(lf)
+		t.fixMinUp(c)
 	}
 	if lf.count() > t.fanout {
-		t.splitLeaf(lf)
+		t.splitLeafAt(c)
 	}
 }
 
-// removeEntryAt deletes the triplet at position pos of lf, maintaining
-// ancestor deltas/separators and collapsing emptied nodes.
-func (t *PDT) removeEntryAt(lf *leaf, pos int) {
+// removeEntryAt deletes the triplet at the cursor's position, maintaining
+// ancestor deltas/separators and collapsing emptied nodes. The caller must
+// have owned the cursor's path. Afterwards the cursor points at the next
+// entry of the same leaf; if the leaf emptied or the position ran off its
+// end, the cursor's spine may be stale and the caller must re-descend.
+func (t *PDT) removeEntryAt(c *cursor) {
+	lf, pos := c.lf, c.pos
 	kind := lf.kinds[pos]
 	lf.sids = append(lf.sids[:pos], lf.sids[pos+1:]...)
 	lf.kinds = append(lf.kinds[:pos], lf.kinds[pos+1:]...)
@@ -219,20 +196,22 @@ func (t *PDT) removeEntryAt(lf *leaf, pos int) {
 
 	t.nEntries--
 	if d := kindShift(kind); d != 0 {
-		addDeltaUp(lf, -d)
+		addDeltaUp(c.stack, -d)
 	}
 	if lf.count() == 0 {
-		t.removeLeaf(lf)
+		t.removeLeafAt(c)
 		return
 	}
 	if pos == 0 {
-		fixMinUp(lf)
+		t.fixMinUp(c)
 	}
 }
 
-func (t *PDT) splitLeaf(lf *leaf) {
+func (t *PDT) splitLeafAt(c *cursor) {
+	lf := c.lf
 	mid := lf.count() / 2
 	right := &leaf{
+		cow:   t.cow,
 		sids:  append([]uint64(nil), lf.sids[mid:]...),
 		kinds: append([]uint16(nil), lf.kinds[mid:]...),
 		vals:  append([]uint64(nil), lf.vals[mid:]...),
@@ -240,38 +219,24 @@ func (t *PDT) splitLeaf(lf *leaf) {
 	lf.sids = lf.sids[:mid]
 	lf.kinds = lf.kinds[:mid]
 	lf.vals = lf.vals[:mid]
-
-	right.next = lf.next
-	right.prev = lf
-	if lf.next != nil {
-		lf.next.prev = right
-	}
-	lf.next = right
-	if t.last == lf {
-		t.last = right
-	}
-
-	rightDelta := right.localDelta()
-	leftDelta := lf.localDelta()
-	t.insertChild(lf, right, right.sids[0], leftDelta, rightDelta)
+	t.insertChildAt(c.stack, len(c.stack)-1, lf, right, right.sids[0], lf.localDelta(), right.localDelta())
 }
 
-// insertChild links newRight as the sibling immediately after left, with the
-// given separator and the split subtree deltas, growing the tree as needed.
-func (t *PDT) insertChild(left, newRight node, sep uint64, leftDelta, rightDelta int64) {
-	p := left.parentNode()
-	if p == nil {
-		root := &inner{
+// insertChildAt links newRight as the sibling immediately after the child at
+// stack[d] (d == -1 means left is the root), with the given separator and the
+// split subtree deltas, growing the tree as needed. The spine must be owned.
+func (t *PDT) insertChildAt(stack []pathEnt, d int, left, newRight node, sep uint64, leftDelta, rightDelta int64) {
+	if d < 0 {
+		t.root = &inner{
+			cow:      t.cow,
 			children: []node{left, newRight},
 			seps:     []uint64{sep},
 			deltas:   []int64{leftDelta, rightDelta},
 		}
-		left.setParent(root)
-		newRight.setParent(root)
-		t.root = root
+		t.height++
 		return
 	}
-	idx := p.indexOf(left)
+	p, idx := stack[d].in, stack[d].idx
 	p.children = append(p.children, nil)
 	copy(p.children[idx+2:], p.children[idx+1:])
 	p.children[idx+1] = newRight
@@ -282,17 +247,18 @@ func (t *PDT) insertChild(left, newRight node, sep uint64, leftDelta, rightDelta
 	copy(p.deltas[idx+2:], p.deltas[idx+1:])
 	p.deltas[idx] = leftDelta
 	p.deltas[idx+1] = rightDelta
-	newRight.setParent(p)
 
 	if len(p.children) > t.fanout {
-		t.splitInner(p)
+		t.splitInnerAt(stack, d)
 	}
 }
 
-func (t *PDT) splitInner(in *inner) {
+func (t *PDT) splitInnerAt(stack []pathEnt, d int) {
+	in := stack[d].in
 	mid := len(in.children) / 2
 	sepUp := in.seps[mid-1]
 	right := &inner{
+		cow:      t.cow,
 		children: append([]node(nil), in.children[mid:]...),
 		seps:     append([]uint64(nil), in.seps[mid:]...),
 		deltas:   append([]int64(nil), in.deltas[mid:]...),
@@ -300,46 +266,29 @@ func (t *PDT) splitInner(in *inner) {
 	in.children = in.children[:mid]
 	in.seps = in.seps[:mid-1]
 	in.deltas = in.deltas[:mid]
-	for _, c := range right.children {
-		c.setParent(right)
-	}
 	var leftDelta, rightDelta int64
-	for _, d := range in.deltas {
-		leftDelta += d
+	for _, dd := range in.deltas {
+		leftDelta += dd
 	}
-	for _, d := range right.deltas {
-		rightDelta += d
+	for _, dd := range right.deltas {
+		rightDelta += dd
 	}
-	t.insertChild(in, right, sepUp, leftDelta, rightDelta)
+	t.insertChildAt(stack, d-1, in, right, sepUp, leftDelta, rightDelta)
 }
 
-// removeLeaf unlinks an emptied leaf from the chain and the tree.
-func (t *PDT) removeLeaf(lf *leaf) {
-	if lf.prev != nil {
-		lf.prev.next = lf.next
-	}
-	if lf.next != nil {
-		lf.next.prev = lf.prev
-	}
-	if t.first == lf {
-		t.first = lf.next
-	}
-	if t.last == lf {
-		t.last = lf.prev
-	}
-	p := lf.parent
-	if p == nil {
-		// lf is the root: keep it as the canonical empty tree.
-		lf.prev, lf.next = nil, nil
-		t.first = lf
-		t.last = lf
+// removeLeafAt detaches the cursor's emptied leaf from the tree.
+func (t *PDT) removeLeafAt(c *cursor) {
+	if len(c.stack) == 0 {
+		// The leaf is the root: keep it as the canonical empty tree.
 		return
 	}
-	t.removeChild(p, p.indexOf(lf))
+	t.removeChildAt(c.stack, len(c.stack)-1)
 }
 
-// removeChild detaches children[idx] from in, collapsing upward as needed.
-func (t *PDT) removeChild(in *inner, idx int) {
+// removeChildAt detaches the child named by stack[d] from its inner node,
+// collapsing upward as needed. The spine must be owned.
+func (t *PDT) removeChildAt(stack []pathEnt, d int) {
+	in, idx := stack[d].in, stack[d].idx
 	in.children = append(in.children[:idx], in.children[idx+1:]...)
 	in.deltas = append(in.deltas[:idx], in.deltas[idx+1:]...)
 	switch {
@@ -352,43 +301,29 @@ func (t *PDT) removeChild(in *inner, idx int) {
 	}
 
 	if len(in.children) == 0 {
-		p := in.parent
-		if p == nil {
-			empty := &leaf{}
+		if d == 0 {
+			empty := &leaf{cow: t.cow}
 			t.root = empty
-			t.first = empty
-			t.last = empty
+			t.height = 1
 			return
 		}
-		t.removeChild(p, p.indexOf(in))
+		t.removeChildAt(stack, d-1)
 		return
 	}
-	if len(in.children) == 1 && in.parent == nil {
-		// collapse single-child root
-		child := in.children[0]
-		child.setParent(nil)
-		t.root = child
+	if len(in.children) == 1 && d == 0 {
+		// Collapse the single-child root; the child may stay shared.
+		t.root = in.children[0]
+		t.height--
 		return
 	}
 	if idx == 0 {
-		// subtree minimum changed; repair the ancestor separator
-		fixMinFromNode(in)
-	}
-}
-
-// fixMinFromNode repairs the separator recording in's subtree minimum.
-func fixMinFromNode(in *inner) {
-	if len(in.children) == 0 {
-		return
-	}
-	newMin := minSID(in.children[0])
-	var child node = in
-	for p := child.parentNode(); p != nil; p = child.parentNode() {
-		idx := p.indexOf(child)
-		if idx > 0 {
-			p.seps[idx-1] = newMin
-			return
+		// The subtree minimum changed; repair the nearest ancestor separator.
+		newMin := minSID(in.children[0])
+		for e := d; e >= 0; e-- {
+			if i := stack[e].idx; i > 0 {
+				stack[e].in.seps[i-1] = newMin
+				return
+			}
 		}
-		child = p
 	}
 }

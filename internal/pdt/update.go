@@ -5,6 +5,11 @@ package pdt
 // that combines the two. All operations identify their target purely by
 // position; the only value comparisons anywhere are the ghost-ordering
 // comparisons of SKRidToSid, which untie multiple inserts at one SID.
+//
+// Every mutation first owns the cursor's root-to-leaf path (path-copying
+// nodes a snapshot still shares) and, when payload memory may be visible to
+// a snapshot, repoints the entry at a freshly appended value-space slot
+// instead of overwriting in place.
 
 import (
 	"fmt"
@@ -28,9 +33,7 @@ func (t *PDT) Insert(rid uint64, tuple types.Row) error {
 // Insert; AddInsert exists for Propagate and for callers that already know
 // the ghost-respecting SID.
 func (t *PDT) AddInsert(sid, rid uint64, tuple types.Row) error {
-	lf, delta := t.findLeafBySidRid(sid, rid)
-	c := cursor{lf: lf, delta: delta}
-	c.skipEmpty()
+	c := t.newCursorBySidRid(sid, rid)
 	// Algorithm 3: advance while the entry precedes the insertion point.
 	for c.valid() && (c.sid() < sid || c.rid() < rid) {
 		c.advance()
@@ -39,22 +42,20 @@ func (t *PDT) AddInsert(sid, rid uint64, tuple types.Row) error {
 	if storedSID != sid {
 		return fmt.Errorf("pdt: AddInsert(sid=%d, rid=%d) derives SID %d; caller's SID is inconsistent with ghost order", sid, rid, storedSID)
 	}
-	off := uint64(len(t.vals.ins))
-	t.vals.ins = append(t.vals.ins, tuple.Clone())
-	t.placeEntry(c, storedSID, KindIns, off)
+	vs := t.mutableVals()
+	off := uint64(len(vs.ins))
+	vs.ins = append(vs.ins, tuple.Clone())
+	t.placeEntry(&c, storedSID, KindIns, off)
 	t.nIns++
 	return nil
 }
 
-// placeEntry inserts a triplet at the cursor position, materializing the
-// position into a concrete (leaf, pos) even when the cursor ran off the end.
-func (t *PDT) placeEntry(c cursor, sid uint64, kind uint16, val uint64) {
-	if c.lf != nil {
-		t.insertEntryAt(c.lf, c.pos, sid, kind, val)
-		return
-	}
-	// Past the last entry: append to the last leaf.
-	t.insertEntryAt(t.last, t.last.count(), sid, kind, val)
+// placeEntry inserts a triplet at the cursor position after securing
+// exclusive ownership of the cursor's path. A cursor parked at END appends
+// after the last entry.
+func (t *PDT) placeEntry(c *cursor, sid uint64, kind uint16, val uint64) {
+	t.ownPath(c)
+	t.insertEntryAt(c, sid, kind, val)
 }
 
 // Modify records setting column col of the tuple at current row position rid
@@ -65,9 +66,10 @@ func (t *PDT) Modify(rid uint64, col int, v types.Value) error {
 }
 
 // AddModify is Algorithm 4. If the target tuple is an insert or already has
-// a modify entry for col, the value space is updated in place; otherwise a
-// new modify triplet enters the tree, keeping a tuple's modify entries
-// ordered by column number.
+// a modify entry for col, the value space is updated in place (or, if a
+// snapshot shares the payload, a fresh slot is appended and the entry
+// repointed); otherwise a new modify triplet enters the tree, keeping a
+// tuple's modify entries ordered by column number.
 func (t *PDT) AddModify(rid uint64, col int, v types.Value) error {
 	if col < 0 || col >= t.schema.NumCols() {
 		return fmt.Errorf("pdt: modify of column %d out of range", col)
@@ -86,6 +88,17 @@ func (t *PDT) AddModify(rid uint64, col int, v types.Value) error {
 	}
 	if c.valid() && c.rid() == rid && c.kind() == KindIns {
 		// The visible tuple at rid is a fresh insert: rewrite its value.
+		if t.sharedPayload {
+			vs := t.mutableVals()
+			row := vs.ins[c.val()].Clone()
+			row[col] = v
+			off := uint64(len(vs.ins))
+			vs.ins = append(vs.ins, row)
+			t.ownPath(&c)
+			c.lf.vals[c.pos] = off
+			t.deadIns++
+			return nil
+		}
 		t.vals.ins[c.val()][col] = v
 		return nil
 	}
@@ -95,12 +108,21 @@ func (t *PDT) AddModify(rid uint64, col int, v types.Value) error {
 	}
 	if c.valid() && c.rid() == rid && int(c.kind()) == col {
 		// Second modify of the same column: overwrite in the value space.
+		if t.sharedPayload {
+			vs := t.mutableVals()
+			off := uint64(len(vs.mods[col]))
+			vs.mods[col] = append(vs.mods[col], v)
+			t.ownPath(&c)
+			c.lf.vals[c.pos] = off
+			return nil
+		}
 		t.vals.mods[col][c.val()] = v
 		return nil
 	}
-	off := uint64(len(t.vals.mods[col]))
-	t.vals.mods[col] = append(t.vals.mods[col], v)
-	t.placeEntry(c, uint64(int64(rid)-c.delta), uint16(col), off)
+	vs := t.mutableVals()
+	off := uint64(len(vs.mods[col]))
+	vs.mods[col] = append(vs.mods[col], v)
+	t.placeEntry(&c, uint64(int64(rid)-c.delta), uint16(col), off)
 	t.nMod++
 	return nil
 }
@@ -129,15 +151,19 @@ func (t *PDT) AddDelete(rid uint64, skVals types.Row) error {
 		// Delete of an insert: remove all trace of it.
 		t.nIns--
 		t.deadIns++
-		t.removeEntryAt(c.lf, c.pos)
+		t.ownPath(&c)
+		t.removeEntryAt(&c)
 		return nil
 	}
 	// Remove any modify entries of the doomed stable tuple.
 	for c.valid() && c.rid() == rid && c.kind() != KindIns && c.kind() != KindDel {
 		t.nMod--
-		t.removeEntryAt(c.lf, c.pos)
-		// Removal keeps the cursor pointing at the next entry, but the leaf
-		// may have been collapsed away; renormalize.
+		t.ownPath(&c)
+		t.removeEntryAt(&c)
+		// Removal keeps the cursor pointing at the next entry of the same
+		// leaf, but if the leaf emptied (its spine collapsed) or the position
+		// ran off the leaf's end (the next entry lives in another leaf), the
+		// cursor cannot continue; renormalize with a fresh descent.
 		if c.lf.count() == 0 || c.pos >= c.lf.count() {
 			c = t.newCursorAtRidChain(rid)
 			for c.valid() && c.rid() == rid && c.kind() == KindDel {
@@ -145,9 +171,10 @@ func (t *PDT) AddDelete(rid uint64, skVals types.Row) error {
 			}
 		}
 	}
-	off := uint64(len(t.vals.del))
-	t.vals.del = append(t.vals.del, skVals.Clone())
-	t.placeEntry(c, uint64(int64(rid)-c.delta), KindDel, off)
+	vs := t.mutableVals()
+	off := uint64(len(vs.del))
+	vs.del = append(vs.del, skVals.Clone())
+	t.placeEntry(&c, uint64(int64(rid)-c.delta), KindDel, off)
 	t.nDel++
 	return nil
 }

@@ -7,17 +7,15 @@ package pdt
 import "fmt"
 
 // Validate checks every invariant the algorithms rely on: tree shape,
-// separator and delta bookkeeping, leaf-chain integrity, global (SID,RID)
-// ordering, chain well-formedness (Corollaries 3 and 4), value-space offset
-// bounds, and counter consistency. It returns the first violation found.
+// separator and delta bookkeeping, uniform leaf depth matching the height
+// counter, global (SID,RID) ordering, chain well-formedness (Corollaries 3
+// and 4), value-space offset bounds, and counter consistency. It returns the
+// first violation found.
 func (t *PDT) Validate() error {
-	// Collect leaves through the tree and check node-local invariants.
-	var leaves []*leaf
-	var walk func(n node, parent *inner) (min uint64, delta int64, err error)
-	walk = func(n node, parent *inner) (uint64, int64, error) {
-		if n.parentNode() != parent {
-			return 0, 0, fmt.Errorf("pdt: bad parent pointer")
-		}
+	// Walk the tree and check node-local invariants.
+	nLeaves := 0
+	var walk func(n node, depth int) (min uint64, delta int64, err error)
+	walk = func(n node, depth int) (uint64, int64, error) {
 		switch x := n.(type) {
 		case *leaf:
 			if x.count() == 0 && t.root != n {
@@ -26,7 +24,10 @@ func (t *PDT) Validate() error {
 			if x.count() > t.fanout {
 				return 0, 0, fmt.Errorf("pdt: leaf overflow (%d > %d)", x.count(), t.fanout)
 			}
-			leaves = append(leaves, x)
+			if depth != t.height {
+				return 0, 0, fmt.Errorf("pdt: leaf at depth %d, height says %d", depth, t.height)
+			}
+			nLeaves++
 			var min uint64
 			if x.count() > 0 {
 				min = x.sids[0]
@@ -46,7 +47,7 @@ func (t *PDT) Validate() error {
 			var subMin uint64
 			var total int64
 			for i, c := range x.children {
-				m, d, err := walk(c, x)
+				m, d, err := walk(c, depth+1)
 				if err != nil {
 					return 0, 0, err
 				}
@@ -74,26 +75,11 @@ func (t *PDT) Validate() error {
 		}
 		return 0, 0, fmt.Errorf("pdt: unknown node type")
 	}
-	if _, _, err := walk(t.root, nil); err != nil {
+	if _, _, err := walk(t.root, 1); err != nil {
 		return err
 	}
-
-	// Leaf chain must visit exactly the tree's leaves, in order.
-	i := 0
-	for lf := t.first; lf != nil; lf = lf.next {
-		if i >= len(leaves) || leaves[i] != lf {
-			return fmt.Errorf("pdt: leaf chain diverges from tree at leaf %d", i)
-		}
-		if lf.next != nil && lf.next.prev != lf {
-			return fmt.Errorf("pdt: broken prev pointer at leaf %d", i)
-		}
-		i++
-	}
-	if i != len(leaves) {
-		return fmt.Errorf("pdt: leaf chain has %d leaves, tree has %d", i, len(leaves))
-	}
-	if t.last != leaves[len(leaves)-1] {
-		return fmt.Errorf("pdt: last pointer stale")
+	if nLeaves == 0 {
+		return fmt.Errorf("pdt: tree has no leaves")
 	}
 
 	// Global entry ordering, chain shape, offsets, counters.

@@ -194,13 +194,12 @@ func (t *Table) FindByKey(key types.Row) (rid uint64, row types.Row, found bool,
 	if len(key) != len(t.schema.SortKey) {
 		return 0, nil, false, fmt.Errorf("table: FindByKey needs the full %d-column sort key", len(t.schema.SortKey))
 	}
-	err = engine.Scan(t, t.allCols()...).Range(key, key).BatchSize(256).
+	err = engine.Scan(t, t.allCols()...).Range(key, key).BatchSize(16).
 		Run(func(b *vector.Batch, sel []uint32) error {
 			for _, i := range sel {
-				r := b.Row(int(i))
-				cmp := t.schema.CompareKeyToRow(key, r)
+				cmp := b.CompareKey(key, t.schema.SortKey, int(i))
 				if cmp == 0 {
-					rid, row, found = b.Rids[i], r, true
+					rid, row, found = b.Rids[i], b.Row(int(i)), true
 					return engine.Stop
 				}
 				if cmp < 0 {
@@ -220,10 +219,10 @@ func (t *Table) FindByKey(key types.Row) (rid uint64, row types.Row, found bool,
 // equal key is already visible.
 func (t *Table) insertPosition(key types.Row) (rid uint64, dup bool, err error) {
 	rid = t.NRows()
-	err = engine.Scan(t, t.schema.SortKey...).Range(key, nil).BatchSize(256).
+	err = engine.Scan(t, t.schema.SortKey...).Range(key, nil).BatchSize(16).
 		Run(func(b *vector.Batch, sel []uint32) error {
 			for _, i := range sel {
-				cmp := types.CompareRows(key, b.Row(int(i)))
+				cmp := b.CompareKey(key, nil, int(i))
 				if cmp == 0 {
 					rid, dup = b.Rids[i], true
 					return engine.Stop

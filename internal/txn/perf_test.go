@@ -1,0 +1,97 @@
+package txn
+
+// Commit-path micro-benchmarks and their regression guards. The guards turn
+// the tentpole properties into failing tests: Begin must stay O(1) in the
+// Write-PDT size (copy-on-write snapshot, not a deep copy), and the batched
+// TZ serialization must not regress to per-layer intermediate builds.
+
+import (
+	"fmt"
+	"testing"
+
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+)
+
+// growWritePDT commits n single-insert transactions so the master Write-PDT
+// holds n entries. Keys descend from a value far above the stable key range,
+// so every position probe stops at the first previously-inserted tuple.
+func growWritePDT(tb testing.TB, m *Manager, n int) {
+	tb.Helper()
+	for i := 0; i < n; i++ {
+		tx := m.Begin()
+		key := int64(1<<40) - int64(i)
+		if err := tx.Insert(types.Row{types.Int(key), types.Int(0), types.Str("x")}); err != nil {
+			tb.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// beginFresh invalidates the shared snapshot cache before Begin, so each call
+// pays the full snapshot cost a post-commit Begin pays.
+func beginFresh(m *Manager) *Txn {
+	m.mu.Lock()
+	m.snapCache = nil
+	m.mu.Unlock()
+	return m.Begin()
+}
+
+func mustManager(tb testing.TB, nStable int, opts Options) *Manager {
+	tb.Helper()
+	rows := make([]types.Row, nStable)
+	for i := range rows {
+		rows[i] = types.Row{types.Int(int64((i + 1) * 10)), types.Int(int64(i)), types.Str(fmt.Sprintf("s%d", i))}
+	}
+	tbl, err := table.Load(testSchema(), rows, table.Options{Mode: table.ModePDT, BlockRows: 32})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := NewManager(tbl, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkBeginSnapshot measures starting (and immediately aborting) a
+// transaction against Write-PDTs of growing size. With the copy-on-write
+// snapshot the cost is flat; the old deep copy scaled linearly.
+func BenchmarkBeginSnapshot(b *testing.B) {
+	for _, size := range []int{0, 1 << 10, 1 << 14} {
+		b.Run(fmt.Sprintf("writepdt=%d", size), func(b *testing.B) {
+			m := mustManager(b, 64, Options{})
+			growWritePDT(b, m, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := beginFresh(m)
+				if err := tx.Abort(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBeginAllocsConstant is the alloc guard for the snapshot path: the
+// number of allocations Begin performs must not grow with the Write-PDT.
+func TestBeginAllocsConstant(t *testing.T) {
+	measure := func(size int) float64 {
+		m := mustManager(t, 64, Options{})
+		growWritePDT(t, m, size)
+		return testing.AllocsPerRun(200, func() {
+			tx := beginFresh(m)
+			if err := tx.Abort(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := measure(1 << 8)
+	large := measure(1 << 13)
+	if large > small+4 {
+		t.Errorf("Begin allocations grew with Write-PDT size: %0.1f at 256 entries, %0.1f at 8192", small, large)
+	}
+}

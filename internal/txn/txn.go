@@ -193,6 +193,9 @@ func (m *Manager) propagate(dst, src *pdt.PDT) error {
 }
 
 // fold merges layer over base into a new PDT, leaving both inputs intact.
+// FoldSnap shares base's structure copy-on-write when layer is small — the
+// group-commit common case — so per-commit fold cost tracks the delta size,
+// not the Write-PDT size.
 func (m *Manager) fold(base, layer *pdt.PDT) (*pdt.PDT, error) {
 	if m.entrywise {
 		out := base.Copy()
@@ -201,7 +204,7 @@ func (m *Manager) fold(base, layer *pdt.PDT) (*pdt.PDT, error) {
 		}
 		return out, nil
 	}
-	return pdt.Fold(base, layer)
+	return pdt.FoldSnap(base, layer)
 }
 
 // Table returns the underlying table.
@@ -229,15 +232,17 @@ func (m *Manager) LSN() uint64 {
 }
 
 // Begin starts a transaction with a private snapshot: the current version,
-// the in-flight maintenance layer (if any), and a copy of the Write-PDT.
+// the in-flight maintenance layer (if any), and an O(1) copy-on-write
+// snapshot of the Write-PDT.
 func (m *Manager) Begin() *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.snapCache == nil || m.snapLSN != m.lsn {
-		// A commit happened since the last snapshot copy (or none exists):
-		// take a fresh copy. Transactions starting at the same logical time
-		// share it, as §3.3 prescribes.
-		m.snapCache = m.writePDT.Copy()
+		// A commit happened since the last snapshot (or none exists): take a
+		// fresh one. Transactions starting at the same logical time share it,
+		// as §3.3 prescribes. Snapshot is O(1) — it shares the Write-PDT's
+		// structure and later commits path-copy away from it.
+		m.snapCache = m.writePDT.Snapshot()
 		m.snapLSN = m.lsn
 	}
 	t := &Txn{
@@ -340,13 +345,12 @@ func (t *Txn) findByKey(key types.Row) (rid uint64, row types.Row, found bool, e
 	for i := range cols {
 		cols[i] = i
 	}
-	err = engine.Scan(t, cols...).Range(key, key).BatchSize(256).
+	err = engine.Scan(t, cols...).Range(key, key).BatchSize(16).
 		Run(func(b *vector.Batch, sel []uint32) error {
 			for _, i := range sel {
-				r := b.Row(int(i))
-				cmp := schema.CompareKeyToRow(key, r)
+				cmp := b.CompareKey(key, schema.SortKey, int(i))
 				if cmp == 0 {
-					rid, row, found = b.Rids[i], r, true
+					rid, row, found = b.Rids[i], b.Row(int(i)), true
 					return engine.Stop
 				}
 				if cmp < 0 {
@@ -376,10 +380,10 @@ func (t *Txn) visibleRows() uint64 {
 func (t *Txn) insertPosition(key types.Row) (rid uint64, dup bool, err error) {
 	schema := t.mgr.tbl.Schema()
 	rid = t.visibleRows()
-	err = engine.Scan(t, schema.SortKey...).Range(key, nil).BatchSize(256).
+	err = engine.Scan(t, schema.SortKey...).Range(key, nil).BatchSize(16).
 		Run(func(b *vector.Batch, sel []uint32) error {
 			for _, i := range sel {
-				cmp := types.CompareRows(key, b.Row(int(i)))
+				cmp := b.CompareKey(key, nil, int(i))
 				if cmp == 0 {
 					rid, dup = b.Rids[i], true
 					return engine.Stop
@@ -513,25 +517,25 @@ func (t *Txn) Commit() error {
 		return err
 	}
 
+	// Serialize against everything ahead in the commit order: transactions
+	// that committed during this one's lifetime, then commits parked on the
+	// sequencer (validated but not yet durable). The parked dependency is
+	// safe under fail-stop — if their batch's fsync fails, they all abort
+	// and so does everything parked behind them. The whole overlap chain is
+	// resolved in a single SerializeChain sweep (one output build, one
+	// payload clone) instead of one Serialize rebuild per overlapping commit.
 	serialized := t.trans
+	chain := make([]*pdt.PDT, 0, len(m.committed)+len(m.pending))
 	for _, c := range m.committed {
-		if c.commitLSN <= t.startLSN {
-			continue
+		if c.commitLSN > t.startLSN {
+			chain = append(chain, c.serialized)
 		}
-		next, err := serialized.Serialize(c.serialized)
-		if err != nil {
-			m.finishLocked(t)
-			m.mu.Unlock()
-			return fmt.Errorf("%w: %v", ErrConflict, err)
-		}
-		serialized = next
 	}
-	// Commits parked on the sequencer (validated but not yet durable) are
-	// ahead of this one in the commit order: serialize against them too.
-	// The dependency is safe under fail-stop — if their batch's fsync
-	// fails, they all abort and so does everything parked behind them.
 	for _, r := range m.pending {
-		next, err := serialized.Serialize(r.serialized)
+		chain = append(chain, r.serialized)
+	}
+	if len(chain) > 0 {
+		next, err := serialized.SerializeChain(chain)
 		if err != nil {
 			m.finishLocked(t)
 			m.mu.Unlock()

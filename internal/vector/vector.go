@@ -189,6 +189,22 @@ func (b *Batch) Row(i int) types.Row {
 	return r
 }
 
+// CompareKey orders key against row i of the batch, reading key[j] from
+// column cols[j] (nil means key[j] from column j). Unlike Row+CompareRows it
+// materializes nothing — the comparison point probes run per visited row.
+func (b *Batch) CompareKey(key types.Row, cols []int, i int) int {
+	for j := range key {
+		c := j
+		if cols != nil {
+			c = cols[j]
+		}
+		if cmp := types.Compare(key[j], b.Vecs[c].Get(i)); cmp != 0 {
+			return cmp
+		}
+	}
+	return 0
+}
+
 // Kinds returns the kind of each column vector.
 func (b *Batch) Kinds() []types.Kind {
 	out := make([]types.Kind, len(b.Vecs))
