@@ -140,14 +140,17 @@ type ScanResult struct {
 }
 
 // keyDigits decomposes x into KeyCols digits, most significant first, so the
-// lexicographic composite order equals numeric order.
+// lexicographic composite order equals numeric order. The most significant
+// digit absorbs the remainder rather than wrapping modulo the base — a
+// single-column key of a large table must stay monotone past 2^20 tuples.
 func keyDigits(x int64, keyCols int) []int64 {
 	const base = 1 << 20
 	out := make([]int64, keyCols)
-	for i := keyCols - 1; i >= 0; i-- {
+	for i := keyCols - 1; i >= 1; i-- {
 		out[i] = x % base
 		x /= base
 	}
+	out[0] = x
 	return out
 }
 
@@ -406,6 +409,144 @@ func ScanAllocProfile(cfg ScanAllocConfig) ([]ScanAllocRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// FillThroughput computes MRowsPerSec for every row where it is missing
+// (zero) but NsPerOp and Rows are known — repairing seed baselines recorded
+// before the throughput column existed. Rows already carrying a value are
+// left untouched.
+func FillThroughput(rows []ScanAllocRow) []ScanAllocRow {
+	for i := range rows {
+		if rows[i].MRowsPerSec == 0 && rows[i].NsPerOp > 0 && rows[i].Rows > 0 {
+			rows[i].MRowsPerSec = float64(rows[i].Rows) / rows[i].NsPerOp * 1e3
+		}
+	}
+	return rows
+}
+
+// ----- Parallel scan sweep ---------------------------------------------------
+
+// ParallelScanConfig sizes the worker sweep.
+type ParallelScanConfig struct {
+	Tuples        int           // table size (default 1M)
+	Workers       []int         // worker counts to sweep (default 1,2,4,8)
+	BlockRows     int           // colstore block size (default 4096)
+	UpdatesPer100 float64       // update ratio for the PDT cell (default 1.0)
+	ReadLatency   time.Duration // modeled per-block cold-read latency (default 200µs)
+	Seed          int64
+}
+
+// ParallelScanRow is one cell of the sweep: one (mode, workers) pair.
+type ParallelScanRow struct {
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	Rows        int     `json:"rows"`
+	ColdNS      float64 `json:"cold_ns"`
+	ColdGBs     float64 `json:"cold_gb_per_sec"`
+	ColdSpeedup float64 `json:"cold_speedup"`
+	HotNS       float64 `json:"hot_ns"`
+	HotGBs      float64 `json:"hot_gb_per_sec"`
+	HotSpeedup  float64 `json:"hot_speedup"`
+}
+
+// ParallelScanProfile sweeps the morsel-parallel scan over worker counts, for
+// a plain table and a PDT-carrying one. Cold passes run against dropped
+// caches with the configured per-block device latency modeling a real disk's
+// read cost (the modeled sleeps overlap across workers, exactly as concurrent
+// reads overlap on hardware); hot passes run from the warm buffer pool with
+// latency off. GB/s is computed over the encoded size of the scanned data
+// columns; speedups are relative to the 1-worker row of the same mode.
+func ParallelScanProfile(cfg ParallelScanConfig) ([]ParallelScanRow, error) {
+	if cfg.Tuples == 0 {
+		cfg.Tuples = 1_000_000
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8}
+	}
+	if cfg.BlockRows == 0 {
+		cfg.BlockRows = 4096
+	}
+	if cfg.UpdatesPer100 == 0 {
+		cfg.UpdatesPer100 = 1.0
+	}
+	if cfg.ReadLatency == 0 {
+		cfg.ReadLatency = 200 * time.Microsecond
+	}
+	var out []ParallelScanRow
+	for _, mode := range []table.DeltaMode{table.ModeNone, table.ModePDT} {
+		sc := ScanConfig{
+			Tuples: cfg.Tuples, DataCols: 4, KeyCols: 1,
+			UpdatesPer100: cfg.UpdatesPer100, Mode: mode,
+			BlockRows: cfg.BlockRows, Seed: cfg.Seed,
+		}
+		if mode == table.ModeNone {
+			sc.UpdatesPer100 = 0
+		}
+		tbl, err := BuildScanTable(sc)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, sc.DataCols)
+		for i := range cols {
+			cols[i] = sc.KeyCols + i
+		}
+		var scanBytes uint64
+		for _, c := range cols {
+			scanBytes += tbl.Store().EncodedSize(c)
+		}
+		dev := tbl.Store().Device()
+		drain := func(w int) (int, error) {
+			rows := 0
+			err := engine.Scan(tbl, cols...).Parallel(w).
+				Run(func(b *vector.Batch, sel []uint32) error {
+					if sel != nil {
+						rows += len(sel)
+					} else {
+						rows += b.Len()
+					}
+					return nil
+				})
+			return rows, err
+		}
+		var base ParallelScanRow
+		for _, w := range cfg.Workers {
+			row := ParallelScanRow{Mode: mode.String(), Workers: w}
+			// cold: dropped caches, modeled per-block read latency
+			dev.SetReadLatency(cfg.ReadLatency)
+			dev.DropCaches()
+			start := time.Now()
+			rows, err := drain(w)
+			if err != nil {
+				dev.SetReadLatency(0)
+				return nil, err
+			}
+			row.ColdNS = float64(time.Since(start).Nanoseconds())
+			row.Rows = rows
+			// hot: warm pool, no modeled latency
+			dev.SetReadLatency(0)
+			if _, err := drain(w); err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			if _, err := drain(w); err != nil {
+				return nil, err
+			}
+			row.HotNS = float64(time.Since(start).Nanoseconds())
+			if row.ColdNS > 0 {
+				row.ColdGBs = float64(scanBytes) / row.ColdNS
+			}
+			if row.HotNS > 0 {
+				row.HotGBs = float64(scanBytes) / row.HotNS
+			}
+			if w == 1 || base.Workers == 0 {
+				base = row
+			}
+			row.ColdSpeedup = base.ColdNS / row.ColdNS
+			row.HotSpeedup = base.HotNS / row.HotNS
 			out = append(out, row)
 		}
 	}

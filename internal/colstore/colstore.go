@@ -18,6 +18,8 @@ package colstore
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pdtstore/internal/compress"
 	"pdtstore/internal/storage"
@@ -36,12 +38,21 @@ const DefaultBlockRows = 8192
 // entry is presence-only (the bytes live in the store); for a file-backed
 // store the pool owns the bytes read from disk, so evicting them really does
 // make the next fetch a pread.
+//
+// A device is safe for concurrent scanners — the parallel scan engine's
+// workers all charge fetches through one device. Pool hits take only a read
+// lock, so warm scans scale; cold charges take the write lock once per block
+// and stay charge-once under races (two workers fetching the same block cold
+// charge one read). SetReadLatency models a disk's per-block access time:
+// the sleep happens outside every lock, so concurrent cold reads overlap the
+// way queued reads on a real device do.
 type Device struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	bytesRead uint64
 	reads     uint64
 	cached    map[devKey][]byte
 	nextStore uint64
+	latencyNS atomic.Int64 // modeled cold-read latency (0 = none)
 }
 
 type blockKey struct{ col, blk int }
@@ -65,23 +76,49 @@ func (d *Device) register() uint64 {
 	return d.nextStore
 }
 
+// SetReadLatency models a per-block cold-read access time: every charged
+// cold fetch sleeps for lat before returning, outside the pool lock, so N
+// workers' cold reads overlap instead of serializing — the modeled-I/O knob
+// the parallel scan benchmark uses to show scan scaling on real disks (like
+// the group-commit benchmark's modeled fsync barrier). Zero disables it.
+// Pool hits are never delayed.
+func (d *Device) SetReadLatency(lat time.Duration) {
+	d.latencyNS.Store(int64(lat))
+}
+
+// coldDelay sleeps the modeled read latency, if configured. Must be called
+// with no lock held.
+func (d *Device) coldDelay() {
+	if ns := d.latencyNS.Load(); ns > 0 {
+		time.Sleep(time.Duration(ns))
+	}
+}
+
 // fetch charges a RAM-resident block's first read (presence-only pool entry).
 func (d *Device) fetch(store uint64, col, blk, size int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	k := devKey{store, col, blk}
+	d.mu.RLock()
+	_, ok := d.cached[k]
+	d.mu.RUnlock()
+	if ok {
+		return
+	}
+	d.mu.Lock()
 	if _, ok := d.cached[k]; ok {
+		d.mu.Unlock()
 		return
 	}
 	d.cached[k] = nil
 	d.bytesRead += uint64(size)
 	d.reads++
+	d.mu.Unlock()
+	d.coldDelay()
 }
 
 // poolGet returns a file-backed block's bytes if resident in the pool.
 func (d *Device) poolGet(k devKey) ([]byte, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	b, ok := d.cached[k]
 	return b, ok
 }
@@ -90,13 +127,15 @@ func (d *Device) poolGet(k devKey) ([]byte, bool) {
 // concurrent fill of the same block charges only once; both copies are valid.
 func (d *Device) poolFill(k devKey, b []byte) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, ok := d.cached[k]; ok {
+		d.mu.Unlock()
 		return
 	}
 	d.cached[k] = b
 	d.bytesRead += uint64(len(b))
 	d.reads++
+	d.mu.Unlock()
+	d.coldDelay()
 }
 
 // DropCaches empties the simulated buffer pool, so the next fetch of every
@@ -123,8 +162,8 @@ func (d *Device) evictStore(id uint64) {
 // see retired images leave the pool, not accumulate one entry per block per
 // checkpoint forever).
 func (d *Device) PoolBlocks() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.cached)
 }
 
@@ -137,8 +176,8 @@ func (d *Device) ResetStats() {
 
 // Stats returns the bytes and block reads charged since the last ResetStats.
 func (d *Device) Stats() (bytesRead, reads uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.bytesRead, d.reads
 }
 
@@ -474,6 +513,33 @@ func (s *Store) encodedBlock(col, blk int) ([]byte, error) {
 	}
 	s.dev.poolFill(k, b)
 	return b, nil
+}
+
+// Prefetch charges the cold read of every block of the given columns
+// overlapping SIDs [from, to) — the sequential readahead of a scan about to
+// visit that range. Blocks already resident are untouched; cold ones are
+// fetched (and, for file-backed stores, loaded into the buffer pool), each
+// paying the device's modeled read latency. A parallel scan worker prefetches
+// its morsel on open, so the modeled I/O of concurrent morsels overlaps like
+// queued readahead on a real disk instead of serializing behind ordered
+// batch delivery.
+func (s *Store) Prefetch(cols []int, from, to uint64) error {
+	if from >= to || s.nrows == 0 {
+		return nil
+	}
+	if to > s.nrows {
+		to = s.nrows
+	}
+	b0 := int(from) / s.blockRows
+	b1 := int(to-1) / s.blockRows
+	for _, c := range cols {
+		for blk := b0; blk <= b1; blk++ {
+			if _, err := s.encodedBlock(c, blk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // decodeBlock fetches (charging the device) and decodes one column block

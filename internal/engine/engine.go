@@ -4,7 +4,11 @@
 // transaction layer's stacked snapshots, the TPC-H queries and the benchmark
 // harness — builds its scans here, so there is exactly one place that knows
 // how to assemble the paper's merge pipelines (Algorithm 2 and Equation 9)
-// and one place future work (parallel scans, sharding) plugs into.
+// and one place execution strategy lives: Plan.Parallel (automatic above
+// ParallelThreshold) splits any PartRelation into block-aligned morsels and
+// runs one pipeline per worker over a shared morsel queue (parallel.go),
+// with ordered delivery for Run and per-partition partials, merged in
+// partition order, for RunPartitioned.
 //
 // The pipeline is vectorized in the MonetDB/X100 style the paper assumes:
 // batches of typed column vectors flow block-at-a-time, predicates run as
@@ -58,6 +62,7 @@ type Plan struct {
 	filters   []planFilter
 	batchSize int
 	needRids  bool
+	workers   int // 0 = auto, 1 = serial, n > 1 = forced (see Parallel)
 }
 
 // Scan starts a plan producing the given schema columns of rel.
@@ -145,17 +150,17 @@ func (p *Plan) FilterStrContains(col int, sub string) *Plan {
 	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterStrContains(v, sub) })
 }
 
-// compiled is the executable form of a plan: the scan column set (projected
-// columns first, then filter-only columns), the source, and each filter bound
-// to its batch slot.
-type compiled struct {
-	src      pdt.BatchSource
+// analyzed is the relation-independent part of a compiled plan: the scan
+// column set (projected columns first, then filter-only columns), the batch
+// kinds, and each filter bound to its batch slot. Parallel executions share
+// one analysis across every worker pipeline.
+type analyzed struct {
 	scanCols []int
 	kinds    []types.Kind
 	slots    []int // filters[i] applies to batch vector slots[i]
 }
 
-func (p *Plan) compile() (*compiled, error) {
+func (p *Plan) analyze() (*analyzed, error) {
 	if p.rel == nil {
 		return nil, fmt.Errorf("engine: plan has no relation")
 	}
@@ -187,11 +192,26 @@ func (p *Plan) compile() (*compiled, error) {
 	for i, c := range scanCols {
 		kinds[i] = schema.Cols[c].Kind
 	}
-	src, err := p.rel.Scan(scanCols, p.loKey, p.hiKey)
+	return &analyzed{scanCols: scanCols, kinds: kinds, slots: slots}, nil
+}
+
+// compiled is the executable serial form of a plan: its analysis plus the
+// opened source.
+type compiled struct {
+	src pdt.BatchSource
+	*analyzed
+}
+
+func (p *Plan) compile() (*compiled, error) {
+	a, err := p.analyze()
 	if err != nil {
 		return nil, err
 	}
-	return &compiled{src: src, scanCols: scanCols, kinds: kinds, slots: slots}, nil
+	src, err := p.rel.Scan(a.scanCols, p.loKey, p.hiKey)
+	if err != nil {
+		return nil, err
+	}
+	return &compiled{src: src, analyzed: a}, nil
 }
 
 // Run streams the pipeline into fn. Each call hands fn the current batch (the
@@ -199,17 +219,42 @@ func (p *Plan) compile() (*compiled, error) {
 // the selection of qualifying row indexes. The batch and selection are reused
 // across calls; fn must not retain them. Returning Stop from fn ends the run
 // without error. Batches where every row is filtered out never reach fn.
+//
+// Large scans over partitionable relations run in parallel (see Parallel);
+// batches are still delivered in exactly the serial order, so sinks that fold
+// rows sequentially see the same stream either way.
 func (p *Plan) Run(fn func(b *vector.Batch, sel []uint32) error) error {
-	c, err := p.compile()
+	ps, workers, err := p.partitioned()
 	if err != nil {
 		return err
 	}
-	b := vector.NewBatch(c.kinds, p.batchSize)
+	if ps != nil {
+		a, err := p.analyze()
+		if err != nil {
+			return err
+		}
+		return p.runParallel(ps, a, workers, fn)
+	}
+	a, err := p.analyze()
+	if err != nil {
+		return err
+	}
+	return p.runSerial(a, fn)
+}
+
+// runSerial is the single-goroutine pipeline: one source, one batch, one
+// selection vector.
+func (p *Plan) runSerial(a *analyzed, fn func(b *vector.Batch, sel []uint32) error) error {
+	src, err := p.rel.Scan(a.scanCols, p.loKey, p.hiKey)
+	if err != nil {
+		return err
+	}
+	b := vector.NewBatch(a.kinds, p.batchSize)
 	sel := vector.GetSelection()
 	defer vector.PutSelection(sel)
 	for {
 		b.Reset()
-		n, err := c.src.Next(b, p.batchSize)
+		n, err := src.Next(b, p.batchSize)
 		if err != nil {
 			return err
 		}
@@ -218,7 +263,7 @@ func (p *Plan) Run(fn func(b *vector.Batch, sel []uint32) error) error {
 		}
 		sel.All(n)
 		for i, f := range p.filters {
-			f.apply(b.Vecs[c.slots[i]], sel)
+			f.apply(b.Vecs[a.slots[i]], sel)
 			if sel.Len() == 0 {
 				break
 			}
@@ -237,8 +282,21 @@ func (p *Plan) Run(fn func(b *vector.Batch, sel []uint32) error) error {
 
 // Collect drains the pipeline into one dense batch holding exactly the
 // projected columns (filter-only columns are projected away), pre-sized from
-// the source's row-count hint. RIDs are carried through when WithRids was set.
+// the source's row-count hint. RIDs are carried through when WithRids was
+// set. Like Run, large scans over partitionable relations execute in
+// parallel, and the output batch is bit-identical to the serial one.
 func (p *Plan) Collect() (*vector.Batch, error) {
+	ps, workers, err := p.partitioned()
+	if err != nil {
+		return nil, err
+	}
+	if ps != nil {
+		a, err := p.analyze()
+		if err != nil {
+			return nil, err
+		}
+		return p.collectParallel(ps, a, workers)
+	}
 	c, err := p.compile()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,65 @@
+package engine
+
+// White-box tests for morsel carving: the invariants every parallel sink
+// relies on — morsels tile the range exactly, interior boundaries are
+// block-aligned, and exactly the final morsel carries last=true.
+
+import "testing"
+
+func TestMorselize(t *testing.T) {
+	cases := []struct {
+		lo, hi  uint64
+		unit    int
+		workers int
+	}{
+		{0, 100_000, 4096, 4},
+		{0, 100_000, 4096, 1},
+		{0, 1, 4096, 8},
+		{8192, 50_000, 4096, 3},
+		{0, 4096, 4096, 4},
+		{0, 65536, 16, 8},
+		{0, 10, 0, 2}, // unit <= 0 falls back to 1
+	}
+	for _, c := range cases {
+		ms := morselize(c.lo, c.hi, c.unit, c.workers)
+		if len(ms) == 0 {
+			t.Fatalf("morselize(%d,%d,%d,%d): no morsels", c.lo, c.hi, c.unit, c.workers)
+		}
+		unit := c.unit
+		if unit <= 0 {
+			unit = 1
+		}
+		at := c.lo
+		for i, m := range ms {
+			if m.lo != at {
+				t.Fatalf("morselize(%+v): morsel %d starts at %d, want %d", c, i, m.lo, at)
+			}
+			if m.hi < m.lo || m.hi > c.hi {
+				t.Fatalf("morselize(%+v): morsel %d = [%d,%d) out of range", c, i, m.lo, m.hi)
+			}
+			if i < len(ms)-1 && m.hi%uint64(unit) != 0 {
+				t.Fatalf("morselize(%+v): interior boundary %d not a multiple of %d", c, m.hi, unit)
+			}
+			if m.last != (i == len(ms)-1) {
+				t.Fatalf("morselize(%+v): morsel %d last=%v", c, i, m.last)
+			}
+			at = m.hi
+		}
+		if at != c.hi {
+			t.Fatalf("morselize(%+v): morsels end at %d, want %d", c, at, c.hi)
+		}
+		if len(ms) > c.workers*morselsPerWorker+1 {
+			t.Fatalf("morselize(%+v): %d morsels for %d workers", c, len(ms), c.workers)
+		}
+	}
+}
+
+func TestMorselizeEmptyRange(t *testing.T) {
+	// An empty stable range still yields one (empty) last morsel: a delta
+	// layer can hold inserts against an empty table, and some morsel must
+	// own them.
+	ms := morselize(0, 0, 4096, 4)
+	if len(ms) != 1 || ms[0].lo != 0 || ms[0].hi != 0 || !ms[0].last {
+		t.Fatalf("empty range: %+v", ms)
+	}
+}

@@ -1,0 +1,285 @@
+package engine_test
+
+// Differential tests for the parallel scan engine: whatever the worker
+// count, Run must deliver the exact serial batch stream (rows, RIDs, order)
+// and Collect the exact serial output batch, across delta modes, filters,
+// mid-block range starts, and forced or automatic parallelism.
+
+import (
+	"fmt"
+	"testing"
+
+	"pdtstore/internal/engine"
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+// fpRun renders a plan's Run stream deterministically, including RIDs when
+// the source emits them.
+func fpRun(t *testing.T, p *engine.Plan, cols int) string {
+	t.Helper()
+	out := ""
+	err := p.Run(func(b *vector.Batch, sel []uint32) error {
+		for _, i := range sel {
+			if len(b.Rids) > int(i) {
+				out += fmt.Sprintf("@%d:", b.Rids[i])
+			}
+			for c := 0; c < cols; c++ {
+				out += b.Vecs[c].Get(int(i)).String() + "|"
+			}
+			out += "\n"
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// fpBatch renders a collected batch, including RIDs when present.
+func fpBatch(b *vector.Batch) string {
+	out := ""
+	for i := 0; i < b.Len(); i++ {
+		if len(b.Rids) > i {
+			out += fmt.Sprintf("@%d:", b.Rids[i])
+		}
+		for c := range b.Vecs {
+			out += b.Vecs[c].Get(i).String() + "|"
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// bigTable builds a multi-block table with scattered updates, large enough
+// that forced-parallel runs really split into many morsels.
+func bigTable(t *testing.T, mode table.DeltaMode, n int) *table.Table {
+	t.Helper()
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Row{
+			types.Int(int64(i) * 2),
+			types.Int(int64(i) % 97),
+			types.Float(float64(i) / 8),
+			types.Str(fmt.Sprintf("s%03d", i%11)),
+		}
+	}
+	tbl, err := table.Load(testSchema, rows, table.Options{Mode: mode, BlockRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode == table.ModeNone {
+		return tbl
+	}
+	// Scattered inserts (odd keys), deletes and modifies across the range,
+	// including one insert past the last stable key (owned by the final
+	// morsel) and one before the first.
+	for _, k := range []int64{1, 333, 1001, 2*int64(n) + 5} {
+		if err := tbl.Insert(types.Row{types.Int(k), types.Int(k % 97), types.Float(0.5), types.Str("ins")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []int64{0, 128, 2 * int64(n/2)} {
+		if _, err := tbl.DeleteByKey(types.Row{types.Int(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []int64{64, 1024} {
+		if _, err := tbl.UpdateByKey(types.Row{types.Int(k)}, 1, types.Int(7777)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func plansUnderTest(tbl *table.Table) map[string]func() *engine.Plan {
+	return map[string]func() *engine.Plan{
+		"full": func() *engine.Plan {
+			return engine.Scan(tbl, 0, 1, 2, 3)
+		},
+		"filtered": func() *engine.Plan {
+			return engine.Scan(tbl, 1, 2).FilterInt64Le(1, 50).FilterFloat64Lt(2, 200)
+		},
+		"midblock-range": func() *engine.Plan {
+			// Bounds that land mid-block exercise the partial-block seek on
+			// every layer cursor.
+			return engine.Scan(tbl, 0, 1).
+				Range(types.Row{types.Int(13)}, types.Row{types.Int(3001)}).
+				FilterInt64Range(0, 13, 3001)
+		},
+		"unprojected-filter": func() *engine.Plan {
+			return engine.Scan(tbl, 3).FilterInt64Le(1, 40).BatchSize(300)
+		},
+	}
+}
+
+func TestParallelRunMatchesSerial(t *testing.T) {
+	for _, mode := range []table.DeltaMode{table.ModeNone, table.ModePDT, table.ModeVDT} {
+		tbl := bigTable(t, mode, 2000)
+		for name, mk := range plansUnderTest(tbl) {
+			want := fpRun(t, mk().Parallel(1), 1)
+			if want == "" {
+				t.Fatalf("%v/%s: serial plan selected nothing; test is vacuous", mode, name)
+			}
+			for _, w := range []int{2, 3, 8} {
+				if got := fpRun(t, mk().Parallel(w), 1); got != want {
+					t.Errorf("%v/%s: %d workers diverge from serial\nserial:\n%.200s\nparallel:\n%.200s",
+						mode, name, w, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelCollectMatchesSerial(t *testing.T) {
+	for _, mode := range []table.DeltaMode{table.ModeNone, table.ModePDT} {
+		tbl := bigTable(t, mode, 2000)
+		// fast path (no filters) and filtered path, both with and without RIDs
+		mks := map[string]func() *engine.Plan{
+			"fast":          func() *engine.Plan { return engine.Scan(tbl, 0, 2) },
+			"fast-rids":     func() *engine.Plan { return engine.Scan(tbl, 0, 2).WithRids() },
+			"filtered":      func() *engine.Plan { return engine.Scan(tbl, 0, 3).FilterInt64Le(1, 60) },
+			"filtered-rids": func() *engine.Plan { return engine.Scan(tbl, 0, 3).FilterInt64Le(1, 60).WithRids() },
+		}
+		for name, mk := range mks {
+			sb, err := mk().Parallel(1).Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fpBatch(sb)
+			for _, w := range []int{2, 5} {
+				pb, err := mk().Parallel(w).Collect()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := fpBatch(pb); got != want {
+					t.Errorf("%v/%s: %d-worker Collect diverges from serial", mode, name, w)
+				}
+				if len(pb.Vecs) != len(sb.Vecs) {
+					t.Errorf("%v/%s: vec count %d != %d", mode, name, len(pb.Vecs), len(sb.Vecs))
+				}
+			}
+		}
+	}
+}
+
+func TestParallelAutoThreshold(t *testing.T) {
+	// Auto mode: below the threshold plans stay serial; forcing the threshold
+	// to zero flips them parallel, and the output must not change.
+	defer func(th, dw int) { engine.ParallelThreshold = th; engine.DefaultWorkers = dw }(
+		engine.ParallelThreshold, engine.DefaultWorkers)
+	tbl := bigTable(t, table.ModePDT, 2000)
+	want := fpRun(t, engine.Scan(tbl, 0, 1, 2, 3), 4)
+	engine.ParallelThreshold = 0
+	engine.DefaultWorkers = 4
+	if got := fpRun(t, engine.Scan(tbl, 0, 1, 2, 3), 4); got != want {
+		t.Errorf("auto-parallel diverges from serial")
+	}
+	// Point-probe-sized batches never auto-parallelize, whatever the
+	// threshold — FindByKey-style probes must stay cheap.
+	if got := fpRun(t, engine.Scan(tbl, 0).BatchSize(16).Range(types.Row{types.Int(500)}, types.Row{types.Int(500)}), 1); got == "" {
+		t.Errorf("small-batch probe found nothing")
+	}
+}
+
+func TestParallelEmptyStableWithInserts(t *testing.T) {
+	// A PDT holding inserts over an empty stable image: the empty range still
+	// produces one morsel, which owns every insert.
+	tbl, err := table.Load(testSchema, nil, table.Options{Mode: table.ModePDT, BlockRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if err := tbl.Insert(types.Row{types.Int(i), types.Int(i), types.Float(0), types.Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := fpRun(t, engine.Scan(tbl, 0, 1).Parallel(1), 2)
+	got := fpRun(t, engine.Scan(tbl, 0, 1).Parallel(4), 2)
+	if want == "" || got != want {
+		t.Fatalf("empty-stable parallel scan diverges:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+func TestParallelStopAndErrors(t *testing.T) {
+	tbl := bigTable(t, table.ModePDT, 2000)
+	// Stop ends an ordered parallel run early without error. Batch
+	// boundaries are morsel-bounded in parallel runs, so the stopped stream
+	// is some non-empty prefix of the serial row stream — rows and order
+	// identical, cut possibly earlier.
+	var serial []int64
+	if err := engine.Scan(tbl, 0).Parallel(1).Run(func(b *vector.Batch, sel []uint32) error {
+		for _, i := range sel {
+			serial = append(serial, b.Vecs[0].I[i])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var prefix []int64
+	if err := engine.Scan(tbl, 0).Parallel(4).Run(func(b *vector.Batch, sel []uint32) error {
+		for _, i := range sel {
+			prefix = append(prefix, b.Vecs[0].I[i])
+		}
+		return engine.Stop
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(prefix) == 0 || len(prefix) > len(serial) {
+		t.Fatalf("stop prefix: %d rows of %d", len(prefix), len(serial))
+	}
+	for i, v := range prefix {
+		if v != serial[i] {
+			t.Fatalf("stop prefix diverges at row %d: %d != %d", i, v, serial[i])
+		}
+	}
+	// A sink error surfaces once, as itself.
+	boom := fmt.Errorf("boom")
+	err := engine.Scan(tbl, 0).Parallel(4).Run(func(*vector.Batch, []uint32) error { return boom })
+	if err != boom {
+		t.Fatalf("sink error = %v, want boom", err)
+	}
+}
+
+func TestRunPartitionedDeterministic(t *testing.T) {
+	tbl := bigTable(t, table.ModePDT, 2000)
+	sum := func(workers int) (int64, int) {
+		var partials []int64
+		parts := 0
+		err := engine.Scan(tbl, 1).Parallel(workers).RunPartitioned(
+			func(n int) error {
+				parts = n
+				partials = make([]int64, n)
+				return nil
+			},
+			func(part int, b *vector.Batch, sel []uint32) error {
+				for _, i := range sel {
+					partials[part] += b.Vecs[0].I[i]
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, p := range partials {
+			total += p
+		}
+		return total, parts
+	}
+	want, serialParts := sum(1)
+	if serialParts != 1 {
+		t.Fatalf("serial path reported %d parts", serialParts)
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, parts := sum(w)
+		if got != want {
+			t.Fatalf("%d workers: partitioned sum %d != serial %d", w, got, want)
+		}
+		if w > 1 && parts < 2 {
+			t.Fatalf("%d workers: only %d partitions", w, parts)
+		}
+	}
+}

@@ -66,6 +66,40 @@ func NewSource(spec TableSpec, cols []int, loKey, hiKey types.Row) (pdt.BatchSou
 	}
 }
 
+// PartitionSpec is NewSource's partitionable counterpart: it resolves the
+// sort-key range to stable-SID bounds once and returns a PartScan whose Open
+// assembles the same merge pipeline NewSource would, clamped to one morsel's
+// [lo, hi) sub-range. Non-last morsels open their PDT merge with
+// includeEnd=false, so a delta entry sitting exactly on a morsel boundary is
+// owned by the morsel that starts there — the invariant that makes
+// concatenated morsel outputs equal the serial scan. A table whose updates
+// live in a VDT declines (returns nil): a value-based merge interleaves by
+// key, not position, and cannot be sliced by SID range.
+func PartitionSpec(spec TableSpec, loKey, hiKey types.Row) *PartScan {
+	if spec.VDT != nil && !spec.VDT.Empty() {
+		return nil
+	}
+	s := spec.Store
+	lo, hi := s.SIDRange(loKey, hiKey)
+	delta := spec.PDT
+	if delta != nil && delta.Empty() {
+		delta = nil
+	}
+	return &PartScan{Lo: lo, Hi: hi, Unit: s.BlockRows(),
+		Open: func(cols []int, mlo, mhi uint64, last bool) (pdt.BatchSource, error) {
+			// Readahead: charge the morsel's cold block reads up front so
+			// concurrent workers' modeled I/O overlaps.
+			if err := s.Prefetch(cols, mlo, mhi); err != nil {
+				return nil, err
+			}
+			sc := s.NewScanner(cols, mlo, mhi)
+			if delta != nil {
+				return pdt.NewMergeScan(delta, sc, cols, mlo, last), nil
+			}
+			return &plainSource{sc: sc}, nil
+		}}
+}
+
 // StackPDTs chains PDT layers bottom-to-top over a base source producing the
 // given columns for consecutive positions starting at startSID: each layer's
 // SIDs are the RIDs produced by the layer below (the transaction scheme's

@@ -103,6 +103,24 @@ func (a *Agg) Avg() float64 {
 	return a.Sum / float64(a.Count)
 }
 
+// Merge folds another cell into a, as if every value o accumulated had been
+// Added to a directly: the combine step of a partitioned aggregation. Fold
+// partial cells in partition order for a scheduling-independent result (the
+// float sums accumulate in a fixed order then).
+func (a *Agg) Merge(o Agg) {
+	if o.Count == 0 {
+		return
+	}
+	if a.Count == 0 || o.Min < a.Min {
+		a.Min = o.Min
+	}
+	if a.Count == 0 || o.Max > a.Max {
+		a.Max = o.Max
+	}
+	a.Count += o.Count
+	a.Sum += o.Sum
+}
+
 // GroupAgg is a hash aggregation keyed by composite string keys, holding a
 // fixed number of accumulator cells per group.
 type GroupAgg struct {
@@ -144,6 +162,24 @@ func (g *GroupAgg) TouchKey(key []byte, repr func() types.Row) []Agg {
 	return st.aggs
 }
 
+// Merge folds another aggregation's groups into g cell by cell — the combine
+// step for per-partition GroupAggs built by a parallel scan. Groups absent
+// from g adopt o's state (including its representative key row). Merging the
+// partials in partition order makes the result independent of which worker
+// processed which partition. o must not be used afterwards.
+func (g *GroupAgg) Merge(o *GroupAgg) {
+	for k, st := range o.groups {
+		mine, ok := g.groups[k]
+		if !ok {
+			g.groups[k] = st
+			continue
+		}
+		for i := range st.aggs {
+			mine.aggs[i].Merge(st.aggs[i])
+		}
+	}
+}
+
 // Len returns the number of groups.
 func (g *GroupAgg) Len() int { return len(g.groups) }
 
@@ -178,7 +214,24 @@ func NewIntJoinMap(b *vector.Batch, sel []uint32, keyCol int, payloadCols []int)
 	if sel != nil {
 		n = len(sel)
 	}
-	m := &IntJoinMap{rows: make(map[int64][]types.Row, n)}
+	m := NewEmptyIntJoinMap(n)
+	m.AddBatch(b, sel, keyCol, payloadCols)
+	return m
+}
+
+// NewEmptyIntJoinMap returns an empty build side sized for capHint rows, for
+// incremental building with AddBatch — the per-worker partial state of a
+// parallel join build.
+func NewEmptyIntJoinMap(capHint int) *IntJoinMap {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &IntJoinMap{rows: make(map[int64][]types.Row, capHint)}
+}
+
+// AddBatch inserts the selected rows of a batch (sel nil means all rows):
+// key column keyCol, payload the given columns.
+func (m *IntJoinMap) AddBatch(b *vector.Batch, sel []uint32, keyCol int, payloadCols []int) {
 	build := func(i int) {
 		k := b.Vecs[keyCol].I[i]
 		payload := make(types.Row, len(payloadCols))
@@ -196,7 +249,19 @@ func NewIntJoinMap(b *vector.Batch, sel []uint32, keyCol int, payloadCols []int)
 			build(i)
 		}
 	}
-	return m
+}
+
+// Merge folds another build side into m, appending o's payload rows after
+// m's for shared keys — so merging per-partition maps in partition order
+// reproduces the row order of a serial build. o must not be used afterwards.
+func (m *IntJoinMap) Merge(o *IntJoinMap) {
+	for k, rs := range o.rows {
+		if mine, ok := m.rows[k]; ok {
+			m.rows[k] = append(mine, rs...)
+		} else {
+			m.rows[k] = rs
+		}
+	}
 }
 
 // Probe returns the payload rows for key.

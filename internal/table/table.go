@@ -188,6 +188,20 @@ func (t *Table) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error
 	return engine.NewSource(engine.TableSpec{Store: im.store, PDT: im.pdt, VDT: im.vdt}, cols, loKey, hiKey)
 }
 
+// PartitionScan makes Table an engine.PartRelation: it pins one consistent
+// (store, delta) image and returns block-aligned, range-clamped slices of
+// the same merge pipeline Scan would build over it. Every worker of a
+// parallel plan opens its morsels against that single pinned image, so a
+// checkpoint installing a new image mid-plan can never mix generations
+// within one scan. VDT tables with buffered updates decline (nil PartScan)
+// and scan serially. Like direct Scan, concurrent *updates* to the PDT are
+// the caller's to serialize; the transaction layer's snapshots are the safe
+// way to scan while writes proceed.
+func (t *Table) PartitionScan(loKey, hiKey types.Row) (*engine.PartScan, error) {
+	im := t.img.Load()
+	return engine.PartitionSpec(engine.TableSpec{Store: im.store, PDT: im.pdt, VDT: im.vdt}, loKey, hiKey), nil
+}
+
 // FindByKey locates the visible tuple with the given (full) sort key,
 // returning its RID and current column values.
 func (t *Table) FindByKey(key types.Row) (rid uint64, row types.Row, found bool, err error) {

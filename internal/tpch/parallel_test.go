@@ -1,0 +1,50 @@
+package tpch
+
+// Parallel differential over the whole workload: every TPC-H query must give
+// byte-identical answers when every engine scan is forced onto the parallel
+// path (threshold zero, several workers). Q1 and Q6 take the partitioned
+// aggregation path — per-morsel partials merged in morsel order — so this
+// also pins down that the combine step is scheduling-independent.
+
+import (
+	"testing"
+
+	"pdtstore/internal/engine"
+	"pdtstore/internal/table"
+)
+
+func TestQueriesParallelAgree(t *testing.T) {
+	for _, mode := range []table.DeltaMode{table.ModeNone, table.ModePDT} {
+		db := loadTest(t, mode)
+		if mode == table.ModePDT {
+			if err := db.ApplyRefresh(2, 0.005); err != nil {
+				t.Fatal(err)
+			}
+		}
+		serial := make([]string, len(Queries))
+		for qi, q := range Queries {
+			got, err := q.Run(db)
+			if err != nil {
+				t.Fatalf("Q%d (%v, serial): %v", q.ID, mode, err)
+			}
+			serial[qi] = got
+		}
+
+		func() {
+			defer func(th, dw int) { engine.ParallelThreshold = th; engine.DefaultWorkers = dw }(
+				engine.ParallelThreshold, engine.DefaultWorkers)
+			engine.ParallelThreshold = 0
+			engine.DefaultWorkers = 4
+			for qi, q := range Queries {
+				got, err := q.Run(db)
+				if err != nil {
+					t.Fatalf("Q%d (%v, parallel): %v", q.ID, mode, err)
+				}
+				if got != serial[qi] {
+					t.Errorf("Q%d (%v) differs under forced parallelism:\nserial:\n%s\nparallel:\n%s",
+						q.ID, mode, serial[qi], got)
+				}
+			}
+		}()
+	}
+}

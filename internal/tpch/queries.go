@@ -84,33 +84,51 @@ func lines(rows []string) string { return strings.Join(rows, "\n") }
 // Q1 — Pricing Summary Report: one pass over lineitem, grouped by
 // (returnflag, linestatus). The shipdate cutoff runs as a typed kernel on an
 // unprojected column; group keys build in a reused scratch buffer so the
-// per-row aggregation path allocates nothing.
+// per-row aggregation path allocates nothing. The aggregation runs
+// partitioned: each scan partition folds into its own GroupAgg, and the
+// partials merge in partition order afterwards — parallel end to end, with a
+// result independent of how partitions landed on workers.
 func Q1(db *DB) (string, error) {
 	cutoff := Days(1998, 12, 1) - 90
-	agg := exec.NewGroupAgg(4) // qty, extprice, discprice, charge
-	var kb []byte
+	type q1part struct {
+		agg *exec.GroupAgg // qty, extprice, discprice, charge
+		kb  []byte
+	}
+	var parts []q1part
 	err := engine.Scan(db.Lineitem,
 		LQuantity, LExtendedprice, LDiscount, LTax, LReturnflag, LLinestatus).
 		FilterInt64Le(LShipdate, cutoff).
-		Run(func(b *vector.Batch, sel []uint32) error {
-			qtyC, priceC, discC, taxC := b.Vecs[0].F, b.Vecs[1].F, b.Vecs[2].F, b.Vecs[3].F
-			rfC, lsC := b.Vecs[4].S, b.Vecs[5].S
-			for _, i := range sel {
-				rf, ls := rfC[i], lsC[i]
-				kb = append(append(append(kb[:0], rf...), 0), ls...)
-				cells := agg.TouchKey(kb, func() types.Row {
-					return types.Row{types.Str(rf), types.Str(ls)}
-				})
-				qty, price, disc, tax := qtyC[i], priceC[i], discC[i], taxC[i]
-				cells[0].Add(qty)
-				cells[1].Add(price)
-				cells[2].Add(price * (1 - disc))
-				cells[3].Add(price * (1 - disc) * (1 + tax))
-			}
-			return nil
-		})
+		RunPartitioned(
+			func(n int) error { parts = make([]q1part, n); return nil },
+			func(part int, b *vector.Batch, sel []uint32) error {
+				pt := &parts[part]
+				if pt.agg == nil {
+					pt.agg = exec.NewGroupAgg(4)
+				}
+				qtyC, priceC, discC, taxC := b.Vecs[0].F, b.Vecs[1].F, b.Vecs[2].F, b.Vecs[3].F
+				rfC, lsC := b.Vecs[4].S, b.Vecs[5].S
+				for _, i := range sel {
+					rf, ls := rfC[i], lsC[i]
+					pt.kb = append(append(append(pt.kb[:0], rf...), 0), ls...)
+					cells := pt.agg.TouchKey(pt.kb, func() types.Row {
+						return types.Row{types.Str(rf), types.Str(ls)}
+					})
+					qty, price, disc, tax := qtyC[i], priceC[i], discC[i], taxC[i]
+					cells[0].Add(qty)
+					cells[1].Add(price)
+					cells[2].Add(price * (1 - disc))
+					cells[3].Add(price * (1 - disc) * (1 + tax))
+				}
+				return nil
+			})
 	if err != nil {
 		return "", err
+	}
+	agg := exec.NewGroupAgg(4)
+	for i := range parts {
+		if parts[i].agg != nil {
+			agg.Merge(parts[i].agg)
+		}
 	}
 	var out []string
 	for _, r := range agg.Results() {
@@ -364,20 +382,28 @@ func Q5(db *DB) (string, error) {
 // arithmetic.
 func Q6(db *DB) (string, error) {
 	lo, hi := Days(1994, 1, 1), Days(1995, 1, 1)
-	total := 0.0
+	// Partitioned sum: per-partition partial totals folded in partition
+	// order, so the float result is the same whatever the worker schedule.
+	var partials []float64
 	err := engine.Scan(db.Lineitem, LExtendedprice, LDiscount).
 		FilterInt64Range(LShipdate, lo, hi-1).
 		FilterFloat64Range(LDiscount, 0.05, 0.07).
 		FilterFloat64Lt(LQuantity, 24).
-		Run(func(b *vector.Batch, sel []uint32) error {
-			price, disc := b.Vecs[0].F, b.Vecs[1].F
-			for _, i := range sel {
-				total += price[i] * disc[i]
-			}
-			return nil
-		})
+		RunPartitioned(
+			func(n int) error { partials = make([]float64, n); return nil },
+			func(part int, b *vector.Batch, sel []uint32) error {
+				price, disc := b.Vecs[0].F, b.Vecs[1].F
+				for _, i := range sel {
+					partials[part] += price[i] * disc[i]
+				}
+				return nil
+			})
 	if err != nil {
 		return "", err
+	}
+	total := 0.0
+	for _, s := range partials {
+		total += s
 	}
 	return exec.FormatRow(total), nil
 }

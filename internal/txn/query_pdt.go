@@ -43,6 +43,16 @@ func (q *Query) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error
 	return q.txn.Scan(cols, loKey, hiKey)
 }
 
+// PartitionScan makes Query an engine.PartRelation over the same frozen
+// three-layer view Scan reads (the Query-PDT stays out of the stack), so a
+// statement's big reads parallelize with the identical Halloween protection.
+func (q *Query) PartitionScan(loKey, hiKey types.Row) (*engine.PartScan, error) {
+	if q.done {
+		return nil, ErrTxnDone
+	}
+	return q.txn.PartitionScan(loKey, hiKey)
+}
+
 // Insert buffers an insert in the Query-PDT, positioned against the frozen
 // view — repeated scans will not observe it, so a statement that inserts
 // what it selects cannot chase its own output.

@@ -335,6 +335,33 @@ func (t *Txn) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error) 
 	return engine.StackPDTs(base, cols, from, true, t.ver.readPDT, t.frozen, t.writeSnap, t.trans), nil
 }
 
+// PartitionScan makes Txn an engine.PartRelation: parallel plans over a
+// transaction's view open each morsel as a range-clamped copy of the full
+// Equation 9 stack. Every layer in the stack is immutable for the life of
+// the transaction — the pinned version's Read-PDT, the frozen maintenance
+// layer, the copy-on-write Write-PDT snapshot taken at Begin — except the
+// private Trans-PDT, which only this transaction mutates; so workers may
+// cursor through all four layers concurrently while commits, folds and
+// checkpoints proceed elsewhere. Each PDT merge seeks its cursor to the
+// morsel's start SID (carrying the running shift in) and chains its StartRID
+// into the layer above, exactly as the serial stacking does.
+func (t *Txn) PartitionScan(loKey, hiKey types.Row) (*engine.PartScan, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	store := t.ver.store
+	lo, hi := store.SIDRange(loKey, hiKey)
+	readPDT, frozen, writeSnap, trans := t.ver.readPDT, t.frozen, t.writeSnap, t.trans
+	return &engine.PartScan{Lo: lo, Hi: hi, Unit: store.BlockRows(),
+		Open: func(cols []int, mlo, mhi uint64, last bool) (pdt.BatchSource, error) {
+			if err := store.Prefetch(cols, mlo, mhi); err != nil {
+				return nil, err
+			}
+			base := store.NewScanner(cols, mlo, mhi)
+			return engine.StackPDTs(base, cols, mlo, last, readPDT, frozen, writeSnap, trans), nil
+		}}, nil
+}
+
 // findByKey locates a visible tuple in the transaction's view.
 func (t *Txn) findByKey(key types.Row) (rid uint64, row types.Row, found bool, err error) {
 	schema := t.mgr.tbl.Schema()

@@ -6,6 +6,7 @@ package vector
 
 import (
 	"fmt"
+	"sync"
 
 	"pdtstore/internal/types"
 )
@@ -213,3 +214,31 @@ func (b *Batch) Kinds() []types.Kind {
 	}
 	return out
 }
+
+// BatchPool recycles equally-shaped batches. It wraps a sync.Pool, whose
+// free lists are sharded per P, so the parallel scan engine's workers get
+// and put scratch batches concurrently without sharing a lock — and batches
+// (with their grown vector capacities) survive across plan executions.
+type BatchPool struct {
+	kinds   []types.Kind
+	capHint int
+	pool    sync.Pool
+}
+
+// NewBatchPool returns a pool producing batches of the given kinds with the
+// given initial capacity per vector.
+func NewBatchPool(kinds []types.Kind, capHint int) *BatchPool {
+	p := &BatchPool{kinds: append([]types.Kind(nil), kinds...), capHint: capHint}
+	p.pool.New = func() interface{} { return NewBatch(p.kinds, p.capHint) }
+	return p
+}
+
+// Get fetches an empty batch from the pool.
+func (p *BatchPool) Get() *Batch {
+	b := p.pool.Get().(*Batch)
+	b.Reset()
+	return b
+}
+
+// Put returns a batch to the pool. The caller must not use it afterwards.
+func (p *BatchPool) Put(b *Batch) { p.pool.Put(b) }
