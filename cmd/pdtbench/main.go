@@ -32,13 +32,17 @@
 //	                                         tail length, plus fsynced commit
 //	                                         latency and log size per tail
 //	pdtbench -fig commit [-writers 1,8,64] [-commits 50] [-barriers 0,2000]
-//	                     [-json BENCH_update.json]
+//	                     [-shards 1,4] [-json BENCH_update.json]
 //	                                         group commit: commits/s, commit
 //	                                         latency percentiles and fsync
-//	                                         counts vs concurrent writers and
-//	                                         barrier latency on a durable log,
-//	                                         the sequencer's batching vs the
-//	                                         per-commit-fsync baseline
+//	                                         counts vs concurrent writers,
+//	                                         barrier latency and shard count
+//	                                         on durable logs — the sequencer's
+//	                                         batching vs the per-commit-fsync
+//	                                         baseline, and shard-per-core
+//	                                         writes (one sequencer + WAL
+//	                                         stream per key-range shard)
+//	                                         vs the single-sequencer path
 //
 // Output is a plain-text table with one row per parameter combination,
 // mirroring the series of the corresponding figure; -fig scan and
@@ -73,6 +77,7 @@ func main() {
 	rows := flag.Int("rows", 0, "base table rows for -fig recovery (0 = default)")
 	tails := flag.String("tails", "", "comma-separated WAL tail lengths for -fig recovery")
 	writers := flag.String("writers", "", "comma-separated writer counts for -fig commit")
+	shards := flag.String("shards", "", "comma-separated shard counts for -fig commit (default 1 = unsharded)")
 	workers := flag.String("workers", "", "comma-separated scan worker counts for -fig scan (default 1,2,4,8)")
 	prows := flag.Int("prows", 0, "table rows for the -fig scan parallel sweep (0 = 1M)")
 	commits := flag.Int("commits", 0, "commits per writer for -fig commit (0 = default)")
@@ -127,7 +132,7 @@ func main() {
 	case "recovery":
 		runRecovery(*rows, *tails, *jsonPath)
 	case "commit":
-		runCommit(*writers, *barriers, *commits, *jsonPath)
+		runCommit(*writers, *barriers, *shards, *commits, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "pdtbench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -184,6 +189,27 @@ func runUpdate(jsonPath string) {
 	fmt.Printf("wrote %s\n", jsonPath)
 }
 
+// hostHeader is the run-environment header stamped into every JSON report:
+// the figures move with the machine, so a report without the host's shape is
+// not reproducible.
+type hostHeader struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+func currentHost() hostHeader {
+	return hostHeader{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}
+
 // mergeReportSections rewrites the given top-level sections of a JSON report
 // file, preserving every other section (so -fig update and -fig online can
 // share BENCH_update.json without clobbering each other).
@@ -199,6 +225,9 @@ func mergeReportSections(path string, sections map[string]any) error {
 		// the new sections.
 		return err
 	}
+	// Every write refreshes the host header: the sections being merged were
+	// measured on this machine, whatever an older header said.
+	sections["host"] = currentHost()
 	for key, v := range sections {
 		enc, err := json.Marshal(v)
 		if err != nil {
@@ -238,7 +267,7 @@ func runOnline(jsonPath string) {
 	fmt.Printf("wrote %s\n", jsonPath)
 }
 
-func runCommit(writersCSV, barriersCSV string, commitsPerWriter int, jsonPath string) {
+func runCommit(writersCSV, barriersCSV, shardsCSV string, commitsPerWriter int, jsonPath string) {
 	cfg := bench.CommitBenchConfig{CommitsPerWriter: commitsPerWriter}
 	if writersCSV != "" {
 		for _, part := range strings.Split(writersCSV, ",") {
@@ -260,6 +289,16 @@ func runCommit(writersCSV, barriersCSV string, commitsPerWriter int, jsonPath st
 			cfg.Barriers = append(cfg.Barriers, time.Duration(v)*time.Microsecond)
 		}
 	}
+	if shardsCSV != "" {
+		for _, part := range strings.Split(shardsCSV, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "pdtbench: bad -shards value %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Shards = append(cfg.Shards, v)
+		}
+	}
 	rows, err := bench.CommitProfile(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
@@ -275,7 +314,16 @@ func runCommit(writersCSV, barriersCSV string, commitsPerWriter int, jsonPath st
 	if jsonPath == "" {
 		return
 	}
-	if err := mergeReportSections(jsonPath, map[string]any{"commit": rows}); err != nil {
+	// A run with a shards axis lands in its own section, keeping the
+	// single-sequencer "commit" history intact as the baseline; its
+	// shards=1 rows are the same-run unsharded reference.
+	section := "commit"
+	for _, s := range cfg.Shards {
+		if s > 1 {
+			section = "commit_sharded"
+		}
+	}
+	if err := mergeReportSections(jsonPath, map[string]any{section: rows}); err != nil {
 		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
 		os.Exit(1)
 	}

@@ -13,12 +13,25 @@ package pdtstore
 // new manifest's LSN tells recovery which log records the new image already
 // contains, so the untruncated tail cannot double-apply.
 //
+// Sharded stores (Options.Shards > 1) generalize every piece per shard: the
+// manifest lists one segment and freeze LSN per shard plus the permanent
+// split keys, each shard owns a WAL stream directory, and recovery replays
+// the streams independently before reconciling them to one global commit
+// clock — wal.CompleteGroups drops cross-shard commits that only some
+// streams got (a crash between two shards' batch fsyncs), so reopen is
+// all-or-nothing per clock entry. Checkpoint streams the shards' images one
+// at a time and commits them with a single manifest swap: a crash between
+// two shards' builds loses nothing, because the old manifest still pairs the
+// old images with the full streams.
+//
 // Directory layout:
 //
 //	dir/
-//	  MANIFEST                  current generation + segment + freeze LSN
-//	  seg-<generation>.seg      stable image segments (one live, rest GC'd)
-//	  wal/<seq>.wal             rotated commit log files
+//	  MANIFEST                     current generation + segment(s) + freeze LSN(s)
+//	  seg-<generation>.seg         stable image segments (one live, rest GC'd)
+//	  seg-<generation>-s<i>.seg    per-shard stable images (sharded stores)
+//	  wal/<seq>.wal                rotated commit log files (shard 0 when sharded)
+//	  wal-s<i>/<seq>.wal           shard i's commit log stream, i >= 1
 
 import (
 	"fmt"
@@ -63,6 +76,19 @@ type Options struct {
 	MaxCommitDelay time.Duration
 	// Device shares a buffer pool across stores; nil creates a private one.
 	Device *colstore.Device
+	// Shards splits the table into this many key-range shards, each with its
+	// own Write-PDT, group-commit sequencer and WAL stream sharing one global
+	// commit clock (0 or 1 = unsharded). Opening an existing unsharded store
+	// with Shards > 1 adopts it — the image is cut into per-shard segments —
+	// provided its WAL tail is empty (checkpoint first); changing the shard
+	// count of an already-sharded store is not supported.
+	Shards int
+	// ShardKeys are the Shards-1 ascending full-sort-key cuts. Required when
+	// bootstrapping a fresh sharded store (an empty image has no quantiles to
+	// cut at); optional when adopting an existing image, where nil selects
+	// row-count quantile cuts read off the image. Ignored for stores that are
+	// already sharded — the manifest's recorded splits are permanent.
+	ShardKeys []types.Row
 }
 
 // DB is a durable, transactional PDT store rooted at a directory.
@@ -73,10 +99,13 @@ type DB struct {
 	opts   Options
 	schema *types.Schema
 	dev    *colstore.Device
-	tbl    *table.Table
-	mgr    *txn.Manager
-	log    *wal.FileLog
-	man    storage.Manifest
+	// One entry per shard; unsharded stores are the one-element case with
+	// sharded == nil (no coordinator, manifest keeps the flat form).
+	tbls    []*table.Table
+	mgrs    []*txn.Manager
+	logs    []*wal.FileLog
+	sharded *txn.Sharded
+	man     storage.Manifest
 	// nextGen is the highest generation number ever handed to a checkpoint,
 	// advanced even when the checkpoint fails: a failed attempt may have
 	// installed its segment as the manager's live store (only the manifest
@@ -98,19 +127,40 @@ type DB struct {
 
 // Checkpoint fault-injection points, in execution order.
 const (
-	faultMidSegmentWrite     = "mid-segment-write"
-	faultPreManifestSwap     = "pre-manifest-swap"
-	faultPostSwapPreTruncate = "post-swap-pre-truncate"
+	faultMidSegmentWrite = "mid-segment-write"
+	// faultBetweenShardCheckpoints fires before each shard's image build
+	// except the first (sharded stores only): some shards have already
+	// streamed and installed their new images, the rest have not, and the
+	// manifest still pairs the old images with the full WAL streams.
+	faultBetweenShardCheckpoints = "between-shard-checkpoints"
+	faultPreManifestSwap         = "pre-manifest-swap"
+	faultPostSwapPreTruncate     = "post-swap-pre-truncate"
 )
 
 func segmentName(gen uint64) string { return fmt.Sprintf("seg-%016x.seg", gen) }
+
+func shardSegmentName(gen uint64, shard int) string {
+	return fmt.Sprintf("seg-%016x-s%d.seg", gen, shard)
+}
+
+// shardWalDir keeps shard 0 on the unsharded stream name so adopting a
+// sharded layout inherits the existing log untouched.
+func shardWalDir(shard int) string {
+	if shard == 0 {
+		return "wal"
+	}
+	return fmt.Sprintf("wal-s%d", shard)
+}
 
 // Open opens or creates a durable store at dir and recovers its committed
 // state: the manifest's segment generation becomes the stable image (blocks
 // pread lazily through the buffer pool), the WAL tail beyond the manifest's
 // LSN is replayed into the Write-PDT, and the commit clock resumes the
 // pre-crash sequence. A torn final WAL record (crash mid-append) is truncated
-// away; every earlier record is applied exactly once.
+// away; every earlier record is applied exactly once. For a sharded store the
+// same contract holds per shard, plus cross-shard atomicity: a commit clock
+// entry whose record is missing from any participant stream is dropped from
+// all of them.
 func Open(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -133,8 +183,43 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	var store *colstore.Store
-	if found {
+	n := opts.Shards
+	if n < 1 {
+		n = 1
+	}
+	var stores []*colstore.Store
+	var splits []types.Row
+	closeStores := func() {
+		for _, s := range stores {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	switch {
+	case found && len(man.Shards) > 0:
+		// Already sharded: the manifest's layout wins; Options.Shards may
+		// only agree with it.
+		if opts.Shards > 1 && opts.Shards != len(man.Shards) {
+			return nil, fmt.Errorf("pdtstore: store at %s has %d shards; re-sharding to %d is not supported", dir, len(man.Shards), opts.Shards)
+		}
+		n = len(man.Shards)
+		splits = man.Splits
+		stores = make([]*colstore.Store, n)
+		for i, sh := range man.Shards {
+			seg, err := storage.OpenSegment(filepath.Join(dir, sh.Segment))
+			if err != nil {
+				closeStores()
+				return nil, fmt.Errorf("pdtstore: open shard %d segment generation %d: %w", i, man.Generation, err)
+			}
+			if opts.Schema != nil && !schemaEqual(opts.Schema, seg.Schema()) {
+				seg.Close()
+				closeStores()
+				return nil, fmt.Errorf("pdtstore: schema mismatch: store holds %v", seg.Schema())
+			}
+			stores[i] = colstore.FromSegment(seg, dev)
+		}
+	case found:
 		seg, err := storage.OpenSegment(filepath.Join(dir, man.Segment))
 		if err != nil {
 			return nil, fmt.Errorf("pdtstore: open segment generation %d: %w", man.Generation, err)
@@ -143,8 +228,47 @@ func Open(dir string, opts Options) (*DB, error) {
 			seg.Close()
 			return nil, fmt.Errorf("pdtstore: schema mismatch: store holds %v", seg.Schema())
 		}
-		store = colstore.FromSegment(seg, dev)
-	} else {
+		store := colstore.FromSegment(seg, dev)
+		if n > 1 {
+			stores, splits, man, err = adoptShards(dir, man, opts, dev, store, n)
+			store.Close()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			stores = []*colstore.Store{store}
+		}
+	case n > 1:
+		// Fresh sharded bootstrap: n empty per-shard images at generation 1.
+		if opts.Schema == nil {
+			return nil, fmt.Errorf("pdtstore: creating a new store at %s requires Options.Schema", dir)
+		}
+		if len(opts.ShardKeys) != n-1 {
+			return nil, fmt.Errorf("pdtstore: bootstrapping %d shards requires %d Options.ShardKeys cuts, got %d", n, n-1, len(opts.ShardKeys))
+		}
+		splits = opts.ShardKeys
+		stores = make([]*colstore.Store, n)
+		entries := make([]storage.ShardEntry, n)
+		for i := range stores {
+			name := shardSegmentName(1, i)
+			b, err := colstore.NewFileBuilder(opts.Schema, dev, opts.BlockRows, opts.Compressed, filepath.Join(dir, name))
+			if err != nil {
+				closeStores()
+				return nil, err
+			}
+			stores[i], err = b.Finish()
+			if err != nil {
+				closeStores()
+				return nil, err
+			}
+			entries[i] = storage.ShardEntry{Segment: name}
+		}
+		man = storage.Manifest{Generation: 1, Shards: entries, Splits: splits}
+		if err := storage.WriteManifest(dir, man); err != nil {
+			closeStores()
+			return nil, err
+		}
+	default:
 		if opts.Schema == nil {
 			return nil, fmt.Errorf("pdtstore: creating a new store at %s requires Options.Schema", dir)
 		}
@@ -156,7 +280,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		store, err = b.Finish()
+		store, err := b.Finish()
 		if err != nil {
 			return nil, err
 		}
@@ -165,71 +289,178 @@ func Open(dir string, opts Options) (*DB, error) {
 			store.Close()
 			return nil, err
 		}
+		stores = []*colstore.Store{store}
 	}
-	gcStraySegments(dir, man.Segment)
+	gcStraySegments(dir, manifestSegments(man))
 
-	tbl, err := table.FromStore(store, table.Options{
-		Mode:       table.ModePDT,
-		BlockRows:  opts.BlockRows,
-		Compressed: opts.Compressed,
-		Fanout:     opts.Fanout,
-		Device:     dev,
-	})
-	if err != nil {
-		store.Close()
-		return nil, err
+	// Per-shard base LSNs: records at or below a shard's bar were
+	// materialized into its image before the manifest swapped.
+	bases := make([]uint64, n)
+	if len(man.Shards) > 0 {
+		for i, sh := range man.Shards {
+			bases[i] = sh.LSN
+		}
+	} else {
+		bases[0] = man.LSN
 	}
-	flog, records, err := wal.OpenFileLog(filepath.Join(dir, "wal"))
-	if err != nil {
-		store.Close()
-		return nil, err
-	}
-	// The clock must sit at the max of the manifest's freeze LSN and the last
-	// log record: a fully truncated log must not rewind it below the
-	// checkpoint, or post-recovery commits would reuse spent LSNs.
-	if man.LSN > flog.LSN() {
-		flog.SetLSN(man.LSN)
-	}
-	mgr, err := txn.NewManager(tbl, txn.Options{
-		WriteBudget:    opts.WriteBudget,
-		Log:            flog,
-		MaxCommitBatch: opts.MaxCommitBatch,
-		MaxCommitDelay: opts.MaxCommitDelay,
-	})
-	if err != nil {
-		flog.Close()
-		store.Close()
-		return nil, err
-	}
-	// Replay only the records the checkpointed image does not already
-	// contain: everything at or below the manifest LSN was materialized into
-	// the segment before the manifest swapped (the post-swap-pre-truncate
-	// crash leaves exactly such records behind).
-	tail := records[:0]
-	for _, rec := range records {
-		if rec.LSN > man.LSN {
-			tail = append(tail, rec)
+
+	tbls := make([]*table.Table, n)
+	logs := make([]*wal.FileLog, n)
+	streams := make([][]wal.Record, n)
+	closeLogs := func() {
+		for _, l := range logs {
+			if l != nil {
+				l.Close()
+			}
 		}
 	}
-	if err := mgr.Recover(tail); err != nil {
-		flog.Close()
-		store.Close()
-		return nil, fmt.Errorf("pdtstore: WAL replay: %w", err)
+	for i := range stores {
+		tbl, err := table.FromStore(stores[i], table.Options{
+			Mode:       table.ModePDT,
+			BlockRows:  opts.BlockRows,
+			Compressed: opts.Compressed,
+			Fanout:     opts.Fanout,
+			Device:     dev,
+		})
+		if err != nil {
+			closeLogs()
+			closeStores()
+			return nil, err
+		}
+		tbls[i] = tbl
+		flog, records, err := wal.OpenFileLog(filepath.Join(dir, shardWalDir(i)))
+		if err != nil {
+			closeLogs()
+			closeStores()
+			return nil, err
+		}
+		// The clock must sit at the max of the manifest's freeze LSN and the
+		// last log record: a fully truncated log must not rewind it below the
+		// checkpoint, or post-recovery commits would reuse spent LSNs.
+		if bases[i] > flog.LSN() {
+			flog.SetLSN(bases[i])
+		}
+		logs[i] = flog
+		streams[i] = records
+	}
+	if n > 1 {
+		// Cross-shard atomicity: a commit clock entry missing from any
+		// participant stream (crash between two shards' batch fsyncs, or
+		// a torn tail on one stream) never installed anywhere — drop it
+		// from every stream.
+		streams = wal.CompleteGroups(streams, bases)
+	}
+	mgrs := make([]*txn.Manager, n)
+	for i := range stores {
+		mgr, err := txn.NewManager(tbls[i], txn.Options{
+			WriteBudget:    opts.WriteBudget,
+			Log:            logs[i],
+			MaxCommitBatch: opts.MaxCommitBatch,
+			MaxCommitDelay: opts.MaxCommitDelay,
+		})
+		if err != nil {
+			closeLogs()
+			closeStores()
+			return nil, err
+		}
+		// Replay only the records the checkpointed image does not already
+		// contain: everything at or below the shard's manifest LSN was
+		// materialized into its segment before the manifest swapped (the
+		// post-swap-pre-truncate crash leaves exactly such records behind).
+		tail := streams[i][:0]
+		for _, rec := range streams[i] {
+			if rec.LSN > bases[i] {
+				tail = append(tail, rec)
+			}
+		}
+		if err := mgr.Recover(tail); err != nil {
+			closeLogs()
+			closeStores()
+			return nil, fmt.Errorf("pdtstore: WAL replay shard %d: %w", i, err)
+		}
+		mgrs[i] = mgr
+	}
+	var sharded *txn.Sharded
+	if n > 1 {
+		sharded, err = txn.NewSharded(mgrs, splits)
+		if err != nil {
+			closeLogs()
+			closeStores()
+			return nil, err
+		}
+		// Reconcile to the global clock: every shard's freeze bar is a spent
+		// LSN even when its stream was fully truncated.
+		for _, b := range bases {
+			sharded.RaiseClock(b)
+		}
 	}
 	db := &DB{
 		dir:     dir,
 		lock:    lock,
 		opts:    opts,
-		schema:  store.Schema(),
+		schema:  stores[0].Schema(),
 		dev:     dev,
-		tbl:     tbl,
-		mgr:     mgr,
-		log:     flog,
+		tbls:    tbls,
+		mgrs:    mgrs,
+		logs:    logs,
+		sharded: sharded,
 		man:     man,
 		nextGen: man.Generation,
 	}
 	opened = true
 	return db, nil
+}
+
+// adoptShards converts an existing unsharded image to a sharded layout:
+// stream the image into per-shard segments cut at the split keys, then swap a
+// sharded manifest naming them (the adopt commit point). The WAL tail past the
+// manifest's freeze LSN must be empty — tail records live on one stream and
+// cannot be re-routed — so callers checkpoint first. A crash before the swap
+// leaves the unsharded manifest intact and the partial shard segments as
+// strays for GC.
+func adoptShards(dir string, man storage.Manifest, opts Options, dev *colstore.Device, store *colstore.Store, n int) ([]*colstore.Store, []types.Row, storage.Manifest, error) {
+	flog, records, err := wal.OpenFileLog(filepath.Join(dir, "wal"))
+	if err != nil {
+		return nil, nil, man, err
+	}
+	flog.Close()
+	for _, rec := range records {
+		if rec.LSN > man.LSN {
+			return nil, nil, man, fmt.Errorf("pdtstore: adopting a %d-shard layout requires an empty WAL tail (LSN %d past freeze %d): checkpoint before re-opening with Shards", n, rec.LSN, man.LSN)
+		}
+	}
+	keys := opts.ShardKeys
+	if keys == nil {
+		if keys, err = table.ShardCuts(store, n); err != nil {
+			return nil, nil, man, err
+		}
+	} else if len(keys) != n-1 {
+		return nil, nil, man, fmt.Errorf("pdtstore: %d shards need %d Options.ShardKeys cuts, got %d", n, n-1, len(keys))
+	}
+	gen := man.Generation + 1
+	names := make([]string, n)
+	for i := range names {
+		names[i] = shardSegmentName(gen, i)
+	}
+	stores, err := table.SplitStore(store, keys, func(i int) (*colstore.Builder, error) {
+		return colstore.NewFileBuilder(store.Schema(), dev, opts.BlockRows, opts.Compressed, filepath.Join(dir, names[i]))
+	})
+	if err != nil {
+		return nil, nil, man, err
+	}
+	entries := make([]storage.ShardEntry, n)
+	for i := range entries {
+		entries[i] = storage.ShardEntry{Segment: names[i], LSN: man.LSN}
+	}
+	newMan := storage.Manifest{Generation: gen, Shards: entries, Splits: keys}
+	if err := storage.WriteManifest(dir, newMan); err != nil {
+		for _, s := range stores {
+			s.Close()
+		}
+		return nil, nil, man, err
+	}
+	os.Remove(filepath.Join(dir, man.Segment))
+	return stores, keys, newMan, nil
 }
 
 // Schema returns the store's schema.
@@ -238,22 +469,51 @@ func (db *DB) Schema() *types.Schema { return db.schema }
 // Dir returns the store directory.
 func (db *DB) Dir() string { return db.dir }
 
-// Table returns the underlying table (reads and plans build over it).
+// Shards returns the shard count (1 for an unsharded store).
+func (db *DB) Shards() int { return len(db.mgrs) }
+
+// Sharded returns the shard coordinator, or nil for an unsharded store.
+// Sharded DBs begin transactions through it: Sharded().Begin() pins a
+// consistent vector of per-shard snapshots.
+func (db *DB) Sharded() *txn.Sharded { return db.sharded }
+
+// Table returns the underlying table (reads and plans build over it); nil for
+// a sharded store, whose per-shard tables are Sharded().Shard(i) territory.
 // Direct table reads always track the newest installed version and are not
 // pinned: once a checkpoint supersedes a stable image, its descriptor is
 // closed as soon as the last pinned *transaction* releases it, so a direct
 // scan that must survive concurrent maintenance should run through Begin
 // (which pins the version for the transaction's lifetime) instead.
-func (db *DB) Table() *table.Table { return db.tbl }
+func (db *DB) Table() *table.Table {
+	if db.sharded != nil {
+		return nil
+	}
+	return db.tbls[0]
+}
 
-// Manager returns the transaction manager.
-func (db *DB) Manager() *txn.Manager { return db.mgr }
+// Manager returns the transaction manager; nil for a sharded store.
+func (db *DB) Manager() *txn.Manager {
+	if db.sharded != nil {
+		return nil
+	}
+	return db.mgrs[0]
+}
 
-// Begin starts a snapshot-isolated transaction.
-func (db *DB) Begin() *txn.Txn { return db.mgr.Begin() }
+// Begin starts a snapshot-isolated transaction. Panics on a sharded store:
+// use Sharded().Begin() there, which pins all shards consistently.
+func (db *DB) Begin() *txn.Txn {
+	if db.sharded != nil {
+		panic("pdtstore: Begin on a sharded DB; use Sharded().Begin()")
+	}
+	return db.mgrs[0].Begin()
+}
 
-// Log returns the durable commit log (for stats: size, file count).
-func (db *DB) Log() *wal.FileLog { return db.log }
+// Log returns the durable commit log (for stats: size, file count); shard 0's
+// stream on a sharded store — see ShardLog for the rest.
+func (db *DB) Log() *wal.FileLog { return db.logs[0] }
+
+// ShardLog returns shard i's commit log stream.
+func (db *DB) ShardLog(i int) *wal.FileLog { return db.logs[i] }
 
 // Manifest returns the current durable manifest.
 func (db *DB) Manifest() storage.Manifest {
@@ -266,7 +526,10 @@ func (db *DB) Manifest() storage.Manifest {
 // streamed into segment generation N+1 and fsynced, the MANIFEST swaps to it
 // (the commit point), and the WAL drops every record the new image contains.
 // Commits keep flowing throughout — they land in a side delta layer and stay
-// in the log until the next checkpoint.
+// in the log until the next checkpoint. A sharded store streams its shards'
+// images one at a time (each shard's checkpoint is online independently),
+// records one freeze LSN per shard, and commits them all with the single
+// manifest swap before truncating each stream below its own bar.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -275,54 +538,88 @@ func (db *DB) Checkpoint() error {
 	}
 	db.nextGen++
 	gen := db.nextGen
-	name := segmentName(gen)
-	var freezeLSN uint64
-	var retired *colstore.Store
-	err := db.mgr.CheckpointInto(func(lsn uint64, store *colstore.Store, deltas ...*pdt.PDT) (*colstore.Store, error) {
-		freezeLSN = lsn
-		retired = store
-		b, err := colstore.NewFileBuilder(db.schema, db.dev, db.opts.BlockRows, db.opts.Compressed, filepath.Join(db.dir, name))
-		if err != nil {
-			return nil, err
+	n := len(db.mgrs)
+	names := make([]string, n)
+	freeze := make([]uint64, n)
+	for i := range names {
+		if db.sharded == nil {
+			names[i] = segmentName(gen)
+		} else {
+			names[i] = shardSegmentName(gen, i)
 		}
-		if err := db.tbl.MaterializeStream(b, store, deltas...); err != nil {
-			b.Abort()
-			return nil, err
-		}
-		if err := db.injectFault(faultMidSegmentWrite); err != nil {
-			return nil, err // crash sim: partial file stays, no footer
-		}
-		return b.Finish() // footer + fsync: image durable past here
-	})
-	if err != nil {
-		return err
 	}
-	// The manager has installed the new image: the base store is superseded
-	// in memory from here on, whatever happens to the manifest below.
-	if retired != nil {
-		db.retired = append(db.retired, retired)
+	for i := range db.mgrs {
+		if i > 0 {
+			if err := db.injectFault(faultBetweenShardCheckpoints); err != nil {
+				return err
+			}
+		}
+		i := i
+		var retired *colstore.Store
+		err := db.mgrs[i].CheckpointInto(func(lsn uint64, store *colstore.Store, deltas ...*pdt.PDT) (*colstore.Store, error) {
+			freeze[i] = lsn
+			retired = store
+			b, err := colstore.NewFileBuilder(db.schema, db.dev, db.opts.BlockRows, db.opts.Compressed, filepath.Join(db.dir, names[i]))
+			if err != nil {
+				return nil, err
+			}
+			if err := db.tbls[i].MaterializeStream(b, store, deltas...); err != nil {
+				b.Abort()
+				return nil, err
+			}
+			if err := db.injectFault(faultMidSegmentWrite); err != nil {
+				return nil, err // crash sim: partial file stays, no footer
+			}
+			return b.Finish() // footer + fsync: image durable past here
+		})
+		if err != nil {
+			return err
+		}
+		// The manager has installed the new image: the base store is
+		// superseded in memory from here on, whatever happens to the
+		// manifest below.
+		if retired != nil {
+			db.retired = append(db.retired, retired)
+		}
 	}
 	if err := db.injectFault(faultPreManifestSwap); err != nil {
 		return err
 	}
 	prev := db.man
-	man := storage.Manifest{Generation: gen, Segment: name, LSN: freezeLSN}
+	var man storage.Manifest
+	if db.sharded == nil {
+		man = storage.Manifest{Generation: gen, Segment: names[0], LSN: freeze[0]}
+	} else {
+		entries := make([]storage.ShardEntry, n)
+		for i := range entries {
+			entries[i] = storage.ShardEntry{Segment: names[i], LSN: freeze[i]}
+		}
+		man = storage.Manifest{Generation: gen, Shards: entries, Splits: prev.Splits}
+	}
 	if err := storage.WriteManifest(db.dir, man); err != nil {
 		return err
 	}
 	db.man = man
-	// Unlink the superseded segment's directory entry. Pinned readers keep
+	// Unlink the superseded segments' directory entries. Pinned readers keep
 	// their open descriptor (POSIX keeps the data alive until Close releases
 	// it); recovery never needs a non-manifest segment.
-	if prev.Segment != man.Segment {
-		os.Remove(filepath.Join(db.dir, prev.Segment))
+	keep := manifestSegments(man)
+	for old := range manifestSegments(prev) {
+		if !keep[old] {
+			os.Remove(filepath.Join(db.dir, old))
+		}
 	}
 	if err := db.injectFault(faultPostSwapPreTruncate); err != nil {
 		return err
 	}
 	// Past the swap the checkpoint is already durable; truncation is space
-	// reclamation (recovery filters by the manifest LSN either way).
-	return db.log.TruncateBelow(freezeLSN)
+	// reclamation (recovery filters by the manifest LSNs either way).
+	for i, l := range db.logs {
+		if err := l.TruncateBelow(freeze[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close waits for background maintenance, then releases the log and every
@@ -334,10 +631,22 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
-	maintErr := db.mgr.WaitMaintenance()
-	err := db.log.Close()
-	if cerr := db.tbl.Store().Close(); err == nil {
-		err = cerr
+	var maintErr error
+	for _, m := range db.mgrs {
+		if err := m.WaitMaintenance(); maintErr == nil {
+			maintErr = err
+		}
+	}
+	var err error
+	for _, l := range db.logs {
+		if cerr := l.Close(); err == nil {
+			err = cerr
+		}
+	}
+	for _, t := range db.tbls {
+		if cerr := t.Store().Close(); err == nil {
+			err = cerr
+		}
 	}
 	for _, s := range db.retired {
 		s.Close()
@@ -361,8 +670,12 @@ func (db *DB) crash() {
 		return
 	}
 	db.closed = true
-	db.log.Close()
-	db.tbl.Store().Close()
+	for _, l := range db.logs {
+		l.Close()
+	}
+	for _, t := range db.tbls {
+		t.Store().Close()
+	}
 	for _, s := range db.retired {
 		s.Close()
 	}
@@ -376,17 +689,28 @@ func (db *DB) injectFault(point string) error {
 	return db.fault(point)
 }
 
-// gcStraySegments removes segment files other than the one the manifest
-// names: partial images from crashed checkpoints and fully superseded
-// generations.
-func gcStraySegments(dir, keep string) {
+// manifestSegments is the set of segment file names a manifest pins.
+func manifestSegments(m storage.Manifest) map[string]bool {
+	keep := make(map[string]bool, len(m.Shards)+1)
+	if m.Segment != "" {
+		keep[m.Segment] = true
+	}
+	for _, sh := range m.Shards {
+		keep[sh.Segment] = true
+	}
+	return keep
+}
+
+// gcStraySegments removes segment files the manifest does not pin: partial
+// images from crashed checkpoints and fully superseded generations.
+func gcStraySegments(dir string, keep map[string]bool) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if name == keep || e.IsDir() {
+		if keep[name] || e.IsDir() {
 			continue
 		}
 		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg") {

@@ -1,0 +1,409 @@
+package pdtstore
+
+// Kill-and-reopen crash tests for sharded stores: per-shard WAL streams, one
+// global commit clock, and the cross-shard cut points. The harness holds at
+// every seam — between two shards' WAL appends of one cross-shard commit
+// (only some streams got their record: reopen must drop the commit from all
+// of them), between the in-memory installs (every stream has the record:
+// reopen must surface the commit whole), and at every fault point of the
+// sharded checkpoint sequence, including between two shards' image builds.
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"pdtstore/internal/engine"
+	"pdtstore/internal/table"
+	"pdtstore/internal/txn"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+	"pdtstore/internal/wal"
+)
+
+// shardTestCuts split the int64 key space for up to 4 shards.
+var shardTestCuts = []types.Row{
+	{types.Int(250)}, {types.Int(500)}, {types.Int(750)},
+}
+
+func openShardDB(t *testing.T, dir string, shards int) *DB {
+	t.Helper()
+	db, err := Open(dir, Options{
+		Schema: dbSchema, BlockRows: 64, Compressed: true,
+		Shards: shards, ShardKeys: shardTestCuts[:shards-1],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// sCommitInserts commits the given keys as one (possibly cross-shard)
+// transaction and updates the model.
+func sCommitInserts(t *testing.T, db *DB, m model, keys ...int64) {
+	t.Helper()
+	ops := make([]table.Op, 0, len(keys))
+	for _, k := range keys {
+		ops = append(ops, table.Op{Kind: table.OpInsert,
+			Row: types.Row{types.Int(k), types.Str(fmt.Sprintf("v%d", k)), types.Int(k * 10)}})
+	}
+	tx := db.Sharded().Begin()
+	if _, err := tx.ApplyBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		m[k] = modelRow{V: fmt.Sprintf("v%d", k), N: k * 10}
+	}
+}
+
+// sReadAll scans the full committed state through a fresh sharded
+// transaction (globally consecutive RIDs, shards concatenated in key order).
+func sReadAll(t *testing.T, db *DB) model {
+	t.Helper()
+	tx := db.Sharded().Begin()
+	defer tx.Abort()
+	got := model{}
+	var lastKey int64 = -1 << 62
+	err := engine.Scan(tx, 0, 1, 2).Run(func(b *vector.Batch, sel []uint32) error {
+		for _, i := range sel {
+			r := b.Row(int(i))
+			if _, dup := got[r[0].I]; dup {
+				return fmt.Errorf("duplicate key %d surfaced by scan", r[0].I)
+			}
+			if r[0].I <= lastKey {
+				return fmt.Errorf("key order broken across shards: %d after %d", r[0].I, lastKey)
+			}
+			lastKey = r[0].I
+			got[r[0].I] = modelRow{V: r[1].S, N: r[2].I}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func sCheckState(t *testing.T, db *DB, want model) {
+	t.Helper()
+	got := sReadAll(t, db)
+	if len(got) != len(want) {
+		t.Fatalf("state has %d rows, want %d", len(got), len(want))
+	}
+	keys := make([]int64, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if got[k] != want[k] {
+			t.Fatalf("key %d: got %+v, want %+v", k, got[k], want[k])
+		}
+	}
+}
+
+// replayStream reads shard i's WAL stream from disk (the DB must be closed
+// or crashed; the read-only peek opens and closes its own descriptors).
+func replayStream(t *testing.T, dir string, shard int) []wal.Record {
+	t.Helper()
+	flog, records, err := wal.OpenFileLog(filepath.Join(dir, shardWalDir(shard)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flog.Close()
+	return records
+}
+
+func TestShardedBootstrapCommitReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := openShardDB(t, dir, 4)
+	if db.Shards() != 4 || db.Sharded() == nil {
+		t.Fatalf("Shards() = %d, sharded = %v", db.Shards(), db.Sharded())
+	}
+	if db.Table() != nil || db.Manager() != nil {
+		t.Fatal("sharded DB must not expose a flat table/manager")
+	}
+	man := db.Manifest()
+	if len(man.Shards) != 4 || len(man.Splits) != 3 || man.Segment != "" {
+		t.Fatalf("sharded manifest = %+v", man)
+	}
+	m := model{}
+	sCommitInserts(t, db, m, 10, 20, 30)          // shard 0 only
+	sCommitInserts(t, db, m, 100, 300, 600, 900)  // all four shards
+	sCommitInserts(t, db, m, 260, 270, 510, 1000) // shards 1, 2, 3
+	sCheckState(t, db, m)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db = openShardDB(t, dir, 4)
+	defer db.Close()
+	sCheckState(t, db, m)
+	// Reopening without Options.Shards follows the manifest's layout.
+	db.Close()
+	db2, err := Open(dir, Options{Schema: dbSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Shards() != 4 {
+		t.Fatalf("manifest layout ignored: Shards() = %d", db2.Shards())
+	}
+	sCheckState(t, db2, m)
+}
+
+func TestShardedReshardRejected(t *testing.T) {
+	dir := t.TempDir()
+	db := openShardDB(t, dir, 4)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Schema: dbSchema, Shards: 2, ShardKeys: shardTestCuts[:1]}); err == nil ||
+		!strings.Contains(err.Error(), "re-sharding") {
+		t.Fatalf("re-shard 4→2 accepted: %v", err)
+	}
+}
+
+func TestShardedCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := openShardDB(t, dir, 4)
+	m := model{}
+	sCommitInserts(t, db, m, 1, 2, 3, 251, 252, 501, 751)
+	sCommitInserts(t, db, m, 800, 900) // shard 3 single-shard batches
+	clock := db.Sharded().Clock()
+	db.crash()
+
+	db = openShardDB(t, dir, 4)
+	sCheckState(t, db, m)
+	if got := db.Sharded().Clock(); got < clock {
+		t.Fatalf("commit clock rewound across crash: %d < %d", got, clock)
+	}
+	// The clock keeps ticking past recovery: another round, another crash.
+	sCommitInserts(t, db, m, 4, 254, 504, 754)
+	db.crash()
+	db = openShardDB(t, dir, 4)
+	defer db.Close()
+	sCheckState(t, db, m)
+}
+
+func TestShardedAdoptUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	db := openTestDB(t, dir)
+	m := model{}
+	commitInserts(t, db, m, 0, 400)
+	commitMixed(t, db, m, 100, 200)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Adopt with nil ShardKeys: quantile cuts read off the image.
+	db2, err := Open(dir, Options{Schema: dbSchema, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Shards() != 4 {
+		t.Fatalf("Shards() = %d after adopt", db2.Shards())
+	}
+	man := db2.Manifest()
+	if len(man.Shards) != 4 || len(man.Splits) != 3 {
+		t.Fatalf("adopted manifest = %+v", man)
+	}
+	sCheckState(t, db2, m)
+	// Adopted stores commit and recover like any sharded store.
+	sCommitInserts(t, db2, m, 1001, 1002)
+	db2.crash()
+	db2 = openShardDB(t, dir, 4)
+	defer db2.Close()
+	sCheckState(t, db2, m)
+}
+
+func TestShardedAdoptRequiresEmptyTail(t *testing.T) {
+	dir := t.TempDir()
+	db := openTestDB(t, dir)
+	m := model{}
+	commitInserts(t, db, m, 0, 100) // no checkpoint: records past the freeze LSN
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Schema: dbSchema, Shards: 4}); err == nil ||
+		!strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("adopt with a non-empty WAL tail accepted: %v", err)
+	}
+	// The refused adopt must leave the unsharded store fully usable.
+	db = openTestDB(t, dir)
+	defer db.Close()
+	checkState(t, db, m)
+}
+
+// TestShardedCrashBetweenAppends cuts a cross-shard commit between two
+// shards' batch fsyncs: the first participant's stream has the group record
+// durable, the second's does not. Reopen must treat the commit as never
+// having happened — on every shard.
+func TestShardedCrashBetweenAppends(t *testing.T) {
+	dir := t.TempDir()
+	db := openShardDB(t, dir, 4)
+	m := model{}
+	sCommitInserts(t, db, m, 10, 260, 510, 760)
+
+	errBoom := errors.New("injected crash between shard appends")
+	db.Sharded().SetCommitFault(&txn.CommitFault{
+		BetweenAppends: func(i int) error { return errBoom },
+	})
+	tx := db.Sharded().Begin()
+	if _, err := tx.ApplyBatch([]table.Op{
+		{Kind: table.OpInsert, Row: types.Row{types.Int(50), types.Str("torn"), types.Int(0)}},
+		{Kind: table.OpInsert, Row: types.Row{types.Int(950), types.Str("torn"), types.Int(0)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, errBoom) {
+		t.Fatalf("Commit through the fault = %v", err)
+	}
+	db.crash()
+
+	// The torn group really is torn: shard 0's stream carries the two-party
+	// record, shard 3's stream does not.
+	torn := func(recs []wal.Record) bool {
+		for _, r := range recs {
+			if len(r.Parts) == 2 {
+				return true
+			}
+		}
+		return false
+	}
+	if !torn(replayStream(t, dir, 0)) {
+		t.Fatal("shard 0's stream is missing the cross-shard record: fault fired too early")
+	}
+	if torn(replayStream(t, dir, 3)) {
+		t.Fatal("shard 3's stream has the cross-shard record: fault fired too late")
+	}
+
+	db = openShardDB(t, dir, 4)
+	defer db.Close()
+	sCheckState(t, db, m) // neither key 50 nor key 950 survives
+}
+
+// TestShardedCrashBetweenInstalls cuts a cross-shard commit after every
+// stream's append but between the in-memory installs: the commit is durable
+// everywhere, so reopen must surface it whole.
+func TestShardedCrashBetweenInstalls(t *testing.T) {
+	dir := t.TempDir()
+	db := openShardDB(t, dir, 4)
+	m := model{}
+	sCommitInserts(t, db, m, 10, 260, 510, 760)
+
+	errBoom := errors.New("injected crash between shard installs")
+	db.Sharded().SetCommitFault(&txn.CommitFault{
+		BetweenInstalls: func(i int) error { return errBoom },
+	})
+	tx := db.Sharded().Begin()
+	if _, err := tx.ApplyBatch([]table.Op{
+		{Kind: table.OpInsert, Row: types.Row{types.Int(60), types.Str("v60"), types.Int(600)}},
+		{Kind: table.OpInsert, Row: types.Row{types.Int(960), types.Str("v960"), types.Int(9600)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, errBoom) {
+		t.Fatalf("Commit through the fault = %v", err)
+	}
+	db.crash()
+
+	m[60] = modelRow{V: "v60", N: 600}
+	m[960] = modelRow{V: "v960", N: 9600}
+	db = openShardDB(t, dir, 4)
+	defer db.Close()
+	sCheckState(t, db, m) // both keys present: all-or-nothing, durably "all"
+}
+
+// TestShardedCheckpointCrashPoints kills the store at every fault point of
+// the sharded checkpoint sequence — including between two shards' image
+// builds — and requires recovery to reconstruct exactly the committed state.
+func TestShardedCheckpointCrashPoints(t *testing.T) {
+	points := []string{
+		faultBetweenShardCheckpoints,
+		faultMidSegmentWrite,
+		faultPreManifestSwap,
+		faultPostSwapPreTruncate,
+	}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			db := openShardDB(t, dir, 4)
+			m := model{}
+			sCommitInserts(t, db, m, 10, 20, 260, 270, 510, 760)
+			sCommitInserts(t, db, m, 100, 600, 900) // cross-shard in the tail
+
+			errBoom := errors.New("injected crash: " + point)
+			fired := false
+			db.fault = func(p string) error {
+				if p == point {
+					fired = true
+					return errBoom
+				}
+				return nil
+			}
+			if err := db.Checkpoint(); !errors.Is(err, errBoom) {
+				t.Fatalf("Checkpoint through the fault = %v", err)
+			}
+			if !fired {
+				t.Fatalf("fault point %s never fired", point)
+			}
+			db.crash()
+
+			db = openShardDB(t, dir, 4)
+			sCheckState(t, db, m)
+			// The next checkpoint completes and the state survives another
+			// reopen off the fresh images.
+			sCommitInserts(t, db, m, 30, 530)
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db = openShardDB(t, dir, 4)
+			defer db.Close()
+			sCheckState(t, db, m)
+		})
+	}
+}
+
+// TestShardedCheckpointTruncatesPerStream checkpoints a sharded store and
+// verifies each stream's own freeze bar did the truncating: records at or
+// below a shard's manifest LSN are gone from its stream.
+func TestShardedCheckpointTruncatesPerStream(t *testing.T) {
+	dir := t.TempDir()
+	db := openShardDB(t, dir, 4)
+	m := model{}
+	sCommitInserts(t, db, m, 10, 260, 510, 760)
+	sCommitInserts(t, db, m, 20, 270)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	man := db.Manifest()
+	if len(man.Shards) != 4 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	// Post-checkpoint commits stay in the streams; pre-checkpoint ones go.
+	sCommitInserts(t, db, m, 30, 780)
+	db.crash()
+	for i := 0; i < 4; i++ {
+		for _, rec := range replayStream(t, dir, i) {
+			if rec.LSN <= man.Shards[i].LSN {
+				t.Fatalf("shard %d stream kept LSN %d at or below its freeze bar %d", i, rec.LSN, man.Shards[i].LSN)
+			}
+		}
+	}
+	db = openShardDB(t, dir, 4)
+	defer db.Close()
+	sCheckState(t, db, m)
+}

@@ -63,6 +63,21 @@
 // included — while still fetching (and charging) whole blocks from the
 // device.
 //
+// Writes shard per core: Options.Shards partitions a table into N key-range
+// shards, each a full transaction manager over its own physically split
+// stable image, Write-PDT, commit sequencer and WAL stream, coordinated by
+// one global monotonic commit clock (txn.Sharded). Single-shard commits go
+// through their home shard's sequencer with no global lock; cross-shard
+// commits run two phases — prepare every participant, append one record per
+// participant stream under one shared LSN naming the full participant set,
+// then install behind a begin gate — and recovery drops incomplete groups
+// from every stream (wal.CompleteGroups), so a torn cross-shard commit is
+// all-or-nothing per clock entry. Begin pins a consistent per-shard snapshot
+// vector; an existing unsharded store adopts sharding at Open (checkpointed
+// tail required, manifest swap as the commit point); checkpoints build
+// per-shard segments behind a single manifest swap and truncate each stream
+// at its own freeze LSN.
+//
 // See README.md for an architecture tour and quickstart. The benchmarks in
 // bench_test.go regenerate every figure of the paper's §4, plus the engine's
 // scan-pipeline profile (cmd/pdtbench -fig scan), the write-path profile

@@ -21,7 +21,7 @@ func TestMorselize(t *testing.T) {
 		{0, 10, 0, 2}, // unit <= 0 falls back to 1
 	}
 	for _, c := range cases {
-		ms := morselize(c.lo, c.hi, c.unit, c.workers)
+		ms := morselize(c.lo, c.hi, c.unit, c.workers, nil)
 		if len(ms) == 0 {
 			t.Fatalf("morselize(%d,%d,%d,%d): no morsels", c.lo, c.hi, c.unit, c.workers)
 		}
@@ -58,7 +58,7 @@ func TestMorselizeEmptyRange(t *testing.T) {
 	// An empty stable range still yields one (empty) last morsel: a delta
 	// layer can hold inserts against an empty table, and some morsel must
 	// own them.
-	ms := morselize(0, 0, 4096, 4)
+	ms := morselize(0, 0, 4096, 4, nil)
 	if len(ms) != 1 || ms[0].lo != 0 || ms[0].hi != 0 || !ms[0].last {
 		t.Fatalf("empty range: %+v", ms)
 	}

@@ -69,7 +69,13 @@ const (
 type PartScan struct {
 	Lo, Hi uint64
 	Unit   int
-	Open   func(cols []int, lo, hi uint64, last bool) (pdt.BatchSource, error)
+	// Cuts are hard partition boundaries strictly inside (Lo, Hi): morsels
+	// never span a cut, so each Open call's [lo, hi) range falls entirely
+	// within one inter-cut segment. A sharded relation places a cut at
+	// every shard boundary of its concatenated domain and routes each
+	// morsel to the one shard that owns it. Cuts must be ascending.
+	Cuts []uint64
+	Open func(cols []int, lo, hi uint64, last bool) (pdt.BatchSource, error)
 }
 
 // PartRelation is a Relation that can open range-clamped slices of its scan
@@ -134,11 +140,14 @@ type morsel struct {
 }
 
 // morselize splits [lo, hi) into block-aligned chunks sized for the worker
-// count. Every boundary except the ends is a multiple of unit, so no two
-// morsels share a column block; the final morsel carries last=true. An empty
-// range still yields one (empty) last morsel, because a delta layer can hold
+// count. Every boundary except the ends (and the forced cuts) is a multiple
+// of unit, so no two morsels share a column block; the final morsel carries
+// last=true. Cuts are forced boundaries: chunking restarts at each one, so no
+// morsel ever spans a cut — a sharded relation's shard boundaries stay morsel
+// boundaries and each Open resolves to exactly one shard. An empty range
+// still yields one (empty) last morsel, because a delta layer can hold
 // inserts against an empty stable range and some morsel must own them.
-func morselize(lo, hi uint64, unit, workers int) []morsel {
+func morselize(lo, hi uint64, unit, workers int, cuts []uint64) []morsel {
 	if unit <= 0 {
 		unit = 1
 	}
@@ -150,13 +159,24 @@ func morselize(lo, hi uint64, unit, workers int) []morsel {
 		rows = uint64(unit)
 	}
 	var ms []morsel
-	for at := lo; at < hi; at += rows {
-		end := at + rows
-		if end > hi {
-			end = hi
+	emit := func(a, b uint64) {
+		for at := a; at < b; at += rows {
+			end := at + rows
+			if end > b {
+				end = b
+			}
+			ms = append(ms, morsel{lo: at, hi: end})
 		}
-		ms = append(ms, morsel{lo: at, hi: end})
 	}
+	seg := lo
+	for _, c := range cuts {
+		if c <= seg || c >= hi {
+			continue
+		}
+		emit(seg, c)
+		seg = c
+	}
+	emit(seg, hi)
 	if len(ms) == 0 {
 		ms = append(ms, morsel{lo: lo, hi: lo})
 	}
@@ -209,7 +229,7 @@ func poolFor(kinds []types.Kind, capHint int) *vector.BatchPool {
 // delivery loop below releases them to fn in morsel order, so fn observes the
 // exact serial row sequence.
 func (p *Plan) runParallel(ps *PartScan, a *analyzed, workers int, fn func(b *vector.Batch, sel []uint32) error) error {
-	morsels := morselize(ps.Lo, ps.Hi, ps.Unit, workers)
+	morsels := morselize(ps.Lo, ps.Hi, ps.Unit, workers, ps.Cuts)
 	if workers > len(morsels) {
 		workers = len(morsels)
 	}
@@ -385,7 +405,7 @@ func (p *Plan) produceMorsel(ps *PartScan, a *analyzed, m morsel, w, mi int, fre
 // (morsel, start, end) segment per morsel; stitching segments in morsel order
 // afterwards reproduces the serial output exactly.
 func (p *Plan) collectParallel(ps *PartScan, a *analyzed, workers int) (*vector.Batch, error) {
-	morsels := morselize(ps.Lo, ps.Hi, ps.Unit, workers)
+	morsels := morselize(ps.Lo, ps.Hi, ps.Unit, workers, ps.Cuts)
 	if workers > len(morsels) {
 		workers = len(morsels)
 	}
@@ -537,7 +557,7 @@ func (p *Plan) RunPartitioned(start func(parts int) error, fn func(part int, b *
 		}
 		return p.runSerial(a, func(b *vector.Batch, sel []uint32) error { return fn(0, b, sel) })
 	}
-	morsels := morselize(ps.Lo, ps.Hi, ps.Unit, workers)
+	morsels := morselize(ps.Lo, ps.Hi, ps.Unit, workers, ps.Cuts)
 	if workers > len(morsels) {
 		workers = len(morsels)
 	}

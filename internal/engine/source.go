@@ -119,6 +119,76 @@ func StackPDTs(base pdt.BatchSource, cols []int, startSID uint64, includeEnd boo
 	return src
 }
 
+// Concat chains sources end to end: rows flow from the first until it is
+// exhausted, then the second, and so on. A sharded table scans as the
+// concatenation of its shards' merged pipelines (each wrapped in OffsetRids so
+// RIDs stay globally consecutive). Errors surface from whichever source is
+// active.
+func Concat(srcs ...pdt.BatchSource) pdt.BatchSource {
+	if len(srcs) == 1 {
+		return srcs[0]
+	}
+	return &concatSource{srcs: srcs}
+}
+
+type concatSource struct {
+	srcs []pdt.BatchSource
+	cur  int
+}
+
+func (c *concatSource) Next(out *vector.Batch, max int) (int, error) {
+	for c.cur < len(c.srcs) {
+		n, err := c.srcs[c.cur].Next(out, max)
+		if err != nil {
+			return n, err
+		}
+		if n > 0 {
+			return n, nil
+		}
+		c.cur++
+	}
+	return 0, nil
+}
+
+func (c *concatSource) SizeHint() int {
+	total := 0
+	for _, s := range c.srcs[c.cur:] {
+		h := SizeHint(s)
+		if h < 0 {
+			return -1
+		}
+		total += h
+	}
+	return total
+}
+
+// OffsetRids shifts every RID a source emits by off: shard i of a sharded
+// table produces local RIDs starting at 0, and the coordinator re-bases them
+// by the visible row counts of the shards before it so the concatenated scan
+// emits one consecutive global RID space.
+func OffsetRids(src pdt.BatchSource, off uint64) pdt.BatchSource {
+	if off == 0 {
+		return src
+	}
+	return &ridShift{src: src, off: off}
+}
+
+type ridShift struct {
+	src pdt.BatchSource
+	off uint64
+}
+
+func (r *ridShift) Next(out *vector.Batch, max int) (int, error) {
+	base := len(out.Rids)
+	n, err := r.src.Next(out, max)
+	for i := base; i < len(out.Rids); i++ {
+		out.Rids[i] += r.off
+	}
+	return n, err
+}
+
+func (r *ridShift) SizeHint() int { return SizeHint(r.src) }
+
 // plainSource adapts a stable scanner to the BatchSource contract, emitting
 // RID == SID.
 type plainSource struct {

@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"pdtstore/internal/types"
 )
 
 // ManifestName is the pointer file naming the current segment generation.
@@ -21,11 +23,31 @@ type Manifest struct {
 	// Generation counts checkpoints; segment files are named after it.
 	Generation uint64 `json:"generation"`
 	// Segment is the file name (within the store directory) of the stable
-	// image this generation checkpointed.
-	Segment string `json:"segment"`
+	// image this generation checkpointed (unsharded stores only; a sharded
+	// store leaves it empty and lists one entry per shard in Shards).
+	Segment string `json:"segment,omitempty"`
 	// LSN is the commit clock at the checkpoint's freeze point: every commit
 	// with LSN <= this is contained in Segment, every later commit is only in
 	// the WAL.
+	LSN uint64 `json:"lsn,omitempty"`
+	// Shards, when non-empty, marks the store as sharded: entry i names
+	// shard i's stable image and its own freeze LSN (shards checkpoint
+	// independently, so the bars differ). All LSNs live on one global commit
+	// clock shared by every shard's WAL stream.
+	Shards []ShardEntry `json:"shards,omitempty"`
+	// Splits are the len(Shards)-1 ascending full-sort-key cuts routing keys
+	// to shards: shard 0 owns keys below Splits[0], shard i owns
+	// [Splits[i-1], Splits[i]), the last shard owns the rest. Fixed at the
+	// split forever — shard boundaries never move at checkpoint.
+	Splits []types.Row `json:"splits,omitempty"`
+}
+
+// ShardEntry is one shard's slot in a sharded manifest.
+type ShardEntry struct {
+	// Segment is the file name of the shard's stable image.
+	Segment string `json:"segment"`
+	// LSN is the shard's checkpoint freeze bar: every commit touching this
+	// shard with LSN <= this is contained in Segment.
 	LSN uint64 `json:"lsn"`
 }
 
@@ -77,8 +99,16 @@ func LoadManifest(dir string) (m Manifest, ok bool, err error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return Manifest{}, false, fmt.Errorf("storage: corrupt manifest: %w", err)
 	}
-	if m.Segment == "" {
+	if m.Segment == "" && len(m.Shards) == 0 {
 		return Manifest{}, false, fmt.Errorf("storage: manifest names no segment")
+	}
+	for i, sh := range m.Shards {
+		if sh.Segment == "" {
+			return Manifest{}, false, fmt.Errorf("storage: manifest shard %d names no segment", i)
+		}
+	}
+	if len(m.Shards) > 0 && len(m.Splits) != len(m.Shards)-1 {
+		return Manifest{}, false, fmt.Errorf("storage: manifest has %d shards but %d split keys", len(m.Shards), len(m.Splits))
 	}
 	return m, true, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -175,7 +176,7 @@ func TestManifestRoundtrip(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("LoadManifest: ok=%v err=%v", ok, err)
 	}
-	if got != m {
+	if !reflect.DeepEqual(got, m) {
 		t.Fatalf("manifest = %+v, want %+v", got, m)
 	}
 	// Overwrite with the next generation: the swap replaces, never appends.
@@ -183,7 +184,7 @@ func TestManifestRoundtrip(t *testing.T) {
 	if err := WriteManifest(dir, m2); err != nil {
 		t.Fatal(err)
 	}
-	if got, _, _ := LoadManifest(dir); got != m2 {
+	if got, _, _ := LoadManifest(dir); !reflect.DeepEqual(got, m2) {
 		t.Fatalf("manifest after swap = %+v, want %+v", got, m2)
 	}
 }

@@ -93,7 +93,7 @@ func (m *Manager) rebasePendingLocked() {
 func (m *Manager) maybeFoldLocked() {
 	if m.writePDT.MemBytes() < m.writeBudget ||
 		m.frozen != nil || m.checkpointing || m.ckptWaiters > 0 ||
-		m.inflight > 0 || m.maintErr != nil {
+		m.inflight > 0 || m.held || m.maintErr != nil {
 		return
 	}
 	go m.completeFold(m.cur, m.freezeLocked())
@@ -177,7 +177,7 @@ func (m *Manager) Checkpoint() error { return m.CheckpointInto(nil) }
 func (m *Manager) CheckpointInto(build MaterializeFn) error {
 	m.mu.Lock()
 	m.ckptWaiters++ // pauses fold re-arming so the wait below terminates
-	for (m.checkpointing || m.frozen != nil || m.inflight > 0) && m.maintErr == nil {
+	for (m.checkpointing || m.frozen != nil || m.inflight > 0 || m.held) && m.maintErr == nil {
 		m.cond.Wait() // one maintenance operation at a time, between flush rounds
 	}
 	m.ckptWaiters--

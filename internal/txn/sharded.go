@@ -1,0 +1,615 @@
+package txn
+
+// Shard-per-core writes: a table is partitioned into N key-range shards, each
+// a full Manager over its own physically split stable image, Write-PDT,
+// group-commit sequencer and WAL stream. The Sharded coordinator owns what
+// must stay global:
+//
+//   - one monotonic commit clock all shards allocate LSNs from, so commit,
+//     recovery and replay ordering stay total across the independent WAL
+//     streams (each stream carries a gapped subsequence of one LSN order);
+//   - the key cuts routing every write to exactly one shard;
+//   - the begin gate making cross-shard installs atomic against Begin;
+//   - the cross-shard commit path itself (commitCross).
+//
+// A transaction that only wrote one shard commits through that shard's own
+// sequencer — no coordination, no global lock, which is the whole point:
+// under concurrent writers with disjoint key ranges the N sequencers batch,
+// fsync and install in parallel. A transaction spanning shards commits in two
+// phases under a coordinator mutex: every participant is quiesced and its
+// delta validated and folded (prepare), then one clock slot L is allocated
+// and each participant's WAL stream gets a record at LSN L naming the full
+// participant set (phase A), then all participants install behind the begin
+// gate (phase B). A crash between the phase-A appends leaves an incomplete
+// group that recovery drops on every stream (wal.CompleteGroups), so the
+// commit is all-or-nothing per clock entry.
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pdtstore/internal/engine"
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+	"pdtstore/internal/wal"
+)
+
+// Sharded coordinates transactions over a table split into key-range shards,
+// each owned by its own Manager. Construct with NewSharded before any shard
+// manager is used; the coordinator rewires every manager onto one shared
+// commit clock.
+type Sharded struct {
+	mgrs   []*Manager
+	keys   []types.Row // len(mgrs)-1 ascending split keys; shard i owns [keys[i-1], keys[i])
+	schema *types.Schema
+
+	// clock is the global commit clock. Every shard's group-commit leader
+	// allocates its batch's LSN run here, and cross-shard commits take one
+	// slot all participants share.
+	clock *atomic.Uint64
+
+	// beginGate orders snapshots against cross-shard installs: Begin pins its
+	// per-shard snapshot vector under the read side, commitCross installs all
+	// participants under the write side, so no snapshot ever observes a
+	// cross-shard commit on one shard but not another.
+	beginGate sync.RWMutex
+
+	// xmu serializes cross-shard commits: the quiesce-prepare-append-install
+	// sequence spans several managers, and two interleaved sequences could
+	// deadlock on the shards' held flags.
+	xmu   sync.Mutex
+	fault *CommitFault // crash-test hook, read and written under xmu
+}
+
+// CommitFault injects failures at the cut points of a cross-shard commit
+// (crash tests only). A non-nil return from a hook simulates the process
+// dying there: commitCross stops, releases what it prepared, and returns the
+// error — the on-disk state is exactly what a crash at that point leaves.
+type CommitFault struct {
+	// BetweenAppends runs after participant i's WAL append, before the next
+	// participant's (never after the last).
+	BetweenAppends func(i int) error
+	// BetweenInstalls runs after participant i's in-memory install, before
+	// the next participant's (never after the last). Installs are memory-only
+	// — the commit is already durable on every stream — so a "crash" here
+	// loses nothing: reopen recovers the complete group whole. A live DB that
+	// took this fault is inconsistent (some shards installed, some not) and
+	// is only good for crash-and-reopen.
+	BetweenInstalls func(i int) error
+}
+
+// NewSharded couples n shard managers into one sharded table. keys are the
+// n-1 strictly ascending full-sort-key cuts: shard 0 owns keys below keys[0],
+// shard i owns [keys[i-1], keys[i]), the last shard owns the rest. Each
+// manager must already own its shard's physically split sub-table and (for a
+// durable table) its own WAL stream, and must not have started transactions:
+// NewSharded rewires every manager onto one shared commit clock, seeded at
+// the maximum of the shards' recovered LSNs.
+func NewSharded(mgrs []*Manager, keys []types.Row) (*Sharded, error) {
+	if len(mgrs) == 0 {
+		return nil, fmt.Errorf("txn: sharded table needs at least one shard")
+	}
+	if len(keys) != len(mgrs)-1 {
+		return nil, fmt.Errorf("txn: %d shards need %d split keys, got %d", len(mgrs), len(mgrs)-1, len(keys))
+	}
+	schema := mgrs[0].tbl.Schema()
+	for i, k := range keys {
+		if len(k) != len(schema.SortKey) {
+			return nil, fmt.Errorf("txn: split key %d: need the full %d-column sort key", i, len(schema.SortKey))
+		}
+		if i > 0 && types.CompareRows(keys[i-1], k) >= 0 {
+			return nil, fmt.Errorf("txn: split keys must be strictly ascending")
+		}
+	}
+	s := &Sharded{mgrs: mgrs, keys: keys, schema: schema, clock: new(atomic.Uint64)}
+	for i, m := range mgrs {
+		raiseClock(s.clock, m.clock.Load())
+		m.shardID = uint32(i)
+		m.clock = s.clock
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.mgrs) }
+
+// Shard returns shard i's manager.
+func (s *Sharded) Shard(i int) *Manager { return s.mgrs[i] }
+
+// Keys returns the split keys (shared; callers must not modify).
+func (s *Sharded) Keys() []types.Row { return s.keys }
+
+// Schema returns the table schema.
+func (s *Sharded) Schema() *types.Schema { return s.schema }
+
+// ShardOf returns the index of the shard owning key.
+func (s *Sharded) ShardOf(key types.Row) int {
+	return sort.Search(len(s.keys), func(i int) bool {
+		return types.CompareRows(key, s.keys[i]) < 0
+	})
+}
+
+// Clock returns the global commit clock: the highest LSN ever allocated
+// across all shards (single-shard batches may still be in flight).
+func (s *Sharded) Clock() uint64 { return s.clock.Load() }
+
+// RaiseClock lifts the global clock to at least lsn. Recovery calls it with
+// the manifest's checkpoint LSNs so post-recovery commits never reuse a spent
+// slot even when every WAL stream was truncated.
+func (s *Sharded) RaiseClock(lsn uint64) { raiseClock(s.clock, lsn) }
+
+// Checkpoint checkpoints every shard, one at a time (each shard's checkpoint
+// is online; commits keep flowing on all shards throughout).
+func (s *Sharded) Checkpoint() error {
+	for _, m := range s.mgrs {
+		if err := m.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitMaintenance waits out background folds and checkpoints on every shard.
+func (s *Sharded) WaitMaintenance() error {
+	for _, m := range s.mgrs {
+		if err := m.WaitMaintenance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetCommitFault arms (or disarms, with nil) the cross-shard fault hooks.
+func (s *Sharded) SetCommitFault(f *CommitFault) {
+	s.xmu.Lock()
+	s.fault = f
+	s.xmu.Unlock()
+}
+
+// Begin starts a transaction spanning every shard: a vector of per-shard
+// snapshots pinned under the begin gate, so no cross-shard commit is ever
+// partially visible (single-shard commits are one-shard atomic either way).
+// Each per-shard snapshot is the usual O(1) copy-on-write Begin; a commit on
+// one shard never forces the others to rebuild their cached snapshots.
+func (s *Sharded) Begin() *STxn {
+	s.beginGate.RLock()
+	defer s.beginGate.RUnlock()
+	txns := make([]*Txn, len(s.mgrs))
+	for i, m := range s.mgrs {
+		txns[i] = m.Begin()
+	}
+	return &STxn{s: s, txns: txns}
+}
+
+// STxn is one transaction over a sharded table: a vector of per-shard
+// transactions plus the routing to drive them. Reads concatenate the shards'
+// merged pipelines in key order (shard order IS key order) with globally
+// consecutive RIDs; writes route to the owning shard by key.
+type STxn struct {
+	s         *Sharded
+	txns      []*Txn
+	commitLSN uint64
+	done      bool
+}
+
+// CommitLSN returns the global clock slot the commit was assigned, valid
+// once Commit has returned nil (0 for aborted, failed or empty commits).
+func (t *STxn) CommitLSN() uint64 { return t.commitLSN }
+
+// ShardTxn returns the per-shard transaction for shard i (stats and tests).
+func (t *STxn) ShardTxn(i int) *Txn { return t.txns[i] }
+
+// Schema returns the table schema (STxn is an engine.Relation).
+func (t *STxn) Schema() *types.Schema { return t.s.schema }
+
+// Scan returns the transaction's view of the whole table: the shards' merged
+// pipelines concatenated in shard (= key) order, each shifted so RIDs are
+// globally consecutive — shard i's local RID r surfaces as r plus the
+// visible row counts of the shards before it.
+func (t *STxn) Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	srcs := make([]pdt.BatchSource, len(t.txns))
+	var off uint64
+	for i, tx := range t.txns {
+		src, err := tx.Scan(cols, loKey, hiKey)
+		if err != nil {
+			return nil, err
+		}
+		srcs[i] = engine.OffsetRids(src, off)
+		off += tx.visibleRows()
+	}
+	return engine.Concat(srcs...), nil
+}
+
+// PartitionScan makes STxn an engine.PartRelation: the shards' clamped scan
+// ranges are laid out end to end in one compacted domain, with a hard cut at
+// every shard boundary, so each morsel falls entirely inside one shard and
+// opens that shard's pipeline alone — a parallel scan's workers fan out
+// across shards without any morsel straddling two Write-PDT stacks. A shard
+// whose clamped stable range is empty still owns a zero-width slot (its
+// delta layers can hold qualifying inserts); the morsel starting at that
+// slot's position — or the domain's last morsel, for a slot at the very end —
+// scans it.
+func (t *STxn) PartitionScan(loKey, hiKey types.Row) (*engine.PartScan, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	type seg struct {
+		start  uint64 // position in the compacted domain
+		width  uint64
+		ps     *engine.PartScan
+		ridOff uint64
+	}
+	segs := make([]seg, 0, len(t.txns))
+	var pos, ridOff uint64
+	unit := 1
+	var cuts []uint64
+	for _, tx := range t.txns {
+		ps, err := tx.PartitionScan(loKey, hiKey)
+		if err != nil {
+			return nil, err
+		}
+		w := ps.Hi - ps.Lo
+		if w > 0 && pos > 0 {
+			cuts = append(cuts, pos)
+		}
+		segs = append(segs, seg{start: pos, width: w, ps: ps, ridOff: ridOff})
+		pos += w
+		ridOff += tx.visibleRows()
+		if ps.Unit > unit {
+			unit = ps.Unit
+		}
+	}
+	domainHi := pos
+	return &engine.PartScan{Lo: 0, Hi: domainHi, Unit: unit, Cuts: cuts,
+		Open: func(cols []int, mlo, mhi uint64, last bool) (pdt.BatchSource, error) {
+			var srcs []pdt.BatchSource
+			for _, sg := range segs {
+				var slo, shi uint64
+				switch {
+				case sg.width == 0:
+					// Owned by the morsel starting at this slot, or by the
+					// final morsel for a slot at the domain's end.
+					if sg.start != mlo && !(last && sg.start == domainHi) {
+						continue
+					}
+					slo, shi = sg.ps.Lo, sg.ps.Lo
+				case sg.start <= mlo && mlo < mhi && mhi <= sg.start+sg.width:
+					slo = sg.ps.Lo + (mlo - sg.start)
+					shi = sg.ps.Lo + (mhi - sg.start)
+				default:
+					continue
+				}
+				// The shard's own end boundary decides includeEnd: the morsel
+				// reaching the shard's clamped Hi owns the delta entries
+				// sitting exactly there, whatever its global position.
+				inner, err := sg.ps.Open(cols, slo, shi, shi == sg.ps.Hi)
+				if err != nil {
+					return nil, err
+				}
+				srcs = append(srcs, engine.OffsetRids(inner, sg.ridOff))
+			}
+			return engine.Concat(srcs...), nil
+		}}, nil
+}
+
+// Insert adds a tuple to the shard owning its key.
+func (t *STxn) Insert(row types.Row) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if err := t.s.schema.ValidateRow(row); err != nil {
+		return err
+	}
+	return t.txns[t.s.ShardOf(t.s.schema.KeyOf(row))].Insert(row)
+}
+
+// DeleteByKey removes the visible tuple with the given key.
+func (t *STxn) DeleteByKey(key types.Row) (bool, error) {
+	if t.done {
+		return false, ErrTxnDone
+	}
+	return t.txns[t.s.ShardOf(key)].DeleteByKey(key)
+}
+
+// UpdateByKey sets one column of the visible tuple with the given key. A
+// sort-key update whose new key lands on a different shard becomes a
+// delete on the source shard plus an insert on the destination — one
+// transaction, so Commit makes the move atomic (cross-shard, when the two
+// shards differ).
+func (t *STxn) UpdateByKey(key types.Row, col int, val types.Value) (bool, error) {
+	if t.done {
+		return false, ErrTxnDone
+	}
+	schema := t.s.schema
+	src := t.txns[t.s.ShardOf(key)]
+	if !schema.IsSortKeyCol(col) {
+		return src.UpdateByKey(key, col, val)
+	}
+	_, row, found, err := src.findByKey(key)
+	if err != nil || !found {
+		return false, err
+	}
+	newRow := row.Clone()
+	newRow[col] = val
+	newKey := schema.KeyOf(newRow)
+	dst := t.txns[t.s.ShardOf(newKey)]
+	if dst == src {
+		return src.UpdateByKey(key, col, val)
+	}
+	// Uniqueness on the destination before the delete, so a collision rejects
+	// the update with the old row still in place.
+	if _, _, taken, err := dst.findByKey(newKey); err != nil {
+		return false, err
+	} else if taken {
+		return false, fmt.Errorf("txn: duplicate key %v", newKey)
+	}
+	if _, err := src.DeleteByKey(key); err != nil {
+		return false, err
+	}
+	return true, dst.Insert(newRow)
+}
+
+// ApplyBatch splits the batch by owning shard and applies each run with the
+// per-shard bulk path (shared merge-scan cursor, Trans-PDT fed in SID
+// order). Per-shard semantics match Txn.ApplyBatch; the effect count sums
+// across shards.
+func (t *STxn) ApplyBatch(ops []table.Op) (int, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	if len(t.txns) == 1 {
+		return t.txns[0].ApplyBatch(ops)
+	}
+	schema := t.s.schema
+	byShard := make([][]table.Op, len(t.txns))
+	for _, op := range ops {
+		key := op.Key
+		if op.Kind == table.OpInsert {
+			if err := schema.ValidateRow(op.Row); err != nil {
+				return 0, err
+			}
+			key = schema.KeyOf(op.Row)
+		}
+		i := t.s.ShardOf(key)
+		byShard[i] = append(byShard[i], op)
+	}
+	total := 0
+	for i, part := range byShard {
+		if len(part) == 0 {
+			continue
+		}
+		n, err := t.txns[i].ApplyBatch(part)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Abort discards the transaction on every shard.
+func (t *STxn) Abort() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	var err error
+	for _, tx := range t.txns {
+		if aerr := tx.Abort(); err == nil {
+			err = aerr
+		}
+	}
+	return err
+}
+
+// Commit commits the transaction. A transaction that wrote a single shard
+// takes that shard's ordinary group-commit path — it batches and fsyncs with
+// that shard's other writers, fully independent of the rest of the table.
+// One that wrote several commits atomically across them via the coordinator
+// (commitCross). An empty commit consumes no clock slot.
+func (t *STxn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	var parts []int
+	for i, tx := range t.txns {
+		if tx.trans.Count() > 0 {
+			parts = append(parts, i)
+		}
+	}
+	switch len(parts) {
+	case 0:
+		for _, tx := range t.txns {
+			tx.Abort()
+		}
+		return nil
+	case 1:
+		p := parts[0]
+		for i, tx := range t.txns {
+			if i != p {
+				tx.Abort()
+			}
+		}
+		if err := t.txns[p].Commit(); err != nil {
+			return err
+		}
+		t.commitLSN = t.txns[p].CommitLSN()
+		return nil
+	}
+	return t.s.commitCross(t, parts)
+}
+
+// commitCross is the two-phase cross-shard commit. Under xmu: every
+// participant is prepared (quiesced, validated, folded), one clock slot L is
+// allocated, each participant's WAL stream gets one record at LSN L carrying
+// the participant set (phase A, each behind its own fsync), and all
+// participants install behind the begin gate (phase B). Failure anywhere
+// before the last phase-A append releases every prepared shard with nothing
+// installed; the records already appended are orphans of an incomplete group
+// that recovery drops on every stream — all-or-nothing per clock entry.
+func (s *Sharded) commitCross(t *STxn, parts []int) error {
+	s.xmu.Lock()
+	defer s.xmu.Unlock()
+
+	isPart := make([]bool, len(t.txns))
+	ids := make([]uint32, len(parts))
+	for n, i := range parts {
+		isPart[i] = true
+		ids[n] = uint32(i)
+	}
+	for i, tx := range t.txns {
+		if !isPart[i] {
+			tx.Abort()
+		}
+	}
+
+	prepared := make([]*preparedCommit, 0, len(parts))
+	release := func() {
+		for _, p := range prepared {
+			p.release()
+		}
+	}
+	for n, i := range parts {
+		pc, err := s.mgrs[i].prepareCommit(t.txns[i])
+		if err != nil {
+			release()
+			for _, j := range parts[n+1:] {
+				t.txns[j].Abort()
+			}
+			return err
+		}
+		prepared = append(prepared, pc)
+	}
+
+	lsn := s.clock.Add(1)
+
+	// Phase A: make the commit durable on every participant stream.
+	for n, i := range parts {
+		m := s.mgrs[i]
+		if m.log != nil {
+			rec := wal.GroupRecord{Table: "table", Shard: uint32(i), Parts: ids,
+				Entries: prepared[n].serialized.Dump()}
+			if err := m.log.AppendGroupAt(lsn, []wal.GroupRecord{rec}); err != nil {
+				release()
+				return fmt.Errorf("txn: cross-shard WAL append, shard %d: %w", i, err)
+			}
+		}
+		if f := s.fault; f != nil && f.BetweenAppends != nil && n < len(parts)-1 {
+			if err := f.BetweenAppends(n); err != nil {
+				release()
+				return err
+			}
+		}
+	}
+
+	// Phase B: memory-only installs, atomic against Begin via the gate.
+	s.beginGate.Lock()
+	for n := range parts {
+		prepared[n].install(lsn)
+		if f := s.fault; f != nil && f.BetweenInstalls != nil && n < len(parts)-1 {
+			if err := f.BetweenInstalls(n); err != nil {
+				for _, rest := range prepared[n+1:] {
+					rest.release()
+				}
+				s.beginGate.Unlock()
+				return err
+			}
+		}
+	}
+	s.beginGate.Unlock()
+	t.commitLSN = lsn
+	return nil
+}
+
+// preparedCommit is one shard's half-committed part of a cross-shard
+// transaction: validated and folded, its manager's commit pipeline held,
+// waiting for the coordinator to either install (the commit is durable
+// everywhere) or release (some participant failed).
+type preparedCommit struct {
+	m          *Manager
+	t          *Txn
+	serialized *pdt.PDT
+	folded     *pdt.PDT
+}
+
+// prepareCommit quiesces the shard and validates+folds t's delta against its
+// committed state. On return the shard's held flag is set: new commits park
+// at the top of Commit, fold re-arming and checkpoint entry wait, and the
+// Write-PDT cannot change until install or release clears it — so the fold
+// computed here stays installable by a bare pointer swap.
+func (m *Manager) prepareCommit(t *Txn) (*preparedCommit, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t.done = true
+	fail := func(err error) (*preparedCommit, error) {
+		m.held = false
+		m.finishLocked(t)
+		m.cond.Broadcast()
+		return nil, err
+	}
+	m.held = true
+	// Drain: parked rounds flush (the leader ignores held), new arrivals
+	// wait on held, and a checkpoint in flight completes its swap (its
+	// install is not held-gated) — after this loop the Write-PDT is quiet.
+	for (len(m.pending) > 0 || m.inflight > 0 || m.checkpointing) && m.maintErr == nil {
+		m.cond.Wait()
+	}
+	if err := m.maintErr; err != nil {
+		return fail(err)
+	}
+	serialized := t.trans
+	chain := make([]*pdt.PDT, 0, len(m.committed))
+	for _, c := range m.committed {
+		if c.commitLSN > t.startLSN {
+			chain = append(chain, c.serialized)
+		}
+	}
+	if len(chain) > 0 {
+		next, err := serialized.SerializeChain(chain)
+		if err != nil {
+			return fail(fmt.Errorf("%w: %v", ErrConflict, err))
+		}
+		serialized = next
+	}
+	folded, err := m.fold(m.writePDT, serialized)
+	if err != nil {
+		return fail(err)
+	}
+	return &preparedCommit{m: m, t: t, serialized: serialized, folded: folded}, nil
+}
+
+// install makes the prepared commit visible on its shard at the global LSN
+// all participants share, releasing the held pipeline.
+func (p *preparedCommit) install(lsn uint64) {
+	m := p.m
+	m.mu.Lock()
+	m.lsn = lsn
+	m.writePDT = p.folded
+	m.finishLocked(p.t)
+	if refs := len(m.running); refs > 0 {
+		m.committed = append(m.committed, &committedTxn{
+			serialized: p.serialized, commitLSN: lsn, refcnt: refs})
+	}
+	m.snapCache = nil
+	m.held = false
+	m.cond.Broadcast()
+	m.maybeFoldLocked()
+	m.mu.Unlock()
+}
+
+// release abandons the prepared commit — the Write-PDT never changes — and
+// releases the held pipeline.
+func (p *preparedCommit) release() {
+	m := p.m
+	m.mu.Lock()
+	m.held = false
+	m.finishLocked(p.t)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

@@ -23,12 +23,21 @@
 // frozen view is streamed into a new stable image off-lock — in both cases
 // commits keep landing in a fresh write layer and a pointer swap installs
 // the new version, so neither readers nor writers ever stall on a merge.
+//
+// Writes scale across cores by sharding (sharded.go): Sharded coordinates N
+// key-range shards, each a full Manager with its own Write-PDT, sequencer
+// and WAL stream, under one global commit clock. Single-shard commits use
+// their home shard's sequencer with no coordination; cross-shard commits
+// run a two-phase prepare/append/install that recovery makes all-or-nothing
+// per clock entry (wal.CompleteGroups). Sharded.Begin pins a consistent
+// vector of per-shard snapshots behind a begin gate.
 package txn
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdtstore/internal/colstore"
@@ -66,9 +75,26 @@ type Manager struct {
 	frozen   *pdt.PDT // write layer a background fold/checkpoint is consuming
 	writePDT *pdt.PDT // master Write-PDT; SIDs in (cur.readPDT ∘ frozen) RID domain
 
-	lsn       uint64 // logical commit clock, in lockstep with the WAL's LSNs
+	lsn       uint64 // LSN of this shard's last installed commit
 	snapLSN   uint64 // lsn at which snapCache was taken
 	snapCache *pdt.PDT
+
+	// clock is the monotonic commit clock LSNs are allocated from. A
+	// standalone manager owns a private clock (equivalent to the old
+	// log-driven LSN sequence); the shards of one sharded table share a
+	// single clock, so commit, recovery and CDC ordering stay total across
+	// their independent WAL streams — each stream carries a gapped
+	// subsequence of one global LSN order. shardID stamps this manager's
+	// WAL records with its shard index.
+	clock   *atomic.Uint64
+	shardID uint32
+
+	// held pauses this shard's commit pipeline while a cross-shard
+	// coordinator quiesces it (Sharded.commitCross): new commits park at
+	// the top of Commit until released, and fold re-arming and checkpoint
+	// entry wait it out, so the coordinator can validate and fold against a
+	// stable Write-PDT with no rounds in flight.
+	held bool
 
 	running   map[*Txn]struct{}
 	committed []*committedTxn // Algorithm 9's TZ, in commit order
@@ -180,7 +206,19 @@ func NewManager(tbl *table.Table, opts Options) (*Manager, error) {
 		// Continue an existing log's clock (a fresh writer starts at 0).
 		m.lsn = m.log.LSN()
 	}
+	m.clock = new(atomic.Uint64)
+	m.clock.Store(m.lsn)
 	return m, nil
+}
+
+// raiseClock lifts c to at least lsn (it never rewinds).
+func raiseClock(c *atomic.Uint64, lsn uint64) {
+	for {
+		cur := c.Load()
+		if cur >= lsn || c.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
 }
 
 // propagate folds src into dst in place with the configured algorithm
@@ -296,6 +334,7 @@ func (m *Manager) Recover(records []wal.Record) error {
 	if m.log != nil {
 		m.log.SetLSN(m.lsn)
 	}
+	raiseClock(m.clock, m.lsn)
 	return nil
 }
 
@@ -538,6 +577,11 @@ func (t *Txn) Commit() error {
 	m := t.mgr
 	m.mu.Lock()
 	t.done = true
+	for m.held {
+		// A cross-shard commit is quiescing this shard: wait it out before
+		// joining the queue (its validation assumes no new arrivals).
+		m.cond.Wait()
+	}
 	if err := m.maintErr; err != nil {
 		m.finishLocked(t)
 		m.mu.Unlock()
@@ -644,7 +688,10 @@ func (m *Manager) commitLeader(own *commitReq) {
 	m.mu.Lock()
 	for {
 		if m.maintErr == nil &&
-			(m.ckptInstalling || (m.ckptWaiters > 0 && !m.checkpointing && m.frozen == nil)) {
+			(m.ckptInstalling || (m.ckptWaiters > 0 && !m.checkpointing && m.frozen == nil && !m.held)) {
+			// (While a cross-shard prepare holds the pipeline the leader must
+			// keep draining the queue, not yield to a checkpointer that is
+			// itself gated on held — that cycle would deadlock all three.)
 			// A checkpoint is ready to freeze the write layer or install a
 			// finished image: let it take the round boundary (both are quick
 			// locked operations; commits resume immediately after).
@@ -675,15 +722,19 @@ func (m *Manager) commitLeader(own *commitReq) {
 			m.mu.Unlock()
 		}
 
-		// Off-lock: one append, one fsync, for the whole batch.
-		var first uint64
+		// Off-lock: allocate the batch's LSN run from the (possibly shared)
+		// commit clock, then one append, one fsync, for the whole batch. On
+		// a failed barrier the allocated LSNs are abandoned — the clock only
+		// moves forward, recovery tolerates per-stream gaps, and this
+		// stream is poisoned anyway.
+		first := m.clock.Add(uint64(len(batch))) - uint64(len(batch)) + 1
 		var err error
 		if m.log != nil {
 			recs := make([]wal.GroupRecord, len(batch))
 			for i, r := range batch {
-				recs[i] = wal.GroupRecord{Table: "table", Entries: r.serialized.Dump()}
+				recs[i] = wal.GroupRecord{Table: "table", Shard: m.shardID, Entries: r.serialized.Dump()}
 			}
-			first, err = m.log.AppendGroup(recs)
+			err = m.log.AppendGroupAt(first, recs)
 		}
 
 		m.mu.Lock()
@@ -723,9 +774,6 @@ func (m *Manager) commitLeader(own *commitReq) {
 // precomputed fold, each member joins the TZ set for the transactions still
 // running, and every waiter wakes with its LSN.
 func (m *Manager) installBatchLocked(batch []*commitReq, first uint64) {
-	if m.log == nil {
-		first = m.lsn + 1
-	}
 	for i, r := range batch {
 		m.lsn = first + uint64(i)
 		r.lsn = m.lsn

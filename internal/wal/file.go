@@ -177,6 +177,18 @@ func (l *FileLog) AppendGroup(recs []GroupRecord) (uint64, error) {
 	return l.appendLocked(len(recs), func() (uint64, error) { return l.w.AppendGroup(recs) })
 }
 
+// AppendGroupAt durably writes a batch with caller-assigned LSNs (record i
+// carries first+i; first must exceed the stream's last LSN but may leave a
+// gap — the shared commit clock's other shards own the skipped LSNs).
+func (l *FileLog) AppendGroupAt(first uint64, recs []GroupRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.appendLocked(len(recs), func() (uint64, error) {
+		return first, l.w.AppendGroupAt(first, recs)
+	})
+	return err
+}
+
 // appendLocked runs one append (single record or group of n) with the shared
 // failure retraction and rotation policy around it.
 func (l *FileLog) appendLocked(n int, do func() (uint64, error)) (uint64, error) {

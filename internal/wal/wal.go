@@ -17,6 +17,15 @@
 // parked commits behind a single durability barrier (AppendGroup, the
 // group-commit fast path: n records, one write, one fsync, consecutive
 // LSNs, all-or-nothing).
+//
+// A sharded table runs one log per shard, all allocating LSNs from one
+// global commit clock, so each stream carries a gapped subsequence of a
+// single total order (AppendGroupAt appends a batch at caller-chosen LSNs).
+// A cross-shard commit appends one record per participant stream, all at the
+// same LSN and each naming the full participant set (Record.Parts);
+// CompleteGroups cross-checks the replayed streams at recovery and drops
+// any group that did not reach every participant, making a commit torn
+// between two streams' fsyncs all-or-nothing.
 package wal
 
 import (
@@ -43,17 +52,27 @@ var ErrTornTail = errors.New("wal: torn tail")
 // from a torn header, not a real record.
 const maxRecordSize = 1 << 30
 
-// Record is one committed transaction.
+// Record is one committed transaction. Shard names the key-range shard whose
+// Write-PDT the entries target (0 for an unsharded table). A cross-shard
+// transaction appends one record per participant shard, all stamped with the
+// same LSN (the global commit clock ticks once per transaction, not per
+// shard); Parts lists every participant so recovery can verify the group made
+// it to all of their streams before applying any of it.
 type Record struct {
 	LSN     uint64
 	Table   string
+	Shard   uint32
+	Parts   []uint32 // participant shards of a cross-shard commit (nil otherwise)
 	Entries []pdt.RebuildEntry
 }
 
-// GroupRecord is one commit of a batched append: the table it targets and
-// the serialized Trans-PDT entries of the transaction.
+// GroupRecord is one commit of a batched append: the table it targets, the
+// shard its entries are positioned in, and the serialized Trans-PDT entries
+// of the transaction. Parts is set only on cross-shard commit records.
 type GroupRecord struct {
 	Table   string
+	Shard   uint32
+	Parts   []uint32
 	Entries []pdt.RebuildEntry
 }
 
@@ -68,6 +87,13 @@ type Log interface {
 	// on error none of its records is appended, the clock does not move,
 	// and the log is poisoned exactly as a failed Append poisons it.
 	AppendGroup(recs []GroupRecord) (uint64, error)
+	// AppendGroupAt is AppendGroup with caller-assigned LSNs: record i
+	// carries LSN first+i. A sharded table's streams share one global
+	// commit clock, so a shard's leader allocates a contiguous LSN run
+	// from the clock and stamps its stream explicitly; gaps relative to
+	// the stream's previous record are legal (other shards own those
+	// LSNs), but first must exceed the stream's last LSN.
+	AppendGroupAt(first uint64, recs []GroupRecord) error
 	// LSN returns the LSN of the last record appended.
 	LSN() uint64
 	// SetLSN moves the clock so the next Append returns lsn+1.
@@ -145,11 +171,31 @@ func (w *Writer) Append(tableName string, entries []pdt.RebuildEntry) (uint64, e
 // record of the group may surface at replay (a torn prefix of the batch is
 // exactly the tail Replay truncates).
 func (w *Writer) AppendGroup(recs []GroupRecord) (uint64, error) {
+	first := w.lsn + 1
+	if err := w.AppendGroupAt(first, recs); err != nil {
+		return 0, err
+	}
+	return first, nil
+}
+
+// AppendGroupAt writes a batch like AppendGroup but with caller-assigned
+// LSNs: record i carries LSN first+i. first must exceed the stream's last
+// LSN; it need not be contiguous with it — per-shard streams of one table
+// share a global commit clock, so each stream sees a gapped subsequence of
+// it. On success the stream's clock advances to first+len(recs)-1.
+func (w *Writer) AppendGroupAt(first uint64, recs []GroupRecord) error {
 	if w.err != nil {
-		return 0, w.err
+		return w.err
 	}
 	if len(recs) == 0 {
-		return 0, errors.New("wal: empty append group")
+		return errors.New("wal: empty append group")
+	}
+	if first <= w.lsn {
+		// The shared commit clock regressed relative to this stream: the
+		// global LSN-order invariant is broken, so the stream is poisoned —
+		// appending on would interleave duplicate LSNs into the replay merge.
+		w.err = fmt.Errorf("wal: non-monotonic append: first LSN %d, stream already at %d", first, w.lsn)
+		return w.err
 	}
 	// One frame per record, all in the reused encode buffer: 8-byte header
 	// (length + CRC of the body) followed by the body, exactly the layout
@@ -159,7 +205,8 @@ func (w *Writer) AppendGroup(recs []GroupRecord) (uint64, error) {
 	for i, rec := range recs {
 		start := len(w.buf)
 		w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
-		w.buf = encodeRecord(w.buf, Record{LSN: w.lsn + 1 + uint64(i), Table: rec.Table, Entries: rec.Entries})
+		w.buf = encodeRecord(w.buf, Record{LSN: first + uint64(i), Table: rec.Table,
+			Shard: rec.Shard, Parts: rec.Parts, Entries: rec.Entries})
 		body := w.buf[start+8:]
 		binary.LittleEndian.PutUint32(w.buf[start:start+4], uint32(len(body)))
 		binary.LittleEndian.PutUint32(w.buf[start+4:start+8], crc32.ChecksumIEEE(body))
@@ -179,11 +226,10 @@ func (w *Writer) AppendGroup(recs []GroupRecord) (uint64, error) {
 	if err != nil {
 		w.err = fmt.Errorf("wal: append failed: %w", err)
 		w.w.Reset(w.out) // drop whatever of the group is still unflushed
-		return 0, w.err
+		return w.err
 	}
-	first := w.lsn + 1
-	w.lsn += uint64(len(recs))
-	return first, nil
+	w.lsn = first + uint64(len(recs)) - 1
+	return nil
 }
 
 // Replay reads records until EOF. A clean end returns a nil error; a partial
@@ -252,12 +298,62 @@ func replayConsumed(r io.Reader, total int64) ([]Record, int64, error) {
 	}
 }
 
+// CompleteGroups filters the replayed tails of a sharded table's per-shard
+// WAL streams down to cross-shard commits that reached every participant.
+// streams[s] holds shard s's records (LSN-ascending, as Replay returns them);
+// baseLSNs[s] is the LSN already materialized into shard s's checkpointed
+// image (its manifest LSN) — records at or below it were truncated or
+// filtered away, so their absence from the stream proves nothing.
+//
+// A cross-shard commit appends one record per participant, all at the same
+// LSN, and installs only after every append is durable. A crash between two
+// shards' appends therefore leaves an incomplete group: records that were
+// never installed and that no later commit could have observed. Those
+// orphans are dropped — from every stream — so reopen is all-or-nothing per
+// commit clock entry. Single-shard records (empty Parts) pass through.
+func CompleteGroups(streams [][]Record, baseLSNs []uint64) [][]Record {
+	present := make([]map[uint64]bool, len(streams))
+	for s, recs := range streams {
+		present[s] = make(map[uint64]bool, len(recs))
+		for _, rec := range recs {
+			present[s][rec.LSN] = true
+		}
+	}
+	complete := func(rec Record) bool {
+		for _, p := range rec.Parts {
+			if int(p) >= len(streams) {
+				return false
+			}
+			if !present[p][rec.LSN] && rec.LSN > baseLSNs[p] {
+				return false
+			}
+		}
+		return true
+	}
+	out := make([][]Record, len(streams))
+	for s, recs := range streams {
+		kept := recs[:0]
+		for _, rec := range recs {
+			if len(rec.Parts) <= 1 || complete(rec) {
+				kept = append(kept, rec)
+			}
+		}
+		out[s] = kept
+	}
+	return out
+}
+
 // --- binary encoding ---------------------------------------------------------
 
 // encodeRecord appends rec's serialized body to buf and returns it.
 func encodeRecord(buf []byte, rec Record) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, rec.LSN)
 	buf = appendString(buf, rec.Table)
+	buf = binary.LittleEndian.AppendUint32(buf, rec.Shard)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Parts)))
+	for _, p := range rec.Parts {
+		buf = binary.LittleEndian.AppendUint32(buf, p)
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Entries)))
 	for _, e := range rec.Entries {
 		buf = binary.LittleEndian.AppendUint64(buf, e.SID)
@@ -279,6 +375,16 @@ func decodeRecord(buf []byte) (Record, error) {
 	r := &reader{buf: buf}
 	rec.LSN = r.u64()
 	rec.Table = r.str()
+	rec.Shard = r.u32()
+	if np := int(r.u32()); np > 0 {
+		if np > len(r.buf) { // each participant takes 4 bytes; bound before allocating
+			return rec, fmt.Errorf("wal: corrupt record: %w", io.ErrUnexpectedEOF)
+		}
+		rec.Parts = make([]uint32, np)
+		for i := range rec.Parts {
+			rec.Parts[i] = r.u32()
+		}
+	}
 	n := int(r.u32())
 	rec.Entries = make([]pdt.RebuildEntry, 0, n)
 	for i := 0; i < n; i++ {
