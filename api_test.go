@@ -1,0 +1,194 @@
+package pdtstore
+
+// Golden snapshot of the package's public API. The store's surface was
+// redesigned deliberately (Tx, Stats, CheckpointOptions); this test renders
+// every exported declaration of the root package and compares it against
+// testdata/api.golden, so any future drift — an accidental export, a changed
+// signature, a silently dropped deprecation — shows up in review as a diff of
+// that file. Regenerate after an intentional change with:
+//
+//	UPDATE_API=1 go test -run TestPublicAPISnapshot .
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const apiGolden = "testdata/api.golden"
+
+func TestPublicAPISnapshot(t *testing.T) {
+	got := renderPublicAPI(t)
+	if os.Getenv("UPDATE_API") != "" {
+		if err := os.MkdirAll(filepath.Dir(apiGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", apiGolden)
+		return
+	}
+	want, err := os.ReadFile(apiGolden)
+	if err != nil {
+		t.Fatalf("missing API golden (run UPDATE_API=1 go test -run TestPublicAPISnapshot .): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API drifted from %s.\nIf the change is intentional, regenerate with UPDATE_API=1 and review the diff.\n--- got ---\n%s", apiGolden, diffLines(string(want), got))
+	}
+}
+
+func renderPublicAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["pdtstore"]
+	if !ok {
+		t.Fatalf("package pdtstore not found (got %v)", pkgs)
+	}
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				lines = append(lines, renderFunc(fset, d))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							lines = append(lines, renderType(fset, s)...)
+						}
+					case *ast.ValueSpec:
+						for i, name := range s.Names {
+							if !name.IsExported() {
+								continue
+							}
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							line := fmt.Sprintf("%s %s", kind, name.Name)
+							if i < len(s.Values) {
+								line += " = " + exprString(fset, s.Values[i])
+							}
+							lines = append(lines, line)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// exportedRecv reports whether a method's receiver type is exported (plain
+// functions count as exported receivers).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return false
+}
+
+func renderFunc(fset *token.FileSet, d *ast.FuncDecl) string {
+	clone := *d
+	clone.Body = nil
+	clone.Doc = nil
+	line := "func "
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		line += "(" + exprString(fset, d.Recv.List[0].Type) + ") "
+	}
+	line += d.Name.Name + strings.TrimPrefix(exprString(fset, clone.Type), "func")
+	if isDeprecated(d.Doc) {
+		line += "  // Deprecated"
+	}
+	return line
+}
+
+func renderType(fset *token.FileSet, s *ast.TypeSpec) []string {
+	switch typ := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{fmt.Sprintf("type %s struct", s.Name.Name)}
+		for _, f := range typ.Fields.List {
+			for _, name := range f.Names {
+				if name.IsExported() {
+					lines = append(lines, fmt.Sprintf("type %s struct: %s %s", s.Name.Name, name.Name, exprString(fset, f.Type)))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{fmt.Sprintf("type %s interface", s.Name.Name)}
+		for _, m := range typ.Methods.List {
+			for _, name := range m.Names {
+				lines = append(lines, fmt.Sprintf("type %s interface: %s%s", s.Name.Name, name.Name,
+					strings.TrimPrefix(exprString(fset, m.Type), "func")))
+			}
+		}
+		return lines
+	default:
+		return []string{fmt.Sprintf("type %s %s", s.Name.Name, exprString(fset, s.Type))}
+	}
+}
+
+func isDeprecated(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.Contains(doc.Text(), "Deprecated:")
+}
+
+func exprString(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return buf.String()
+}
+
+// diffLines is a minimal line diff: good enough to spot which declaration
+// moved without pulling in a diff dependency.
+func diffLines(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var out []string
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			out = append(out, "- "+l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			out = append(out, "+ "+l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -348,16 +348,36 @@ func runRecovery(rows int, tails, jsonPath string) {
 		os.Exit(1)
 	}
 	fmt.Println("Durability: cold open/replay and checkpoint cost vs WAL tail length")
-	fmt.Printf("%12s %12s %10s %12s %14s %14s\n",
-		"tail commits", "WAL KB", "WAL files", "open ms", "checkpoint ms", "commit us")
+	fmt.Printf("%12s %12s %10s %12s %14s %14s %14s %14s\n",
+		"tail commits", "WAL KB", "WAL files", "open ms", "checkpoint ms", "inc ckpt ms", "auto open ms", "commit us")
 	for _, p := range pts {
-		fmt.Printf("%12d %12.1f %10d %12.2f %14.2f %14.1f\n",
-			p.TailCommits, float64(p.WALBytes)/1024, p.WALFiles, p.OpenMs, p.CheckpointMs, p.CommitUs)
+		fmt.Printf("%12d %12.1f %10d %12.2f %14.2f %14.2f %14.2f %14.1f\n",
+			p.TailCommits, float64(p.WALBytes)/1024, p.WALFiles, p.OpenMs, p.CheckpointMs,
+			p.IncCheckpointMs, p.AutoOpenMs, p.CommitUs)
+	}
+	incCfg := bench.RecoveryIncConfig{}
+	if rows > 0 {
+		incCfg.Rows = rows * 10
+	}
+	incPts, err := bench.RecoveryIncrementalProfile(incCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Incremental checkpoints: cost vs dirtied fraction of a fixed image")
+	fmt.Printf("%10s %12s %12s %12s %13s %10s %10s %9s\n",
+		"dirty frac", "updated rows", "dirty blocks", "total blocks", "mode", "full ms", "inc ms", "speedup")
+	for _, p := range incPts {
+		fmt.Printf("%10g %12d %12d %12d %13s %10.2f %10.2f %8.1fx\n",
+			p.DirtyFrac, p.UpdatedRows, p.DirtyBlocks, p.TotalBlocks, p.Mode, p.FullMs, p.IncMs, p.Speedup)
 	}
 	if jsonPath == "" {
 		return
 	}
-	if err := mergeReportSections(jsonPath, map[string]any{"recovery": pts}); err != nil {
+	if err := mergeReportSections(jsonPath, map[string]any{
+		"recovery":             pts,
+		"recovery_incremental": incPts,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
 		os.Exit(1)
 	}

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"pdtstore/internal/colstore"
+	"pdtstore/internal/engine"
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/storage"
 	"pdtstore/internal/table"
@@ -89,6 +90,44 @@ type Options struct {
 	// row-count quantile cuts read off the image. Ignored for stores that are
 	// already sharded — the manifest's recorded splits are permanent.
 	ShardKeys []types.Row
+	// Checkpoint tunes incremental checkpoints and the background cost-model
+	// scheduler. The zero value selects the defaults (incremental allowed,
+	// scheduler off); nonsense combinations are rejected at Open.
+	Checkpoint CheckpointOptions
+}
+
+// Tx is the store's unified transaction interface, returned by DB.Begin for
+// sharded and unsharded stores alike: *txn.Txn implements it over a single
+// manager, *txn.STxn over the shard coordinator (pinning a consistent
+// per-shard snapshot vector and routing each operation to the owning shard).
+// Callers never branch on the store's shard layout.
+type Tx interface {
+	// Schema returns the table schema.
+	Schema() *types.Schema
+	// Scan returns a batch source producing the projected columns of all
+	// rows visible to the transaction whose sort key lies in [loKey, hiKey]
+	// (nil bounds are open; bounds may be prefixes of the sort key).
+	Scan(cols []int, loKey, hiKey types.Row) (pdt.BatchSource, error)
+	// PartitionScan exposes the snapshot to the parallel scan engine
+	// (engine.PartRelation); Tx values plug directly into engine.Scan plans.
+	PartitionScan(loKey, hiKey types.Row) (*engine.PartScan, error)
+	// FindByKey locates the visible tuple with the given (full) sort key.
+	FindByKey(key types.Row) (rid uint64, row types.Row, found bool, err error)
+	// Insert adds a new tuple; its sort key must not be visible.
+	Insert(row types.Row) error
+	// DeleteByKey removes the visible tuple with the given sort key.
+	DeleteByKey(key types.Row) (bool, error)
+	// UpdateByKey sets one column of the visible tuple with the given key.
+	UpdateByKey(key types.Row, col int, val types.Value) (bool, error)
+	// ApplyBatch resolves and applies a batch of key-level operations.
+	ApplyBatch(ops []table.Op) (int, error)
+	// Commit validates against concurrent commits and makes the
+	// transaction's updates durable; CommitLSN reports its position in the
+	// global commit order afterwards.
+	Commit() error
+	CommitLSN() uint64
+	// Abort discards the transaction.
+	Abort() error
 }
 
 // DB is a durable, transactional PDT store rooted at a directory.
@@ -115,9 +154,22 @@ type DB struct {
 	// closes each one as soon as its last pinned reader finishes
 	// (txn.releaseVersionLocked); this list is the backstop that closes
 	// whatever is still pinned when the DB itself closes (Close is
-	// idempotent, so the two paths may both run).
+	// idempotent, so the two paths may both run). Chain segments shared with
+	// the live image survive these closes — they are refcounted and only the
+	// last referencing store releases the descriptor.
 	retired []*colstore.Store
 	closed  bool
+
+	// ckpt is Options.Checkpoint with defaults resolved and validated.
+	ckpt CheckpointOptions
+	// lastCost records, per shard, the cost-model inputs and outcome of the
+	// most recent checkpoint decision (scheduler skip included). Guarded by mu.
+	lastCost []CheckpointDecision
+	// Background checkpoint scheduler lifecycle (ckpt.Auto only).
+	schedStop chan struct{}
+	schedDone chan struct{}
+	schedOnce sync.Once
+	schedErr  error // first scheduler checkpoint failure, sticky; guarded by mu
 
 	// fault, when set (crash tests only), is invoked at named points of the
 	// checkpoint sequence; a non-nil return simulates the process dying there
@@ -128,13 +180,28 @@ type DB struct {
 // Checkpoint fault-injection points, in execution order.
 const (
 	faultMidSegmentWrite = "mid-segment-write"
+	// faultMidBlockMapWrite fires on the incremental path after the dirty
+	// blocks streamed but before Finish writes the block map + footer: the
+	// new segment has data blocks and no trailer, and the manifest still
+	// names the previous generation's chain.
+	faultMidBlockMapWrite = "mid-block-map-write"
 	// faultBetweenShardCheckpoints fires before each shard's image build
 	// except the first (sharded stores only): some shards have already
 	// streamed and installed their new images, the rest have not, and the
 	// manifest still pairs the old images with the full WAL streams.
 	faultBetweenShardCheckpoints = "between-shard-checkpoints"
 	faultPreManifestSwap         = "pre-manifest-swap"
-	faultPostSwapPreTruncate     = "post-swap-pre-truncate"
+	// faultPreSwapMixedGen fires just before the manifest swap when the new
+	// manifest would reference blocks across generations (any shard's chain
+	// has more than one segment): the fsynced incremental segment exists but
+	// nothing names it, and its inherited references point at files the old
+	// manifest still pins.
+	faultPreSwapMixedGen = "pre-swap-mixed-generations"
+	// faultPostSwapPreGC fires after the manifest swap but before the
+	// superseded chain members' directory entries are unlinked: recovery must
+	// ignore the stale files the new manifest no longer pins.
+	faultPostSwapPreGC       = "gc-after-swap"
+	faultPostSwapPreTruncate = "post-swap-pre-truncate"
 )
 
 func segmentName(gen uint64) string { return fmt.Sprintf("seg-%016x.seg", gen) }
@@ -162,6 +229,10 @@ func shardWalDir(shard int) string {
 // entry whose record is missing from any participant stream is dropped from
 // all of them.
 func Open(dir string, opts Options) (*DB, error) {
+	ckpt, err := opts.Checkpoint.normalize()
+	if err != nil {
+		return nil, err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -207,28 +278,17 @@ func Open(dir string, opts Options) (*DB, error) {
 		splits = man.Splits
 		stores = make([]*colstore.Store, n)
 		for i, sh := range man.Shards {
-			seg, err := storage.OpenSegment(filepath.Join(dir, sh.Segment))
+			stores[i], err = openChain(dir, sh.Chain(), dev, opts.Schema)
 			if err != nil {
 				closeStores()
 				return nil, fmt.Errorf("pdtstore: open shard %d segment generation %d: %w", i, man.Generation, err)
 			}
-			if opts.Schema != nil && !schemaEqual(opts.Schema, seg.Schema()) {
-				seg.Close()
-				closeStores()
-				return nil, fmt.Errorf("pdtstore: schema mismatch: store holds %v", seg.Schema())
-			}
-			stores[i] = colstore.FromSegment(seg, dev)
 		}
 	case found:
-		seg, err := storage.OpenSegment(filepath.Join(dir, man.Segment))
+		store, err := openChain(dir, man.Chain(), dev, opts.Schema)
 		if err != nil {
 			return nil, fmt.Errorf("pdtstore: open segment generation %d: %w", man.Generation, err)
 		}
-		if opts.Schema != nil && !schemaEqual(opts.Schema, seg.Schema()) {
-			seg.Close()
-			return nil, fmt.Errorf("pdtstore: schema mismatch: store holds %v", seg.Schema())
-		}
-		store := colstore.FromSegment(seg, dev)
 		if n > 1 {
 			stores, splits, man, err = adoptShards(dir, man, opts, dev, store, n)
 			store.Close()
@@ -395,17 +455,24 @@ func Open(dir string, opts Options) (*DB, error) {
 		}
 	}
 	db := &DB{
-		dir:     dir,
-		lock:    lock,
-		opts:    opts,
-		schema:  stores[0].Schema(),
-		dev:     dev,
-		tbls:    tbls,
-		mgrs:    mgrs,
-		logs:    logs,
-		sharded: sharded,
-		man:     man,
-		nextGen: man.Generation,
+		dir:      dir,
+		lock:     lock,
+		opts:     opts,
+		schema:   stores[0].Schema(),
+		dev:      dev,
+		tbls:     tbls,
+		mgrs:     mgrs,
+		logs:     logs,
+		sharded:  sharded,
+		man:      man,
+		nextGen:  man.Generation,
+		ckpt:     ckpt,
+		lastCost: make([]CheckpointDecision, n),
+	}
+	if ckpt.Auto {
+		db.schedStop = make(chan struct{})
+		db.schedDone = make(chan struct{})
+		go db.schedulerLoop()
 	}
 	opened = true
 	return db, nil
@@ -459,8 +526,43 @@ func adoptShards(dir string, man storage.Manifest, opts Options, dev *colstore.D
 		}
 		return nil, nil, man, err
 	}
-	os.Remove(filepath.Join(dir, man.Segment))
+	for _, nm := range man.Chain() {
+		os.Remove(filepath.Join(dir, nm))
+	}
 	return stores, keys, newMan, nil
+}
+
+// openChain opens a manifest segment chain (oldest generation first) into one
+// file-backed store: the last member carries the block map and geometry, the
+// earlier members only serve the blocks the map still references.
+func openChain(dir string, chain []string, dev *colstore.Device, want *types.Schema) (*colstore.Store, error) {
+	segs := make([]*storage.Segment, len(chain))
+	fail := func() {
+		for _, s := range segs {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	for j, nm := range chain {
+		seg, err := storage.OpenSegment(filepath.Join(dir, nm))
+		if err != nil {
+			fail()
+			return nil, err
+		}
+		segs[j] = seg
+	}
+	newest := segs[len(segs)-1]
+	if want != nil && !schemaEqual(want, newest.Schema()) {
+		fail()
+		return nil, fmt.Errorf("pdtstore: schema mismatch: store holds %v", newest.Schema())
+	}
+	st, err := colstore.FromSegmentChain(segs, dev)
+	if err != nil {
+		fail()
+		return nil, err
+	}
+	return st, nil
 }
 
 // Schema returns the store's schema.
@@ -492,6 +594,10 @@ func (db *DB) Table() *table.Table {
 }
 
 // Manager returns the transaction manager; nil for a sharded store.
+//
+// Deprecated: Manager leaks the internal txn layer and forces callers to
+// branch on the shard layout. Use Begin for transactions and Stats for
+// observability.
 func (db *DB) Manager() *txn.Manager {
 	if db.sharded != nil {
 		return nil
@@ -499,132 +605,42 @@ func (db *DB) Manager() *txn.Manager {
 	return db.mgrs[0]
 }
 
-// Begin starts a snapshot-isolated transaction. Panics on a sharded store:
-// use Sharded().Begin() there, which pins all shards consistently.
-func (db *DB) Begin() *txn.Txn {
+// Begin starts a snapshot-isolated transaction on any store: a sharded DB
+// pins a consistent vector of per-shard snapshots through the coordinator, an
+// unsharded one pins its single manager's snapshot. Both satisfy Tx.
+func (db *DB) Begin() Tx {
 	if db.sharded != nil {
-		panic("pdtstore: Begin on a sharded DB; use Sharded().Begin()")
+		return db.sharded.Begin()
 	}
 	return db.mgrs[0].Begin()
 }
 
-// Log returns the durable commit log (for stats: size, file count); shard 0's
-// stream on a sharded store — see ShardLog for the rest.
+// Log returns the durable commit log; shard 0's stream on a sharded store.
+//
+// Deprecated: Log leaks the internal wal layer. Use Stats, which reports the
+// tail length, byte size and file count of every shard's stream.
 func (db *DB) Log() *wal.FileLog { return db.logs[0] }
 
 // ShardLog returns shard i's commit log stream.
+//
+// Deprecated: see Log; use Stats.
 func (db *DB) ShardLog(i int) *wal.FileLog { return db.logs[i] }
 
 // Manifest returns the current durable manifest.
+//
+// Deprecated: Manifest leaks the internal storage layer. Use Stats, which
+// reports the generation and the live segment chains.
 func (db *DB) Manifest() storage.Manifest {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.man
 }
 
-// Checkpoint makes the online checkpoint durable: the committed state is
-// streamed into segment generation N+1 and fsynced, the MANIFEST swaps to it
-// (the commit point), and the WAL drops every record the new image contains.
-// Commits keep flowing throughout — they land in a side delta layer and stay
-// in the log until the next checkpoint. A sharded store streams its shards'
-// images one at a time (each shard's checkpoint is online independently),
-// records one freeze LSN per shard, and commits them all with the single
-// manifest swap before truncating each stream below its own bar.
-func (db *DB) Checkpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return fmt.Errorf("pdtstore: checkpoint on closed DB")
-	}
-	db.nextGen++
-	gen := db.nextGen
-	n := len(db.mgrs)
-	names := make([]string, n)
-	freeze := make([]uint64, n)
-	for i := range names {
-		if db.sharded == nil {
-			names[i] = segmentName(gen)
-		} else {
-			names[i] = shardSegmentName(gen, i)
-		}
-	}
-	for i := range db.mgrs {
-		if i > 0 {
-			if err := db.injectFault(faultBetweenShardCheckpoints); err != nil {
-				return err
-			}
-		}
-		i := i
-		var retired *colstore.Store
-		err := db.mgrs[i].CheckpointInto(func(lsn uint64, store *colstore.Store, deltas ...*pdt.PDT) (*colstore.Store, error) {
-			freeze[i] = lsn
-			retired = store
-			b, err := colstore.NewFileBuilder(db.schema, db.dev, db.opts.BlockRows, db.opts.Compressed, filepath.Join(db.dir, names[i]))
-			if err != nil {
-				return nil, err
-			}
-			if err := db.tbls[i].MaterializeStream(b, store, deltas...); err != nil {
-				b.Abort()
-				return nil, err
-			}
-			if err := db.injectFault(faultMidSegmentWrite); err != nil {
-				return nil, err // crash sim: partial file stays, no footer
-			}
-			return b.Finish() // footer + fsync: image durable past here
-		})
-		if err != nil {
-			return err
-		}
-		// The manager has installed the new image: the base store is
-		// superseded in memory from here on, whatever happens to the
-		// manifest below.
-		if retired != nil {
-			db.retired = append(db.retired, retired)
-		}
-	}
-	if err := db.injectFault(faultPreManifestSwap); err != nil {
-		return err
-	}
-	prev := db.man
-	var man storage.Manifest
-	if db.sharded == nil {
-		man = storage.Manifest{Generation: gen, Segment: names[0], LSN: freeze[0]}
-	} else {
-		entries := make([]storage.ShardEntry, n)
-		for i := range entries {
-			entries[i] = storage.ShardEntry{Segment: names[i], LSN: freeze[i]}
-		}
-		man = storage.Manifest{Generation: gen, Shards: entries, Splits: prev.Splits}
-	}
-	if err := storage.WriteManifest(db.dir, man); err != nil {
-		return err
-	}
-	db.man = man
-	// Unlink the superseded segments' directory entries. Pinned readers keep
-	// their open descriptor (POSIX keeps the data alive until Close releases
-	// it); recovery never needs a non-manifest segment.
-	keep := manifestSegments(man)
-	for old := range manifestSegments(prev) {
-		if !keep[old] {
-			os.Remove(filepath.Join(db.dir, old))
-		}
-	}
-	if err := db.injectFault(faultPostSwapPreTruncate); err != nil {
-		return err
-	}
-	// Past the swap the checkpoint is already durable; truncation is space
-	// reclamation (recovery filters by the manifest LSNs either way).
-	for i, l := range db.logs {
-		if err := l.TruncateBelow(freeze[i]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Close waits for background maintenance, then releases the log and every
-// file-backed image. It reports a sticky maintenance failure, if any.
+// Close stops the background checkpoint scheduler and waits for background
+// maintenance, then releases the log and every file-backed image. It reports
+// a sticky maintenance or scheduler failure, if any.
 func (db *DB) Close() error {
+	db.stopScheduler()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -655,6 +671,9 @@ func (db *DB) Close() error {
 	if maintErr != nil {
 		return maintErr
 	}
+	if db.schedErr != nil && err == nil {
+		err = db.schedErr
+	}
 	return err
 }
 
@@ -664,6 +683,7 @@ func (db *DB) Close() error {
 // left it (closing a descriptor never undoes durable writes), and the
 // advisory LOCK is released just as a dying process would release it.
 func (db *DB) crash() {
+	db.stopScheduler()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -689,14 +709,17 @@ func (db *DB) injectFault(point string) error {
 	return db.fault(point)
 }
 
-// manifestSegments is the set of segment file names a manifest pins.
+// manifestSegments is the set of segment file names a manifest pins — every
+// member of every shard's generation chain, not just the newest.
 func manifestSegments(m storage.Manifest) map[string]bool {
 	keep := make(map[string]bool, len(m.Shards)+1)
-	if m.Segment != "" {
-		keep[m.Segment] = true
+	for _, nm := range m.Chain() {
+		keep[nm] = true
 	}
 	for _, sh := range m.Shards {
-		keep[sh.Segment] = true
+		for _, nm := range sh.Chain() {
+			keep[nm] = true
+		}
 	}
 	return keep
 }

@@ -1,0 +1,552 @@
+package pdtstore
+
+// Tests for incremental checkpoints: segment chains, block sharing across
+// generations, the new crash cuts, the checkpoint policy knobs, and the
+// randomized full-vs-incremental state-equivalence harness.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+)
+
+// commitUpdates commits pure in-place updates (col 2, no sort-key churn) so
+// the delta is modify-only and the next checkpoint can go incremental.
+func commitUpdates(t *testing.T, db *DB, m model, keys ...int64) {
+	t.Helper()
+	ops := make([]table.Op, 0, len(keys))
+	for _, k := range keys {
+		ops = append(ops, table.Op{Kind: table.OpUpdate, Key: types.Row{types.Int(k)}, Col: 2, Val: types.Int(-k)})
+	}
+	tx := db.Begin()
+	if _, err := tx.ApplyBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		m[k] = modelRow{V: m[k].V, N: -k}
+	}
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".seg") {
+			segs = append(segs, e.Name())
+		}
+	}
+	return segs
+}
+
+// TestIncrementalCheckpointChain: a modify-only delta checkpoints into a
+// delta segment chained onto the previous generation, the live/dead block
+// stats expose the sharing, and cold recovery resolves blocks through the
+// chain.
+func TestIncrementalCheckpointChain(t *testing.T) {
+	dir := t.TempDir()
+	m := model{}
+	db := openTestDB(t, dir)
+	commitInserts(t, db, m, 0, 640) // 10 blocks of 64
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitUpdates(t, db, m, 3, 70) // dirties blocks 0 and 1 of col 2 only
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	sh := st.Shard[0]
+	if sh.Generations != 2 {
+		t.Fatalf("chain length = %d, want 2 (segments %+v)", sh.Generations, sh.Segments)
+	}
+	if sh.LastDecision.Mode != "incremental" {
+		t.Fatalf("decision mode = %q, want incremental (%+v)", sh.LastDecision.Mode, sh.LastDecision)
+	}
+	if sh.LastDecision.DirtyBlocks >= sh.LastDecision.TotalBlocks {
+		t.Fatalf("incremental checkpoint wrote %d of %d cells", sh.LastDecision.DirtyBlocks, sh.LastDecision.TotalBlocks)
+	}
+	// The old member serves everything except the two rewritten blocks; the
+	// new member holds exactly those two plus no tail.
+	base, delta := sh.Segments[0], sh.Segments[1]
+	if base.LiveBlocks >= base.TotalBlocks || base.LiveBlocks == 0 {
+		t.Fatalf("base member live/total = %d/%d, want partial sharing", base.LiveBlocks, base.TotalBlocks)
+	}
+	if delta.TotalBlocks != 2 || delta.LiveBlocks != 2 {
+		t.Fatalf("delta member live/total = %d/%d, want 2/2", delta.LiveBlocks, delta.TotalBlocks)
+	}
+	checkState(t, db, m)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold recovery opens the whole chain.
+	db2 := openTestDB(t, dir)
+	defer db2.Close()
+	checkState(t, db2, m)
+	if got := db2.Stats().Shard[0].Generations; got != 2 {
+		t.Fatalf("chain length after reopen = %d, want 2", got)
+	}
+	// A shifting delta (delete) forces a full rewrite that collapses the
+	// chain and unlinks both superseded members.
+	commitMixed(t, db2, m, 0, 10)
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Stats().Shard[0]; got.Generations != 1 || got.LastDecision.Mode != "full" {
+		t.Fatalf("post-delete checkpoint: %d generations, mode %q", got.Generations, got.LastDecision.Mode)
+	}
+	if segs := segFiles(t, dir); len(segs) != 1 {
+		t.Fatalf("superseded chain members not unlinked: %v", segs)
+	}
+	checkState(t, db2, m)
+}
+
+// TestEmptyDeltaCheckpointShares: a checkpoint with nothing to absorb writes
+// no segment at all — the new generation re-references the old chain.
+func TestEmptyDeltaCheckpointShares(t *testing.T) {
+	dir := t.TempDir()
+	m := model{}
+	db := openTestDB(t, dir)
+	defer db.Close()
+	commitInserts(t, db, m, 0, 200)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before := segFiles(t, dir)
+	gen := db.Stats().Generation
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Shard[0].LastDecision.Mode != "shared" {
+		t.Fatalf("empty-delta decision = %+v, want shared", st.Shard[0].LastDecision)
+	}
+	if st.Generation != gen+1 {
+		t.Fatalf("generation = %d, want %d", st.Generation, gen+1)
+	}
+	after := segFiles(t, dir)
+	if len(after) != len(before) {
+		t.Fatalf("empty-delta checkpoint changed segment files: %v -> %v", before, after)
+	}
+	checkState(t, db, m)
+}
+
+// TestIncrementalCrashPoints kills the store at the three cuts the chained
+// checkpoint added — mid block-map write, pre-swap with mixed-generation
+// references, and GC after the swap — and requires recovery to reconstruct
+// exactly the committed state off the old manifest (or the new one, past the
+// swap).
+func TestIncrementalCrashPoints(t *testing.T) {
+	points := []string{faultMidBlockMapWrite, faultPreSwapMixedGen, faultPostSwapPreGC}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			m := model{}
+			db := openTestDB(t, dir)
+			commitInserts(t, db, m, 0, 640)
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			commitUpdates(t, db, m, 3, 70, 200) // modify-only: incremental path
+
+			errBoom := errors.New("injected crash: " + point)
+			fired := false
+			db.fault = func(p string) error {
+				if p == point {
+					fired = true
+					return errBoom
+				}
+				return nil
+			}
+			if err := db.Checkpoint(); !errors.Is(err, errBoom) {
+				t.Fatalf("Checkpoint through the fault = %v", err)
+			}
+			if !fired {
+				t.Fatalf("fault point %s never fired", point)
+			}
+			db.crash()
+
+			db2 := openTestDB(t, dir)
+			checkState(t, db2, m)
+			// The interrupted attempt left no half-GC'd chain: every segment
+			// the manifest names is openable, strays are gone, and the next
+			// incremental checkpoint completes.
+			commitUpdates(t, db2, m, 130)
+			if err := db2.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db3 := openTestDB(t, dir)
+			defer db3.Close()
+			checkState(t, db3, m)
+		})
+	}
+}
+
+// TestShardedIncrementalCheckpointCrashPoints drives the same three cuts on a
+// 4-shard store, where the manifest swap commits four chains at once.
+func TestShardedIncrementalCheckpointCrashPoints(t *testing.T) {
+	points := []string{faultMidBlockMapWrite, faultPreSwapMixedGen, faultPostSwapPreGC}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			db := openShardDB(t, dir, 4)
+			m := model{}
+			var keys []int64
+			for k := int64(0); k < 1000; k += 5 {
+				keys = append(keys, k)
+			}
+			sCommitInserts(t, db, m, keys...)
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			commitUpdates(t, db, m, 10, 300, 550, 800) // one modify per shard
+
+			errBoom := errors.New("injected crash: " + point)
+			fired := false
+			db.fault = func(p string) error {
+				if p == point {
+					fired = true
+					return errBoom
+				}
+				return nil
+			}
+			if err := db.Checkpoint(); !errors.Is(err, errBoom) {
+				t.Fatalf("Checkpoint through the fault = %v", err)
+			}
+			if !fired {
+				t.Fatalf("fault point %s never fired", point)
+			}
+			db.crash()
+
+			db = openShardDB(t, dir, 4)
+			sCheckState(t, db, m)
+			commitUpdates(t, db, m, 15, 305)
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db = openShardDB(t, dir, 4)
+			defer db.Close()
+			sCheckState(t, db, m)
+		})
+	}
+}
+
+// TestIncrementalFullEquivalence is the randomized long-run harness: two
+// stores replay one random op stream, one restricted to full rewrites, one
+// free to chain incremental checkpoints (with a tight MaxGenerations so both
+// modes and forced collapses all occur), with checkpoints and kill-reopen
+// cycles interleaved at random. After every reopen and at the end, both
+// stores must serve the identical committed state.
+func TestIncrementalFullEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			testEquivalence(t, shards)
+		})
+	}
+}
+
+func testEquivalence(t *testing.T, shards int) {
+	rng := rand.New(rand.NewSource(42 + int64(shards)))
+	open := func(dir string, ckpt CheckpointOptions) *DB {
+		t.Helper()
+		opts := Options{Schema: dbSchema, BlockRows: 64, Compressed: true, Checkpoint: ckpt}
+		if shards > 1 {
+			opts.Shards = shards
+			opts.ShardKeys = shardTestCuts[:shards-1]
+		}
+		db, err := Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	fullCkpt := CheckpointOptions{FullOnly: true}
+	incCkpt := CheckpointOptions{MaxGenerations: 3}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	dbA := open(dirA, fullCkpt)
+	dbB := open(dirB, incCkpt)
+	m := model{}
+	var live []int64
+
+	apply := func(db *DB, ops []table.Op) {
+		t.Helper()
+		tx := db.Begin()
+		if _, err := tx.ApplyBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compare := func() {
+		t.Helper()
+		gotA, gotB := readAll(t, dbA), readAll(t, dbB)
+		if len(gotA) != len(m) || len(gotB) != len(m) {
+			t.Fatalf("row counts diverged: full=%d incremental=%d model=%d", len(gotA), len(gotB), len(m))
+		}
+		for k, want := range m {
+			if gotA[k] != want {
+				t.Fatalf("full store: key %d = %+v, want %+v", k, gotA[k], want)
+			}
+			if gotB[k] != want {
+				t.Fatalf("incremental store: key %d = %+v, want %+v", k, gotB[k], want)
+			}
+		}
+	}
+
+	const rounds = 60
+	for r := 0; r < rounds; r++ {
+		nops := 1 + rng.Intn(24)
+		ops := make([]table.Op, 0, nops)
+		touched := map[int64]bool{} // one op per key per batch
+		for o := 0; o < nops; o++ {
+			switch {
+			case len(live) == 0 || rng.Intn(3) == 0: // insert a fresh key
+				k := rng.Int63n(1000)
+				if _, ok := m[k]; ok {
+					continue
+				}
+				if touched[k] {
+					continue
+				}
+				touched[k] = true
+				ops = append(ops, table.Op{Kind: table.OpInsert,
+					Row: types.Row{types.Int(k), types.Str(fmt.Sprintf("r%d-%d", r, k)), types.Int(k)}})
+				m[k] = modelRow{V: fmt.Sprintf("r%d-%d", r, k), N: k}
+				live = append(live, k)
+			case rng.Intn(4) == 0: // delete
+				i := rng.Intn(len(live))
+				k := live[i]
+				if touched[k] {
+					continue
+				}
+				touched[k] = true
+				ops = append(ops, table.Op{Kind: table.OpDelete, Key: types.Row{types.Int(k)}})
+				delete(m, k)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			default: // in-place update
+				k := live[rng.Intn(len(live))]
+				if touched[k] {
+					continue
+				}
+				touched[k] = true
+				v := rng.Int63n(1 << 20)
+				ops = append(ops, table.Op{Kind: table.OpUpdate, Key: types.Row{types.Int(k)}, Col: 2, Val: types.Int(v)})
+				m[k] = modelRow{V: m[k].V, N: v}
+			}
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		apply(dbA, ops)
+		apply(dbB, ops)
+
+		if rng.Intn(4) == 0 {
+			if err := dbA.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Intn(3) == 0 { // checkpoint B more often: longer chains
+			if err := dbB.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Intn(10) == 0 { // kill both and recover cold
+			dbA.crash()
+			dbB.crash()
+			dbA = open(dirA, fullCkpt)
+			dbB = open(dirB, incCkpt)
+			compare()
+		}
+	}
+	compare()
+	if err := dbA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// One last cold recovery of each history.
+	dbA = open(dirA, fullCkpt)
+	dbB = open(dirB, incCkpt)
+	compare()
+	dbA.Close()
+	dbB.Close()
+}
+
+// TestCheckpointOptionsValidation: nonsense knob combinations are rejected at
+// Open, not when the first checkpoint trips over them.
+func TestCheckpointOptionsValidation(t *testing.T) {
+	bad := []CheckpointOptions{
+		{MaxGenerations: -1},
+		{Interval: -time.Second},
+		{MaxWALRecords: -3},
+		{ReplayCostUs: -1},
+		{BlockWriteCostUs: -1},
+		{SwapCostUs: -1},
+	}
+	for _, ckpt := range bad {
+		dir := t.TempDir()
+		if _, err := Open(dir, Options{Schema: dbSchema, Checkpoint: ckpt}); err == nil {
+			t.Fatalf("Open accepted nonsense checkpoint options %+v", ckpt)
+		}
+	}
+	// MaxGenerations: 1 is legal and pins every checkpoint to a full rewrite.
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Schema: dbSchema, BlockRows: 64, Checkpoint: CheckpointOptions{MaxGenerations: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	m := model{}
+	commitInserts(t, db, m, 0, 640)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitUpdates(t, db, m, 3)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats().Shard[0]
+	if st.Generations != 1 || st.LastDecision.Mode != "full" {
+		t.Fatalf("MaxGenerations=1 still chained: %d generations, mode %q", st.Generations, st.LastDecision.Mode)
+	}
+	checkState(t, db, m)
+}
+
+// TestStatsSnapshot sanity-checks the Stats surface the deprecated accessors
+// were replaced with.
+func TestStatsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	db := openTestDB(t, dir)
+	defer db.Close()
+	m := model{}
+	commitInserts(t, db, m, 0, 640)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitUpdates(t, db, m, 5, 100)
+	st := db.Stats()
+	if st.Shards != 1 || len(st.Shard) != 1 || st.Generation < 2 {
+		t.Fatalf("stats header = %+v", st)
+	}
+	sh := st.Shard[0]
+	if sh.LSN == 0 || sh.FreezeLSN == 0 || sh.WALRecords != sh.LSN-sh.FreezeLSN || sh.WALRecords == 0 {
+		t.Fatalf("clock stats = %+v", sh)
+	}
+	if sh.WALBytes <= 0 || sh.WALFiles < 1 {
+		t.Fatalf("WAL stats = %+v", sh)
+	}
+	if sh.Generations != len(sh.Segments) || sh.Generations == 0 {
+		t.Fatalf("segment stats = %+v", sh)
+	}
+	for _, seg := range sh.Segments {
+		if seg.Name == "" || seg.LiveBlocks <= 0 || seg.LiveBlocks > seg.TotalBlocks {
+			t.Fatalf("segment entry = %+v", seg)
+		}
+	}
+}
+
+// TestSchedulerAutoCheckpoint: with Auto on, the cost model absorbs a growing
+// tail without any manual Checkpoint call, and the post-crash reopen replays
+// only the sliver past the last auto-checkpoint.
+func TestSchedulerAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{
+		Schema: dbSchema, BlockRows: 64, Compressed: true,
+		Checkpoint: CheckpointOptions{Auto: true, Interval: time.Millisecond, MaxWALRecords: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model{}
+	commitInserts(t, db, m, 0, 640)
+	for i := 0; i < 12; i++ {
+		commitUpdates(t, db, m, int64(i*7), int64(i*7+320))
+	}
+	// The scheduler runs on its own clock; wait until it checkpointed at
+	// least once (13 commits against MaxWALRecords 8 force it). Whatever
+	// tail remains after the last absorb is legitimately below the cost
+	// threshold.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := db.Stats()
+		if st.Generation >= 2 && st.Shard[0].FreezeLSN > 0 && st.Shard[0].WALRecords < 13 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler never absorbed the tail: %+v", st.Shard[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	checkState(t, db, m)
+	db.crash()
+	db2 := openTestDB(t, dir)
+	defer db2.Close()
+	checkState(t, db2, m)
+}
+
+// TestSharedSegmentRefcount: a chain member shared between the retired and
+// live images must survive the retired store's close and die only when the
+// last referencing store lets go.
+func TestSharedSegmentRefcount(t *testing.T) {
+	dir := t.TempDir()
+	m := model{}
+	db := openTestDB(t, dir)
+	defer db.Close()
+	commitInserts(t, db, m, 0, 640)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	base := db.Table().Store().Segment() // gen-2 flat segment
+	long := db.Begin()                   // pins the gen-2 store
+
+	commitUpdates(t, db, m, 3)
+	if err := db.Checkpoint(); err != nil { // incremental: chains onto base
+		t.Fatal(err)
+	}
+	if got := db.Stats().Shard[0].Generations; got != 2 {
+		t.Fatalf("chain length = %d, want 2", got)
+	}
+	// Releasing the pinned reader closes the retired gen-2 *store*, but the
+	// segment is still the live chain's base member and must stay open.
+	if err := long.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if base.Closed() {
+		t.Fatal("shared chain member closed while the live image still references it")
+	}
+	checkState(t, db, m)
+
+	// A full rewrite drops the member from the chain; with no pinned readers
+	// left, the last reference goes and the descriptor closes.
+	commitMixed(t, db, m, 0, 20)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !base.Closed() {
+		t.Fatal("superseded chain member still open after the chain collapsed")
+	}
+	checkState(t, db, m)
+}

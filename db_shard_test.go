@@ -50,7 +50,7 @@ func sCommitInserts(t *testing.T, db *DB, m model, keys ...int64) {
 		ops = append(ops, table.Op{Kind: table.OpInsert,
 			Row: types.Row{types.Int(k), types.Str(fmt.Sprintf("v%d", k)), types.Int(k * 10)}})
 	}
-	tx := db.Sharded().Begin()
+	tx := db.Begin()
 	if _, err := tx.ApplyBatch(ops); err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func sCommitInserts(t *testing.T, db *DB, m model, keys ...int64) {
 // transaction (globally consecutive RIDs, shards concatenated in key order).
 func sReadAll(t *testing.T, db *DB) model {
 	t.Helper()
-	tx := db.Sharded().Begin()
+	tx := db.Begin()
 	defer tx.Abort()
 	got := model{}
 	var lastKey int64 = -1 << 62
@@ -129,7 +129,7 @@ func TestShardedBootstrapCommitReopen(t *testing.T) {
 	if db.Table() != nil || db.Manager() != nil {
 		t.Fatal("sharded DB must not expose a flat table/manager")
 	}
-	man := db.Manifest()
+	man := db.man
 	if len(man.Shards) != 4 || len(man.Splits) != 3 || man.Segment != "" {
 		t.Fatalf("sharded manifest = %+v", man)
 	}
@@ -213,7 +213,7 @@ func TestShardedAdoptUnsharded(t *testing.T) {
 	if db2.Shards() != 4 {
 		t.Fatalf("Shards() = %d after adopt", db2.Shards())
 	}
-	man := db2.Manifest()
+	man := db2.man
 	if len(man.Shards) != 4 || len(man.Splits) != 3 {
 		t.Fatalf("adopted manifest = %+v", man)
 	}
@@ -258,7 +258,7 @@ func TestShardedCrashBetweenAppends(t *testing.T) {
 	db.Sharded().SetCommitFault(&txn.CommitFault{
 		BetweenAppends: func(i int) error { return errBoom },
 	})
-	tx := db.Sharded().Begin()
+	tx := db.Begin()
 	if _, err := tx.ApplyBatch([]table.Op{
 		{Kind: table.OpInsert, Row: types.Row{types.Int(50), types.Str("torn"), types.Int(0)}},
 		{Kind: table.OpInsert, Row: types.Row{types.Int(950), types.Str("torn"), types.Int(0)}},
@@ -305,7 +305,7 @@ func TestShardedCrashBetweenInstalls(t *testing.T) {
 	db.Sharded().SetCommitFault(&txn.CommitFault{
 		BetweenInstalls: func(i int) error { return errBoom },
 	})
-	tx := db.Sharded().Begin()
+	tx := db.Begin()
 	if _, err := tx.ApplyBatch([]table.Op{
 		{Kind: table.OpInsert, Row: types.Row{types.Int(60), types.Str("v60"), types.Int(600)}},
 		{Kind: table.OpInsert, Row: types.Row{types.Int(960), types.Str("v960"), types.Int(9600)}},
@@ -389,7 +389,7 @@ func TestShardedCheckpointTruncatesPerStream(t *testing.T) {
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	man := db.Manifest()
+	man := db.man
 	if len(man.Shards) != 4 {
 		t.Fatalf("manifest = %+v", man)
 	}

@@ -148,7 +148,7 @@ func TestOpenCreateCommitReopen(t *testing.T) {
 	db := openTestDB(t, dir)
 	commitInserts(t, db, m, 0, 200)
 	commitMixed(t, db, m, 0, 100)
-	lsn := db.Manager().LSN()
+	lsn := db.Stats().Shard[0].LSN
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -156,12 +156,12 @@ func TestOpenCreateCommitReopen(t *testing.T) {
 	db2 := openTestDB(t, dir)
 	defer db2.Close()
 	checkState(t, db2, m)
-	if got := db2.Manager().LSN(); got != lsn {
+	if got := db2.Stats().Shard[0].LSN; got != lsn {
 		t.Fatalf("clock after reopen = %d, want %d", got, lsn)
 	}
 	// Commits continue the LSN sequence.
 	commitInserts(t, db2, m, 1000, 1010)
-	if got := db2.Manager().LSN(); got != lsn+1 {
+	if got := db2.Stats().Shard[0].LSN; got != lsn+1 {
 		t.Fatalf("clock after post-reopen commit = %d, want %d", got, lsn+1)
 	}
 	checkState(t, db2, m)
@@ -229,8 +229,8 @@ func TestCrashRecovery(t *testing.T) {
 		db.crash()
 		db2 := openTestDB(t, dir)
 		checkState(t, db2, m)
-		if db2.Manifest().Generation != 2 {
-			t.Fatalf("generation = %d, want 2", db2.Manifest().Generation)
+		if db2.Stats().Generation != 2 {
+			t.Fatalf("generation = %d, want 2", db2.Stats().Generation)
 		}
 		db2.Close()
 	})
@@ -356,7 +356,7 @@ func TestCheckpointRetryAfterFailedSwap(t *testing.T) {
 		t.Fatalf("retry checkpoint: %v", err)
 	}
 	checkState(t, db, m)
-	if gen := db.Manifest().Generation; gen < 3 {
+	if gen := db.Stats().Generation; gen < 3 {
 		t.Fatalf("manifest generation = %d, want a fresh (skipped) generation >= 3", gen)
 	}
 	// Cold recovery agrees with the live state.
@@ -398,9 +398,9 @@ func TestCheckpointTruncationOrdering(t *testing.T) {
 	db2 := openTestDB(t, dir)
 	defer db2.Close()
 	checkState(t, db2, m)
-	man := db2.Manifest()
-	if man.Generation != 2 || man.LSN == 0 {
-		t.Fatalf("manifest = %+v, want generation 2 with a freeze LSN", man)
+	st := db2.Stats()
+	if st.Generation != 2 || st.Shard[0].FreezeLSN == 0 {
+		t.Fatalf("stats = %+v, want generation 2 with a freeze LSN", st)
 	}
 }
 
@@ -411,14 +411,14 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 	db := openTestDB(t, dir)
 	defer db.Close()
 	commitInserts(t, db, m, 0, 400)
-	before := db.Log().SizeBytes()
+	before := db.Stats().Shard[0].WALBytes
 	if before == 0 {
 		t.Fatal("WAL empty after commits")
 	}
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	after := db.Log().SizeBytes()
+	after := db.Stats().Shard[0].WALBytes
 	if after >= before {
 		t.Fatalf("WAL size %d after checkpoint, was %d before", after, before)
 	}
@@ -464,9 +464,9 @@ func TestGroupCommitFsyncFailureRecovery(t *testing.T) {
 	db := openTestDB(t, dir)
 	commitInserts(t, db, m, 0, 60)
 	commitMixed(t, db, m, 0, 30)
-	lsn := db.Manager().LSN()
+	lsn := db.Stats().Shard[0].LSN
 
-	db.Log().FailNextSync(errors.New("injected: barrier failure under the batch"))
+	db.logs[0].FailNextSync(errors.New("injected: barrier failure under the batch"))
 	const writers = 6
 	errs := make(chan error, writers)
 	for w := 0; w < writers; w++ {
@@ -485,7 +485,7 @@ func TestGroupCommitFsyncFailureRecovery(t *testing.T) {
 			t.Fatal("a commit in or behind the failed batch succeeded")
 		}
 	}
-	if got := db.Manager().LSN(); got != lsn {
+	if got := db.Stats().Shard[0].LSN; got != lsn {
 		t.Fatalf("failed batch moved the clock: %d -> %d", lsn, got)
 	}
 	// The live view still serves exactly the pre-failure state.
@@ -497,13 +497,13 @@ func TestGroupCommitFsyncFailureRecovery(t *testing.T) {
 	db2 := openTestDB(t, dir)
 	defer db2.Close()
 	checkState(t, db2, m)
-	if got := db2.Manager().LSN(); got != lsn {
+	if got := db2.Stats().Shard[0].LSN; got != lsn {
 		t.Fatalf("clock after reopen = %d, want %d", got, lsn)
 	}
 	// The reopened store commits normally and continues the LSN sequence.
 	commitInserts(t, db2, m, 9100, 9110)
 	checkState(t, db2, m)
-	if got := db2.Manager().LSN(); got != lsn+1 {
+	if got := db2.Stats().Shard[0].LSN; got != lsn+1 {
 		t.Fatalf("post-recovery commit got LSN %d, want %d", got, lsn+1)
 	}
 }

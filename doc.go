@@ -43,6 +43,30 @@
 // exactly the committed state. A superseded segment's descriptor is closed
 // as soon as its last pinned reader finishes, not at DB.Close.
 //
+// Checkpoints are incremental and cost-based: the frozen PDT's positional
+// updates compute an exact dirty-block set, and a checkpoint writes only
+// those blocks into a small delta segment chained onto the previous
+// generation, whose footer block map resolves every logical block to the
+// chain member holding its current bytes (refcounted; fully superseded
+// members are unlinked after the manifest swap). An empty delta shares the
+// previous image outright, and a delta worth more than half the table — or
+// a chain at CheckpointOptions.MaxGenerations — collapses to a full
+// rewrite. The same cost model drives an optional background scheduler
+// (CheckpointOptions.Auto) that checkpoints a shard when its estimated WAL
+// replay cost outgrows the estimated checkpoint cost, bounding cold-open
+// time; knobs are validated at Open. DB.Stats exposes the per-shard WAL
+// tail, generation chain, per-segment live-block counts and the last
+// scheduler decision.
+//
+// The public write surface is the Tx interface: DB.Begin returns one
+// regardless of sharding, and DB.Stats is the window into durability
+// state. The old accessors — DB.Manager, DB.Log, DB.ShardLog and
+// DB.Manifest — remain as deprecated wrappers for one release: they leak
+// internal types (txn.Manager, wal.FileLog, storage.Manifest) and bypass
+// the locking Stats does for you; migrate to DB.Begin, DB.Stats and
+// DB.Checkpoint. TestPublicAPISnapshot pins the exported surface against
+// testdata/api.golden so drift is caught in review.
+//
 // Commits group-commit: concurrent Txn.Commit calls validate and fold under
 // a narrow critical section, park on a commit sequencer, and a leader makes
 // the whole batch durable with one WAL append and one fsync
@@ -82,7 +106,7 @@
 // bench_test.go regenerate every figure of the paper's §4, plus the engine's
 // scan-pipeline profile (cmd/pdtbench -fig scan), the write-path profile
 // (cmd/pdtbench -fig update), the online-maintenance figure
-// (cmd/pdtbench -fig online), the durability figure
-// (cmd/pdtbench -fig recovery) and the group-commit figure
-// (cmd/pdtbench -fig commit).
+// (cmd/pdtbench -fig online), the durability figure — now including the
+// incremental-vs-full checkpoint profile — (cmd/pdtbench -fig recovery)
+// and the group-commit figure (cmd/pdtbench -fig commit).
 package pdtstore

@@ -7,6 +7,17 @@ package bench
 // manifest swap + truncation). The paper's argument for checkpointing the
 // Read-PDT is exactly this trade: replay time grows with the tail, and the
 // checkpoint resets it.
+//
+// Each tail length is measured three ways: a full-rewrite checkpoint (the
+// pre-incremental behavior, comparable to the recorded baseline), an
+// incremental checkpoint of the same tail (only the PDT's dirty blocks are
+// written), and a run where the background cost-model scheduler checkpointed
+// continuously while the tail was being written — the cold open after that
+// run is what continuous checkpointing buys.
+//
+// RecoveryIncrementalProfile isolates the O(delta) claim: at a fixed large
+// image, how does checkpoint cost scale with the fraction of the table a
+// single update batch dirtied?
 
 import (
 	"fmt"
@@ -31,8 +42,13 @@ type RecoveryPoint struct {
 	WALBytes     int64   `json:"wal_bytes"`
 	WALFiles     int     `json:"wal_files"`
 	OpenMs       float64 `json:"open_ms"`       // cold Open: manifest + segment + replay
-	CheckpointMs float64 `json:"checkpoint_ms"` // durable checkpoint absorbing the tail
+	CheckpointMs float64 `json:"checkpoint_ms"` // full-rewrite checkpoint absorbing the tail
 	CommitUs     float64 `json:"commit_us"`     // mean fsynced commit latency while growing the tail
+	// IncCheckpointMs absorbs the same tail with an incremental checkpoint
+	// (dirty blocks only); AutoOpenMs is the cold open after the same write
+	// history ran with the background scheduler checkpointing continuously.
+	IncCheckpointMs float64 `json:"inc_checkpoint_ms"`
+	AutoOpenMs      float64 `json:"auto_open_ms"`
 }
 
 var recoverySchema = types.MustSchema([]types.Column{
@@ -64,16 +80,24 @@ func RecoveryProfile(cfg RecoveryConfig) ([]RecoveryPoint, error) {
 	return out, nil
 }
 
-func recoveryPoint(cfg RecoveryConfig, tail int) (RecoveryPoint, error) {
-	dir, err := os.MkdirTemp("", "pdtbench-recovery-")
-	if err != nil {
-		return RecoveryPoint{}, err
+func recoveryOptions(ckpt pdtstore.CheckpointOptions) pdtstore.Options {
+	return pdtstore.Options{
+		Schema: recoverySchema, Compressed: true, WriteBudget: 1 << 30,
+		Checkpoint: ckpt,
 	}
-	defer os.RemoveAll(dir)
+}
 
-	db, err := pdtstore.Open(dir, pdtstore.Options{Schema: recoverySchema, Compressed: true, WriteBudget: 1 << 30})
+// buildHistory opens a fresh store in dir, checkpoints a Rows-row base image,
+// then applies `tail` fsynced update commits of OpsPerCommit modifies each.
+// It returns the still-open DB and the mean commit latency.
+func buildHistory(dir string, opts pdtstore.Options, cfg RecoveryConfig, tail int) (*pdtstore.DB, float64, error) {
+	db, err := pdtstore.Open(dir, opts)
 	if err != nil {
-		return RecoveryPoint{}, err
+		return nil, 0, err
+	}
+	fail := func(err error) (*pdtstore.DB, float64, error) {
+		db.Close()
+		return nil, 0, err
 	}
 	// Base image: one bulk insert commit, checkpointed into generation 2 so
 	// the WAL starts empty.
@@ -84,16 +108,15 @@ func recoveryPoint(cfg RecoveryConfig, tail int) (RecoveryPoint, error) {
 	}
 	tx := db.Begin()
 	if _, err := tx.ApplyBatch(ops); err != nil {
-		return RecoveryPoint{}, err
+		return fail(err)
 	}
 	if err := tx.Commit(); err != nil {
-		return RecoveryPoint{}, err
+		return fail(err)
 	}
 	if err := db.Checkpoint(); err != nil {
-		return RecoveryPoint{}, err
+		return fail(err)
 	}
 
-	// Grow the WAL tail: `tail` fsynced commits of OpsPerCommit modifies each.
 	commitStart := time.Now()
 	for c := 0; c < tail; c++ {
 		batch := make([]table.Op, cfg.OpsPerCommit)
@@ -103,20 +126,40 @@ func recoveryPoint(cfg RecoveryConfig, tail int) (RecoveryPoint, error) {
 		}
 		tx := db.Begin()
 		if _, err := tx.ApplyBatch(batch); err != nil {
-			return RecoveryPoint{}, err
+			return fail(err)
 		}
 		if err := tx.Commit(); err != nil {
-			return RecoveryPoint{}, err
+			return fail(err)
 		}
 	}
 	var commitUs float64
 	if tail > 0 {
 		commitUs = float64(time.Since(commitStart).Microseconds()) / float64(tail)
 	}
+	return db, commitUs, nil
+}
+
+func recoveryPoint(cfg RecoveryConfig, tail int) (RecoveryPoint, error) {
+	fullOpts := recoveryOptions(pdtstore.CheckpointOptions{FullOnly: true})
+	incOpts := recoveryOptions(pdtstore.CheckpointOptions{})
+	autoOpts := recoveryOptions(pdtstore.CheckpointOptions{Auto: true, Interval: 2 * time.Millisecond})
+
+	// Full-rewrite pass: cold open, replay and O(table) checkpoint — the
+	// pre-incremental behavior the recorded baseline measured.
+	dir, err := os.MkdirTemp("", "pdtbench-recovery-")
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	db, commitUs, err := buildHistory(dir, fullOpts, cfg, tail)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	st := db.Stats()
 	pt := RecoveryPoint{
 		TailCommits: tail,
-		WALBytes:    db.Log().SizeBytes(),
-		WALFiles:    db.Log().Files(),
+		WALBytes:    st.Shard[0].WALBytes,
+		WALFiles:    st.Shard[0].WALFiles,
 		CommitUs:    commitUs,
 	}
 	if err := db.Close(); err != nil {
@@ -125,22 +168,179 @@ func recoveryPoint(cfg RecoveryConfig, tail int) (RecoveryPoint, error) {
 
 	// Cold open: manifest + segment footer + full tail replay.
 	openStart := time.Now()
-	db2, err := pdtstore.Open(dir, pdtstore.Options{Compressed: true, WriteBudget: 1 << 30})
+	db2, err := pdtstore.Open(dir, fullOpts)
 	if err != nil {
 		return RecoveryPoint{}, err
 	}
 	pt.OpenMs = float64(time.Since(openStart).Nanoseconds()) / 1e6
-	if got := db2.Manager().LSN(); got != uint64(tail)+1 {
+	if got := db2.Stats().Shard[0].LSN; got != uint64(tail)+1 {
 		db2.Close()
 		return RecoveryPoint{}, fmt.Errorf("clock after reopen = %d, want %d", got, tail+1)
 	}
-
-	// The checkpoint that absorbs the tail: stream + fsync + swap + truncate.
 	ckptStart := time.Now()
 	if err := db2.Checkpoint(); err != nil {
 		db2.Close()
 		return RecoveryPoint{}, err
 	}
 	pt.CheckpointMs = float64(time.Since(ckptStart).Nanoseconds()) / 1e6
-	return pt, db2.Close()
+	if err := db2.Close(); err != nil {
+		return RecoveryPoint{}, err
+	}
+
+	// Incremental pass: the same tail absorbed by a dirty-blocks-only
+	// checkpoint.
+	incDir, err := os.MkdirTemp("", "pdtbench-recovery-inc-")
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	defer os.RemoveAll(incDir)
+	db3, _, err := buildHistory(incDir, incOpts, cfg, tail)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	ckptStart = time.Now()
+	if err := db3.Checkpoint(); err != nil {
+		db3.Close()
+		return RecoveryPoint{}, err
+	}
+	pt.IncCheckpointMs = float64(time.Since(ckptStart).Nanoseconds()) / 1e6
+	if err := db3.Close(); err != nil {
+		return RecoveryPoint{}, err
+	}
+
+	// Continuous pass: the scheduler checkpoints while the history is being
+	// written, so the cold open afterwards replays only the last sliver.
+	autoDir, err := os.MkdirTemp("", "pdtbench-recovery-auto-")
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	defer os.RemoveAll(autoDir)
+	db4, _, err := buildHistory(autoDir, autoOpts, cfg, tail)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	if err := db4.Close(); err != nil {
+		return RecoveryPoint{}, err
+	}
+	openStart = time.Now()
+	db5, err := pdtstore.Open(autoDir, recoveryOptions(pdtstore.CheckpointOptions{}))
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	pt.AutoOpenMs = float64(time.Since(openStart).Nanoseconds()) / 1e6
+	return pt, db5.Close()
+}
+
+// RecoveryIncConfig sizes the delta-scaling profile.
+type RecoveryIncConfig struct {
+	Rows      int       `json:"rows"`       // base image rows (default 200k)
+	BlockRows int       `json:"block_rows"` // stable block size (default 512)
+	Fracs     []float64 `json:"fracs"`      // fraction of rows one commit updates
+}
+
+// RecoveryIncPoint compares a full-rewrite checkpoint against an incremental
+// one absorbing an identical update batch that dirtied DirtyFrac of the rows.
+type RecoveryIncPoint struct {
+	DirtyFrac   float64 `json:"dirty_frac"`
+	UpdatedRows int     `json:"updated_rows"`
+	DirtyBlocks int     `json:"dirty_blocks"` // (column, block) cells the incremental checkpoint wrote
+	TotalBlocks int     `json:"total_blocks"` // cells a full rewrite writes
+	Mode        string  `json:"mode"`         // what the cost rules picked
+	FullMs      float64 `json:"full_ms"`
+	IncMs       float64 `json:"inc_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// RecoveryIncrementalProfile measures checkpoint cost as a function of the
+// dirtied fraction: the same base image and the same single update commit,
+// checkpointed once with FullOnly and once with incremental checkpoints on.
+func RecoveryIncrementalProfile(cfg RecoveryIncConfig) ([]RecoveryIncPoint, error) {
+	if cfg.Rows == 0 {
+		cfg.Rows = 200_000
+	}
+	if cfg.BlockRows == 0 {
+		cfg.BlockRows = 512
+	}
+	if len(cfg.Fracs) == 0 {
+		cfg.Fracs = []float64{0.001, 0.01, 0.1}
+	}
+	var out []RecoveryIncPoint
+	for _, frac := range cfg.Fracs {
+		p, err := recoveryIncPoint(cfg, frac)
+		if err != nil {
+			return nil, fmt.Errorf("bench: recovery_incremental frac=%g: %w", frac, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// dirtyCheckpointMs builds the base image, applies one commit updating
+// `updates` pseudo-random keys in place, and times the checkpoint that
+// absorbs it; the returned decision carries the cost-model measurements.
+func dirtyCheckpointMs(cfg RecoveryIncConfig, updates int, ckpt pdtstore.CheckpointOptions) (float64, pdtstore.CheckpointDecision, error) {
+	var dec pdtstore.CheckpointDecision
+	dir, err := os.MkdirTemp("", "pdtbench-recovery-frac-")
+	if err != nil {
+		return 0, dec, err
+	}
+	defer os.RemoveAll(dir)
+	opts := recoveryOptions(ckpt)
+	opts.BlockRows = cfg.BlockRows
+	db, _, err := buildHistory(dir, opts, RecoveryConfig{Rows: cfg.Rows}, 0)
+	if err != nil {
+		return 0, dec, err
+	}
+	// Uniform in-place updates on column 1: a multiplicative-hash walk visits
+	// `updates` distinct keys spread over the whole key range.
+	batch := make([]table.Op, updates)
+	for i := range batch {
+		k := int64(uint64(i) * 2654435761 % uint64(cfg.Rows))
+		batch[i] = table.Op{Kind: table.OpUpdate, Key: types.Row{types.Int(k)}, Col: 1, Val: types.Int(int64(i))}
+	}
+	tx := db.Begin()
+	if _, err := tx.ApplyBatch(batch); err != nil {
+		db.Close()
+		return 0, dec, err
+	}
+	if err := tx.Commit(); err != nil {
+		db.Close()
+		return 0, dec, err
+	}
+	start := time.Now()
+	if err := db.Checkpoint(); err != nil {
+		db.Close()
+		return 0, dec, err
+	}
+	ms := float64(time.Since(start).Nanoseconds()) / 1e6
+	dec = db.Stats().Shard[0].LastDecision
+	return ms, dec, db.Close()
+}
+
+func recoveryIncPoint(cfg RecoveryIncConfig, frac float64) (RecoveryIncPoint, error) {
+	updates := int(float64(cfg.Rows) * frac)
+	if updates < 1 {
+		updates = 1
+	}
+	fullMs, _, err := dirtyCheckpointMs(cfg, updates, pdtstore.CheckpointOptions{FullOnly: true})
+	if err != nil {
+		return RecoveryIncPoint{}, err
+	}
+	incMs, dec, err := dirtyCheckpointMs(cfg, updates, pdtstore.CheckpointOptions{})
+	if err != nil {
+		return RecoveryIncPoint{}, err
+	}
+	pt := RecoveryIncPoint{
+		DirtyFrac:   frac,
+		UpdatedRows: updates,
+		DirtyBlocks: dec.DirtyBlocks,
+		TotalBlocks: dec.TotalBlocks,
+		Mode:        dec.Mode,
+		FullMs:      fullMs,
+		IncMs:       incMs,
+	}
+	if incMs > 0 {
+		pt.Speedup = fullMs / incMs
+	}
+	return pt, nil
 }

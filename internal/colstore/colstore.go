@@ -52,13 +52,16 @@ type Device struct {
 	reads     uint64
 	cached    map[devKey][]byte
 	nextStore uint64
-	latencyNS atomic.Int64 // modeled cold-read latency (0 = none)
+	segIDs    map[*storage.Segment]uint64 // pool identity per segment file
+	latencyNS atomic.Int64                // modeled cold-read latency (0 = none)
 }
 
 type blockKey struct{ col, blk int }
 
-// devKey identifies a block globally: stores sharing a device get distinct
-// ids so their blocks never alias in the pool.
+// devKey identifies a block globally: RAM-resident stores key on their store
+// id, file-backed stores on the owning segment file's id — so a block
+// inherited across checkpoint generations keeps one pool entry and stays warm
+// after the generation swap.
 type devKey struct {
 	store    uint64
 	col, blk int
@@ -66,7 +69,10 @@ type devKey struct {
 
 // NewDevice returns a device with an empty buffer pool.
 func NewDevice() *Device {
-	return &Device{cached: make(map[devKey][]byte)}
+	return &Device{
+		cached: make(map[devKey][]byte),
+		segIDs: make(map[*storage.Segment]uint64),
+	}
 }
 
 func (d *Device) register() uint64 {
@@ -74,6 +80,56 @@ func (d *Device) register() uint64 {
 	defer d.mu.Unlock()
 	d.nextStore++
 	return d.nextStore
+}
+
+// segmentID returns the pool identity of a segment file, assigning one on
+// first sight. Stores sharing a segment (checkpoint generations chained by
+// incremental checkpoints) share its id, so inherited blocks never go cold.
+func (d *Device) segmentID(seg *storage.Segment) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.segIDs == nil {
+		d.segIDs = make(map[*storage.Segment]uint64)
+	}
+	if id, ok := d.segIDs[seg]; ok {
+		return id
+	}
+	d.nextStore++
+	d.segIDs[seg] = d.nextStore
+	return d.nextStore
+}
+
+// evictSegment drops every pool entry of one segment file, keeping its pool
+// identity (the next read is cold but lands under the same key).
+func (d *Device) evictSegment(seg *storage.Segment) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, ok := d.segIDs[seg]
+	if !ok {
+		return
+	}
+	d.evictLocked(id)
+}
+
+// dropSegment forgets a segment entirely: pool entries and identity. Called
+// when the last store referencing the segment releases it.
+func (d *Device) dropSegment(seg *storage.Segment) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, ok := d.segIDs[seg]
+	if !ok {
+		return
+	}
+	delete(d.segIDs, seg)
+	d.evictLocked(id)
+}
+
+func (d *Device) evictLocked(id uint64) {
+	for k := range d.cached {
+		if k.store == id {
+			delete(d.cached, k)
+		}
+	}
 }
 
 // SetReadLatency models a per-block cold-read access time: every charged
@@ -150,11 +206,7 @@ func (d *Device) DropCaches() {
 func (d *Device) evictStore(id uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for k := range d.cached {
-		if k.store == id {
-			delete(d.cached, k)
-		}
-	}
+	d.evictLocked(id)
 }
 
 // PoolBlocks returns the number of blocks currently resident in the buffer
@@ -185,16 +237,26 @@ func (d *Device) Stats() (bytesRead, reads uint64) {
 // held in memory) or file-backed (blocks pread from a segment file through
 // the device's buffer pool); readers cannot tell the difference except
 // through the device's byte accounting.
+//
+// A file-backed store reads through a segment chain: a full checkpoint
+// produces a single self-contained segment, an incremental checkpoint
+// produces a new segment holding only the blocks that changed plus a
+// logical→physical block map resolving every unchanged block into an earlier
+// chain member. Readers are oblivious — encodedBlock resolves the map — and
+// chain members are refcounted, shared between consecutive generations.
 type Store struct {
 	schema     *types.Schema
-	id         uint64 // identity within the device's buffer pool
+	id         uint64 // pool identity of a RAM-resident store
 	blockRows  int
 	compressed bool
 	nrows      uint64
-	blocks     [][][]byte       // blocks[col][blk] = encoded bytes (RAM-resident)
-	seg        *storage.Segment // on-disk block source (file-backed)
+	blocks     [][][]byte             // blocks[col][blk] = encoded bytes (RAM-resident)
+	segs       []*storage.Segment     // on-disk segment chain, oldest first (file-backed)
+	segIDs     []uint64               // pool identity of each chain member
+	places     [][]storage.BlockPlace // block map; nil = identity on the single chain member
 	sparse     []types.Row
 	dev        *Device
+	closed     atomic.Bool
 
 	cacheMu sync.Mutex
 	decoded map[blockKey]*vector.Vector // small point-read decode cache
@@ -332,21 +394,26 @@ func (b *Builder) AddBatch(batch *vector.Batch) error {
 	return nil
 }
 
+// encodeVec encodes one column vector as a block in the store's on-disk
+// format (shared by the full builder and the incremental DeltaBuilder).
+func encodeVec(v *vector.Vector, compressed bool) []byte {
+	switch v.Kind {
+	case types.Float64:
+		return compress.EncodeFloat64s(v.F)
+	case types.String:
+		return compress.EncodeStrings(v.S, compressed)
+	case types.Bool:
+		return compress.EncodeBools(v.I)
+	default:
+		return compress.EncodeInt64s(v.I, compressed)
+	}
+}
+
 func (b *Builder) flush() {
 	s := b.store
 	n := b.pending.Len()
 	for c, v := range b.pending.Vecs {
-		var enc []byte
-		switch v.Kind {
-		case types.Float64:
-			enc = compress.EncodeFloat64s(v.F)
-		case types.String:
-			enc = compress.EncodeStrings(v.S, s.compressed)
-		case types.Bool:
-			enc = compress.EncodeBools(v.I)
-		default:
-			enc = compress.EncodeInt64s(v.I, s.compressed)
-		}
+		enc := encodeVec(v, s.compressed)
 		if b.segw != nil {
 			if err := b.segw.AppendBlock(c, enc); err != nil {
 				b.err = err
@@ -381,7 +448,8 @@ func (b *Builder) Finish() (*Store, error) {
 			b.segw = nil
 			return nil, err
 		}
-		b.store.seg = seg
+		b.store.segs = []*storage.Segment{seg}
+		b.store.segIDs = []uint64{b.store.dev.segmentID(seg)}
 		b.segw = nil
 	}
 	return b.store, nil
@@ -400,38 +468,160 @@ func BulkLoad(schema *types.Schema, dev *Device, blockRows int, compressed bool,
 
 // FromSegment wraps an opened segment file in a file-backed store: blocks are
 // pread on demand through the device's buffer pool, with cold bytes charged
-// to its counters. The store owns the segment and closes it via Close.
+// to its counters. The store owns the segment and releases it via Close.
 func FromSegment(seg *storage.Segment, dev *Device) *Store {
+	s, err := FromSegmentChain([]*storage.Segment{seg}, dev)
+	if err != nil {
+		// A single-segment chain only fails when the segment's own block map
+		// is self-inconsistent, which OpenSegment's CRC already rules out for
+		// files we wrote; treat it like the pre-incremental constructor did.
+		panic(err)
+	}
+	return s
+}
+
+// FromSegmentChain wraps an opened segment chain (oldest first) in a
+// file-backed store. The newest segment's block map resolves every logical
+// block to its owning chain member; a missing map is only legal for a
+// single-segment (self-contained) chain. The store owns one reference to
+// each member and releases them via Close.
+func FromSegmentChain(segs []*storage.Segment, dev *Device) (*Store, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("colstore: empty segment chain")
+	}
 	if dev == nil {
 		dev = NewDevice()
 	}
+	newest := segs[len(segs)-1]
+	places := newest.Placements()
+	if places == nil && len(segs) > 1 {
+		return nil, fmt.Errorf("colstore: %d-segment chain but newest segment has no block map", len(segs))
+	}
+	for c, col := range places {
+		for b, p := range col {
+			if int(p.Seg) >= len(segs) {
+				return nil, fmt.Errorf("colstore: block map (col %d, blk %d) points at chain member %d of %d", c, b, p.Seg, len(segs))
+			}
+			if int(p.Blk) >= segs[p.Seg].ColBlocks(c) {
+				return nil, fmt.Errorf("colstore: block map (col %d, blk %d) points past member %d's column", c, b, p.Seg)
+			}
+		}
+	}
+	ids := make([]uint64, len(segs))
+	for i, seg := range segs {
+		ids[i] = dev.segmentID(seg)
+	}
 	return &Store{
-		schema:     seg.Schema(),
+		schema:     newest.Schema(),
 		id:         dev.register(),
-		blockRows:  seg.BlockRows(),
-		compressed: seg.Compressed(),
-		nrows:      seg.NRows(),
-		seg:        seg,
-		sparse:     seg.Sparse(),
+		blockRows:  newest.BlockRows(),
+		compressed: newest.Compressed(),
+		nrows:      newest.NRows(),
+		segs:       append([]*storage.Segment(nil), segs...),
+		segIDs:     ids,
+		places:     places,
+		sparse:     newest.Sparse(),
 		dev:        dev,
+		decoded:    make(map[blockKey]*vector.Vector),
+	}, nil
+}
+
+// Segment returns the newest on-disk segment backing this store (the one
+// carrying the generation's footer and block map), or nil for a RAM-resident
+// store.
+func (s *Store) Segment() *storage.Segment {
+	if len(s.segs) == 0 {
+		return nil
+	}
+	return s.segs[len(s.segs)-1]
+}
+
+// Segments returns the on-disk segment chain backing this store, oldest
+// first, or nil for a RAM-resident store. The returned slice is the store's
+// own — callers must not mutate it.
+func (s *Store) Segments() []*storage.Segment { return s.segs }
+
+// CloneShared returns a new store over the same segment chain, retaining one
+// extra reference on every chain member. An empty-delta checkpoint installs
+// a clone instead of writing any file: the old and new generation share every
+// block, and each store releases its references independently on Close.
+func (s *Store) CloneShared() *Store {
+	for _, seg := range s.segs {
+		seg.Retain()
+	}
+	return &Store{
+		schema:     s.schema,
+		id:         s.dev.register(),
+		blockRows:  s.blockRows,
+		compressed: s.compressed,
+		nrows:      s.nrows,
+		blocks:     s.blocks,
+		segs:       s.segs,
+		segIDs:     s.segIDs,
+		places:     s.places,
+		sparse:     s.sparse,
+		dev:        s.dev,
 		decoded:    make(map[blockKey]*vector.Vector),
 	}
 }
 
-// Segment returns the on-disk segment backing this store, or nil for a
-// RAM-resident store.
-func (s *Store) Segment() *storage.Segment { return s.seg }
+// place resolves a logical (column, block) coordinate to (chain member,
+// physical block).
+func (s *Store) place(col, blk int) (si, pb int) {
+	if s.places == nil {
+		return 0, blk
+	}
+	p := s.places[col][blk]
+	return int(p.Seg), int(p.Blk)
+}
 
-// Close releases the on-disk segment of a file-backed store (idempotent; a
-// RAM-resident store has no descriptor to free). The store must not be read
-// afterwards; buffer-pool residents are evicted so a stale hit cannot
-// outlive the file.
+// Close releases the store's reference on every chain member of a
+// file-backed store (idempotent; a RAM-resident store has no descriptor to
+// free). The member that hits refcount zero is closed and its buffer-pool
+// entries evicted — members still shared with a newer generation stay open
+// and warm. The store must not be read afterwards.
 func (s *Store) Close() error {
-	s.Evict()
-	if s.seg == nil {
+	if s.closed.Swap(true) {
 		return nil
 	}
-	return s.seg.Close()
+	if s.segs == nil {
+		s.Evict()
+		return nil
+	}
+	s.cacheMu.Lock()
+	s.decoded = make(map[blockKey]*vector.Vector)
+	s.cacheMu.Unlock()
+	var err error
+	for _, seg := range s.segs {
+		if seg.Release() {
+			s.dev.dropSegment(seg)
+			if e := seg.Close(); e != nil && err == nil {
+				err = e
+			}
+		}
+	}
+	return err
+}
+
+// BlockRefCounts returns, per chain member (oldest first), how many logical
+// (column, block) cells of this generation's image resolve into that file —
+// the member's live-block count. A member's dead blocks are its
+// TotalBlocks() minus this. Nil for RAM-resident stores.
+func (s *Store) BlockRefCounts() []int {
+	if s.segs == nil {
+		return nil
+	}
+	counts := make([]int, len(s.segs))
+	if s.places == nil {
+		counts[0] = s.schema.NumCols() * s.NumBlocks()
+		return counts
+	}
+	for _, col := range s.places {
+		for _, p := range col {
+			counts[p.Seg]++
+		}
+	}
+	return counts
 }
 
 // Schema returns the store's schema.
@@ -456,16 +646,28 @@ func (s *Store) Device() *Device { return s.dev }
 // retires an image and its last reader finishes. The small point-read decode
 // cache is dropped too.
 func (s *Store) Evict() {
-	s.dev.evictStore(s.id)
+	if s.segs == nil {
+		s.dev.evictStore(s.id)
+	} else {
+		for _, seg := range s.segs {
+			s.dev.evictSegment(seg)
+		}
+	}
 	s.cacheMu.Lock()
 	s.decoded = make(map[blockKey]*vector.Vector)
 	s.cacheMu.Unlock()
 }
 
-// NumBlocks returns the per-column block count.
+// NumBlocks returns the per-column logical block count.
 func (s *Store) NumBlocks() int {
-	if s.seg != nil {
-		return s.seg.NumBlocks()
+	if s.places != nil {
+		if len(s.places) == 0 {
+			return 0
+		}
+		return len(s.places[0])
+	}
+	if s.segs != nil {
+		return s.segs[len(s.segs)-1].NumBlocks()
 	}
 	if len(s.blocks) == 0 {
 		return 0
@@ -483,8 +685,9 @@ func (s *Store) EncodedSize(col int) uint64 {
 			continue
 		}
 		for blk := 0; blk < nb; blk++ {
-			if s.seg != nil {
-				total += uint64(s.seg.BlockLen(c, blk))
+			if s.segs != nil {
+				si, pb := s.place(c, blk)
+				total += uint64(s.segs[si].BlockLen(c, pb))
 			} else {
 				total += uint64(len(s.blocks[c][blk]))
 			}
@@ -495,19 +698,22 @@ func (s *Store) EncodedSize(col int) uint64 {
 
 // encodedBlock returns one column block's encoded bytes, charging the device
 // for a cold fetch: a RAM-resident block is charged on first touch; a
-// file-backed block is pread from the segment unless the buffer pool already
-// holds it.
+// file-backed block resolves the logical coordinate through the block map,
+// then preads from the owning chain member unless the buffer pool already
+// holds it. Pool keys are per segment file, so blocks inherited across
+// checkpoint generations stay warm through the swap.
 func (s *Store) encodedBlock(col, blk int) ([]byte, error) {
-	if s.seg == nil {
+	if s.segs == nil {
 		enc := s.blocks[col][blk]
 		s.dev.fetch(s.id, col, blk, len(enc))
 		return enc, nil
 	}
-	k := devKey{s.id, col, blk}
+	si, pb := s.place(col, blk)
+	k := devKey{s.segIDs[si], col, pb}
 	if b, ok := s.dev.poolGet(k); ok {
 		return b, nil
 	}
-	b, err := s.seg.ReadBlock(col, blk)
+	b, err := s.segs[si].ReadBlock(col, pb)
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,13 @@ type Manifest struct {
 	// image this generation checkpointed (unsharded stores only; a sharded
 	// store leaves it empty and lists one entry per shard in Shards).
 	Segment string `json:"segment,omitempty"`
+	// Segments, when non-empty, is the generation's full segment chain,
+	// oldest first: an incremental checkpoint writes only dirty blocks into a
+	// new segment (always the last chain member, equal to Segment) and its
+	// block map resolves inherited blocks into the earlier members. A
+	// single-element chain — or an absent one, the pre-incremental format —
+	// is a self-contained image.
+	Segments []string `json:"segments,omitempty"`
 	// LSN is the commit clock at the checkpoint's freeze point: every commit
 	// with LSN <= this is contained in Segment, every later commit is only in
 	// the WAL.
@@ -46,9 +53,33 @@ type Manifest struct {
 type ShardEntry struct {
 	// Segment is the file name of the shard's stable image.
 	Segment string `json:"segment"`
+	// Segments is the shard's segment chain, oldest first (see
+	// Manifest.Segments). Empty means the single self-contained Segment.
+	Segments []string `json:"segments,omitempty"`
 	// LSN is the shard's checkpoint freeze bar: every commit touching this
 	// shard with LSN <= this is contained in Segment.
 	LSN uint64 `json:"lsn"`
+}
+
+// Chain returns the unsharded generation's segment chain, oldest first,
+// normalizing the pre-incremental single-segment form.
+func (m Manifest) Chain() []string {
+	if len(m.Segments) > 0 {
+		return m.Segments
+	}
+	if m.Segment != "" {
+		return []string{m.Segment}
+	}
+	return nil
+}
+
+// Chain returns the shard's segment chain, oldest first, normalizing the
+// pre-incremental single-segment form.
+func (e ShardEntry) Chain() []string {
+	if len(e.Segments) > 0 {
+		return e.Segments
+	}
+	return []string{e.Segment}
 }
 
 // WriteManifest durably installs m as dir's manifest: write to a temp file,
@@ -102,13 +133,37 @@ func LoadManifest(dir string) (m Manifest, ok bool, err error) {
 	if m.Segment == "" && len(m.Shards) == 0 {
 		return Manifest{}, false, fmt.Errorf("storage: manifest names no segment")
 	}
+	if err := validateChain(m.Segment, m.Segments); err != nil {
+		return Manifest{}, false, err
+	}
 	for i, sh := range m.Shards {
 		if sh.Segment == "" {
 			return Manifest{}, false, fmt.Errorf("storage: manifest shard %d names no segment", i)
+		}
+		if err := validateChain(sh.Segment, sh.Segments); err != nil {
+			return Manifest{}, false, fmt.Errorf("storage: manifest shard %d: %w", i, err)
 		}
 	}
 	if len(m.Shards) > 0 && len(m.Splits) != len(m.Shards)-1 {
 		return Manifest{}, false, fmt.Errorf("storage: manifest has %d shards but %d split keys", len(m.Shards), len(m.Splits))
 	}
 	return m, true, nil
+}
+
+// validateChain checks a segment chain against the entry's newest-segment
+// name: every member must be named and the newest chain member must be the
+// segment the entry points at (readers resolve the block map out of it).
+func validateChain(segment string, chain []string) error {
+	if len(chain) == 0 {
+		return nil
+	}
+	for i, nm := range chain {
+		if nm == "" {
+			return fmt.Errorf("storage: manifest chain member %d is unnamed", i)
+		}
+	}
+	if segment != "" && chain[len(chain)-1] != segment {
+		return fmt.Errorf("storage: manifest chain ends at %q, segment is %q", chain[len(chain)-1], segment)
+	}
+	return nil
 }

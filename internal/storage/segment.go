@@ -37,6 +37,17 @@ type BlockEntry struct {
 	CRC uint32
 }
 
+// BlockPlace resolves one logical (column, block) coordinate of a table image
+// to the physical block that holds its bytes: Seg indexes the generation's
+// segment chain (oldest first, the segment carrying the map is always last)
+// and Blk is the block's position within that segment's own per-column index.
+// An incremental checkpoint writes only dirty blocks into its new segment and
+// inherits every other placement from the previous generation verbatim.
+type BlockPlace struct {
+	Seg uint32
+	Blk uint32
+}
+
 // SegmentWriter streams encoded blocks into a new segment file. Blocks may
 // arrive in any column interleaving (the builder emits one row group at a
 // time); the footer index records where each landed.
@@ -49,6 +60,7 @@ type SegmentWriter struct {
 	blockRows  int
 	compressed bool
 	index      [][]BlockEntry
+	places     [][]BlockPlace
 	err        error
 }
 
@@ -95,6 +107,15 @@ func (w *SegmentWriter) AppendBlock(col int, enc []byte) error {
 	return nil
 }
 
+// SetPlacements attaches the logical→physical block map that Finish writes
+// into the footer. places[col][blk] locates logical block blk of column col
+// within the generation's segment chain; a nil map means the segment is
+// self-contained (every logical block lives in this file, in order). Must be
+// called before Finish.
+func (w *SegmentWriter) SetPlacements(places [][]BlockPlace) {
+	w.places = places
+}
+
 // Finish writes the footer and trailer, fsyncs the file and its directory,
 // and returns the finished segment opened for reading (the same descriptor;
 // pread works regardless of the write-mode open).
@@ -102,7 +123,7 @@ func (w *SegmentWriter) Finish(nrows uint64, sparse []types.Row) (*Segment, erro
 	if w.err != nil {
 		return nil, w.err
 	}
-	footer := encodeFooter(w.schema, nrows, w.blockRows, w.compressed, w.index, sparse)
+	footer := encodeFooter(w.schema, nrows, w.blockRows, w.compressed, w.index, sparse, w.places)
 	footerOff := w.off
 	var trailer [trailerSize]byte
 	binary.LittleEndian.PutUint64(trailer[0:8], uint64(footerOff))
@@ -122,7 +143,7 @@ func (w *SegmentWriter) Finish(nrows uint64, sparse []types.Row) (*Segment, erro
 		return nil, fmt.Errorf("storage: fsync segment: %w", err)
 	}
 	syncDir(filepath.Dir(w.path))
-	return &Segment{
+	s := &Segment{
 		f:          w.f,
 		path:       w.path,
 		schema:     w.schema,
@@ -131,7 +152,10 @@ func (w *SegmentWriter) Finish(nrows uint64, sparse []types.Row) (*Segment, erro
 		compressed: w.compressed,
 		sparse:     sparse,
 		index:      w.index,
-	}, nil
+		places:     w.places,
+	}
+	s.refs.Store(1)
+	return s, nil
 }
 
 // Abort closes and removes the partial file (the orderly error path; a crash
@@ -146,16 +170,24 @@ func (w *SegmentWriter) Abort() {
 }
 
 // Segment is a finished, immutable segment file open for block reads.
+//
+// Segments are shared between store generations by incremental checkpoints:
+// generation N+1's image can resolve unchanged blocks straight into
+// generation N's file. Each sharing store holds one reference (Retain /
+// Release); the store that sees the count hit zero closes the descriptor and
+// evicts the segment's buffer-pool entries.
 type Segment struct {
 	f          *os.File
 	path       string
 	closed     atomic.Bool
+	refs       atomic.Int64
 	schema     *types.Schema
 	nrows      uint64
 	blockRows  int
 	compressed bool
 	sparse     []types.Row
 	index      [][]BlockEntry
+	places     [][]BlockPlace
 }
 
 // OpenSegment opens and validates an existing segment file.
@@ -205,6 +237,7 @@ func readSegmentMeta(f *os.File, path string) (*Segment, error) {
 		return nil, fmt.Errorf("storage: %s: %w", path, err)
 	}
 	s.f, s.path = f, path
+	s.refs.Store(1)
 	return s, nil
 }
 
@@ -233,6 +266,35 @@ func (s *Segment) NumBlocks() int {
 
 // BlockLen returns the encoded size of one block.
 func (s *Segment) BlockLen(col, blk int) int { return int(s.index[col][blk].Len) }
+
+// ColBlocks returns the number of physical blocks this file stores for one
+// column (incremental segments hold a different count per column).
+func (s *Segment) ColBlocks(col int) int { return len(s.index[col]) }
+
+// TotalBlocks returns the number of physical blocks stored in this file,
+// summed over all columns. For a chain member this counts what the file
+// holds, not what the generation's logical image references from it.
+func (s *Segment) TotalBlocks() int {
+	n := 0
+	for _, col := range s.index {
+		n += len(col)
+	}
+	return n
+}
+
+// Placements returns the logical→physical block map written by an
+// incremental checkpoint, or nil when the segment is self-contained.
+func (s *Segment) Placements() [][]BlockPlace { return s.places }
+
+// Retain adds one reference to the segment. A newer generation that inherits
+// blocks from this file retains it so the descriptor outlives the older
+// store's release.
+func (s *Segment) Retain() { s.refs.Add(1) }
+
+// Release drops one reference and reports whether that was the last: the
+// caller owning the final reference must close the segment and evict its
+// buffer-pool entries.
+func (s *Segment) Release() bool { return s.refs.Add(-1) <= 0 }
 
 // Path returns the segment's file path.
 func (s *Segment) Path() string { return s.path }
@@ -267,7 +329,7 @@ func (s *Segment) Closed() bool { return s.closed.Load() }
 
 // --- footer encoding ---------------------------------------------------------
 
-func encodeFooter(schema *types.Schema, nrows uint64, blockRows int, compressed bool, index [][]BlockEntry, sparse []types.Row) []byte {
+func encodeFooter(schema *types.Schema, nrows uint64, blockRows int, compressed bool, index [][]BlockEntry, sparse []types.Row, places [][]BlockPlace) []byte {
 	var buf []byte
 	buf = appendSchema(buf, schema)
 	buf = binary.LittleEndian.AppendUint64(buf, nrows)
@@ -289,6 +351,20 @@ func encodeFooter(schema *types.Schema, nrows uint64, blockRows int, compressed 
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sparse)))
 	for _, row := range sparse {
 		buf = appendRow(buf, row)
+	}
+	// The placements section is optional and trailing: a self-contained
+	// segment ends right after the sparse rows (the pre-incremental format,
+	// still read back byte-for-byte), an incremental segment appends the
+	// logical→physical block map for the whole generation.
+	if places != nil {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(places)))
+		for _, col := range places {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(col)))
+			for _, p := range col {
+				buf = binary.LittleEndian.AppendUint32(buf, p.Seg)
+				buf = binary.LittleEndian.AppendUint32(buf, p.Blk)
+			}
+		}
 	}
 	return buf
 }
@@ -329,6 +405,27 @@ func decodeFooter(buf []byte) (*Segment, error) {
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("corrupt footer: %w", r.err)
+	}
+	if len(r.buf) > 0 {
+		npcols := int(r.u32())
+		if r.err != nil || npcols != ncols {
+			return nil, fmt.Errorf("corrupt footer: block map covers %d columns, schema has %d", npcols, ncols)
+		}
+		s.places = make([][]BlockPlace, npcols)
+		for c := range s.places {
+			nblk := int(r.u32())
+			if r.err != nil || nblk > len(r.buf) {
+				return nil, fmt.Errorf("corrupt footer: bad block map count %d", nblk)
+			}
+			col := make([]BlockPlace, nblk)
+			for b := range col {
+				col[b] = BlockPlace{Seg: r.u32(), Blk: r.u32()}
+			}
+			s.places[c] = col
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("corrupt footer: %w", r.err)
+		}
 	}
 	return s, nil
 }

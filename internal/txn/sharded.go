@@ -297,6 +297,28 @@ func (t *STxn) PartitionScan(loKey, hiKey types.Row) (*engine.PartScan, error) {
 		}}, nil
 }
 
+// FindByKey locates the visible tuple with the given (full) sort key,
+// routing the probe to the owning shard and returning the RID in the global
+// concatenated coordinate space (shard-local RID plus the visible row counts
+// of all earlier shards — the same offsets Scan applies).
+func (t *STxn) FindByKey(key types.Row) (rid uint64, row types.Row, found bool, err error) {
+	if t.done {
+		return 0, nil, false, ErrTxnDone
+	}
+	if len(key) != len(t.s.schema.SortKey) {
+		return 0, nil, false, fmt.Errorf("txn: need the full %d-column sort key", len(t.s.schema.SortKey))
+	}
+	home := t.s.ShardOf(key)
+	rid, row, found, err = t.txns[home].findByKey(key)
+	if err != nil || !found {
+		return 0, nil, false, err
+	}
+	for i := 0; i < home; i++ {
+		rid += t.txns[i].visibleRows()
+	}
+	return rid, row, true, nil
+}
+
 // Insert adds a tuple to the shard owning its key.
 func (t *STxn) Insert(row types.Row) error {
 	if t.done {

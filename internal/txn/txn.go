@@ -269,6 +269,23 @@ func (m *Manager) LSN() uint64 {
 	return m.lsn
 }
 
+// DeltaCounts returns the insert/delete/modify entry totals buffered across
+// the committed delta layers (Read-PDT, the in-flight frozen layer if any,
+// and the master Write-PDT). The checkpoint scheduler's cost model uses them
+// to estimate the dirty block set without folding anything.
+func (m *Manager) DeltaCounts() (ins, del, mod int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range []*pdt.PDT{m.cur.readPDT, m.frozen, m.writePDT} {
+		if p == nil {
+			continue
+		}
+		i, d, mo := p.Counts()
+		ins, del, mod = ins+i, del+d, mod+mo
+	}
+	return ins, del, mod
+}
+
 // Begin starts a transaction with a private snapshot: the current version,
 // the in-flight maintenance layer (if any), and an O(1) copy-on-write
 // snapshot of the Write-PDT.
@@ -399,6 +416,12 @@ func (t *Txn) PartitionScan(loKey, hiKey types.Row) (*engine.PartScan, error) {
 			base := store.NewScanner(cols, mlo, mhi)
 			return engine.StackPDTs(base, cols, mlo, last, readPDT, frozen, writeSnap, trans), nil
 		}}, nil
+}
+
+// FindByKey locates the visible tuple with the given (full) sort key in the
+// transaction's snapshot, returning its RID and current column values.
+func (t *Txn) FindByKey(key types.Row) (rid uint64, row types.Row, found bool, err error) {
+	return t.findByKey(key)
 }
 
 // findByKey locates a visible tuple in the transaction's view.

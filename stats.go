@@ -1,0 +1,85 @@
+package pdtstore
+
+import (
+	"path/filepath"
+)
+
+// Stats is a point-in-time snapshot of the store's durability state,
+// replacing direct access to the internal txn/wal/storage layers.
+type Stats struct {
+	// Shards is the shard count (1 for an unsharded store).
+	Shards int
+	// Generation is the manifest generation of the last checkpoint commit.
+	Generation uint64
+	// Shard holds one entry per shard, in shard order.
+	Shard []ShardStats
+}
+
+// ShardStats describes one shard's commit clock, WAL stream and segment
+// chain.
+type ShardStats struct {
+	// LSN is the shard's last committed position on the global commit clock;
+	// FreezeLSN is its manifest freeze bar (records at or below it are in
+	// the stable image). WALRecords is the distance between them — the
+	// commit-clock length of the tail recovery would replay.
+	LSN        uint64
+	FreezeLSN  uint64
+	WALRecords uint64
+	// WALBytes and WALFiles size the shard's on-disk log stream.
+	WALBytes int64
+	WALFiles int
+	// Generations is the shard's segment chain length; Segments lists the
+	// chain oldest generation first (the last member carries the block map).
+	Generations int
+	Segments    []SegmentStats
+	// LastDecision is the most recent checkpoint or scheduler decision for
+	// this shard, with the cost-model inputs that drove it.
+	LastDecision CheckpointDecision
+}
+
+// SegmentStats describes one member of a shard's segment chain.
+type SegmentStats struct {
+	Name string
+	// LiveBlocks counts the (column, block) cells the chain's block map
+	// still reads from this member; TotalBlocks is what the member holds.
+	// Dead weight is the difference — it disappears when a later checkpoint
+	// drops the member from the chain.
+	LiveBlocks  int
+	TotalBlocks int
+}
+
+// Stats reports the store's current durability state: per shard, the commit
+// clock position, WAL tail, segment chain with live/dead block counts, and
+// the last checkpoint decision's cost-model inputs.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st := Stats{
+		Shards:     len(db.mgrs),
+		Generation: db.man.Generation,
+		Shard:      make([]ShardStats, len(db.mgrs)),
+	}
+	for i := range db.mgrs {
+		store := db.tbls[i].Store()
+		ss := ShardStats{
+			LSN:          db.mgrs[i].LSN(),
+			FreezeLSN:    db.shardFreezeLSN(i),
+			WALBytes:     db.logs[i].SizeBytes(),
+			WALFiles:     db.logs[i].Files(),
+			LastDecision: db.lastCost[i],
+		}
+		ss.WALRecords = ss.LSN - ss.FreezeLSN
+		segs := store.Segments()
+		refs := store.BlockRefCounts()
+		ss.Generations = len(segs)
+		for j, seg := range segs {
+			ss.Segments = append(ss.Segments, SegmentStats{
+				Name:        filepath.Base(seg.Path()),
+				LiveBlocks:  refs[j],
+				TotalBlocks: seg.TotalBlocks(),
+			})
+		}
+		st.Shard[i] = ss
+	}
+	return st
+}
