@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"pdtstore/internal/colstore"
+	"pdtstore/internal/index"
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/storage"
 	"pdtstore/internal/table"
@@ -304,6 +305,9 @@ func (db *DB) buildShardImage(i int, name string, tail uint64, store *colstore.S
 		if err != nil {
 			return nil, err
 		}
+		if err := db.reindex(ns, nil, nil); err != nil {
+			return nil, err
+		}
 		d := CheckpointDecision{TailRecords: tail, Mode: "full"}
 		if ds != nil {
 			d.DirtyBlocks = ds.WriteCells()
@@ -335,6 +339,9 @@ func (db *DB) buildShardImage(i int, name string, tail uint64, store *colstore.S
 	if err != nil {
 		return nil, err
 	}
+	if err := db.reindex(ns, store, ds); err != nil {
+		return nil, err
+	}
 	db.lastCost[i] = CheckpointDecision{
 		TailRecords: tail,
 		DirtyBlocks: ds.WriteCells(),
@@ -344,6 +351,38 @@ func (db *DB) buildShardImage(i int, name string, tail uint64, store *colstore.S
 		Mode:        "incremental",
 	}
 	return ns, nil
+}
+
+// reindex attaches the next image's secondary-index set, if Options asked for
+// one: a fresh Build after a full rewrite (prev == nil), or an incremental
+// Rebuild that reuses every summary of the previous image's set whose block
+// the checkpoint's dirty map left untouched. Blocks at or past the dirty
+// set's first position shift are always rebuilt — the delta image rewrote
+// them. The "shared" (no-write) mode needs no call: CloneShared carries the
+// aux sidecar, and with it the index, verbatim.
+func (db *DB) reindex(ns *colstore.Store, prev *colstore.Store, ds *table.DirtySet) error {
+	if len(db.opts.IndexColumns) == 0 {
+		return nil
+	}
+	if prev != nil && ds != nil {
+		if old, ok := prev.Aux().(*index.Set); ok {
+			idx, err := old.Rebuild(ns, ns.NumBlocks(), func(col, blk int) bool {
+				return blk >= ds.ShiftBlk ||
+					(col < len(ds.Dirty) && blk < len(ds.Dirty[col]) && ds.Dirty[col][blk])
+			})
+			if err != nil {
+				return err
+			}
+			ns.SetAux(idx)
+			return nil
+		}
+	}
+	idx, err := index.Build(ns, db.opts.IndexColumns)
+	if err != nil {
+		return err
+	}
+	ns.SetAux(idx)
+	return nil
 }
 
 // shardFreezeLSN reads shard i's current manifest freeze bar under db.mu.

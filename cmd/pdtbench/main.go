@@ -125,6 +125,8 @@ func main() {
 		runFig18(*n, *blockRows)
 	case "scan":
 		runScan(*sf, *workers, *prows, *jsonPath)
+	case "lookup":
+		runLookup(*prows, *jsonPath)
 	case "update":
 		runUpdate(*jsonPath)
 	case "online":
@@ -458,6 +460,40 @@ func runScan(sf float64, workersCSV string, prows int, jsonPath string) {
 		"results":       rows,
 		"parallel":      prt,
 	}); err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+}
+
+// runLookup records the access-path figure: selective-predicate cold latency
+// on the pruned (zone map / secondary index) path vs the full-scan path.
+func runLookup(prows int, jsonPath string) {
+	cfg := bench.LookupConfig{Tuples: prows}
+	rows, err := bench.LookupProfile(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtbench: %v\n", err)
+		os.Exit(1)
+	}
+	n := cfg.Tuples
+	if n == 0 {
+		n = 1_000_000
+	}
+	fmt.Printf("Selective lookup: %d rows, cold = dropped caches + modeled per-block read latency\n", n)
+	fmt.Printf("%-12s %8s %10s %12s %8s %8s %10s\n",
+		"case", "path", "rows", "cold ms", "zskip", "iskip", "speedup")
+	for _, r := range rows {
+		speedup := "-"
+		if r.SpeedupVsFull > 0 {
+			speedup = fmt.Sprintf("%.1fx", r.SpeedupVsFull)
+		}
+		fmt.Printf("%-12s %8s %10d %12.2f %8d %8d %10s\n",
+			r.Case, r.Path, r.Rows, r.ColdNS/1e6, r.ZoneSkips, r.IndexSkips, speedup)
+	}
+	if jsonPath == "" {
+		return
+	}
+	if err := mergeReportSections(jsonPath, map[string]any{"lookup": rows}); err != nil {
 		fmt.Fprintf(os.Stderr, "pdtbench: writing %s: %v\n", jsonPath, err)
 		os.Exit(1)
 	}

@@ -43,6 +43,7 @@ import (
 
 	"pdtstore/internal/colstore"
 	"pdtstore/internal/engine"
+	"pdtstore/internal/index"
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/storage"
 	"pdtstore/internal/table"
@@ -94,6 +95,16 @@ type Options struct {
 	// scheduler. The zero value selects the defaults (incremental allowed,
 	// scheduler off); nonsense combinations are rejected at Open.
 	Checkpoint CheckpointOptions
+	// IndexColumns opts listed schema columns into secondary block indexes:
+	// per-(column, block) value summaries over the stable image (exact
+	// distinct sets for low-cardinality blocks, Bloom filters otherwise) that
+	// let selective scans skip whole blocks before reading them. Indexes are
+	// maintained at checkpoint time from the same dirty-block map incremental
+	// checkpoints compute, and consulted automatically by Plan filters —
+	// DB.Stats reports how many block reads they eliminated. Float64 columns
+	// are rejected at Open. The set is not persisted; each Open rebuilds it
+	// from the image (a fast, decode-free pass for dictionary and RLE blocks).
+	IndexColumns []int
 }
 
 // Tx is the store's unified transaction interface, returned by DB.Begin for
@@ -352,6 +363,20 @@ func Open(dir string, opts Options) (*DB, error) {
 		stores = []*colstore.Store{store}
 	}
 	gcStraySegments(dir, manifestSegments(man))
+
+	// Secondary indexes ride each shard image's aux sidecar; checkpoints
+	// carry them forward (shared), Rebuild them (incremental) or Build them
+	// afresh (full). Built here last so every Open branch is covered.
+	if len(opts.IndexColumns) > 0 {
+		for i := range stores {
+			idx, err := index.Build(stores[i], opts.IndexColumns)
+			if err != nil {
+				closeStores()
+				return nil, fmt.Errorf("pdtstore: build secondary index: %w", err)
+			}
+			stores[i].SetAux(idx)
+		}
+	}
 
 	// Per-shard base LSNs: records at or below a shard's bar were
 	// materialized into its image before the manifest swapped.

@@ -102,11 +102,32 @@
 // per-shard segments behind a single manifest swap and truncate each stream
 // at its own freeze LSN.
 //
-// See README.md for an architecture tour and quickstart. The benchmarks in
+// Selective scans prune before they read. Every checkpoint stamps a zone
+// map — min/max plus null count — per (column, block) into the segment
+// footer (delta segments inherit the entries for blocks they don't
+// rewrite), and Options.IndexColumns opts columns into secondary block
+// indexes: per-block value summaries over the stable image — exact distinct
+// sets, decode-free dictionary/RLE value lists, or Bloom filters — built at
+// Open and maintained at checkpoint time (incremental checkpoints rebuild
+// only dirty blocks, sharing clean summaries with the previous index).
+// A Plan's filters compile to predicate descriptors; before running, the
+// engine folds the transaction's pinned PDT stack to stable coordinates and
+// skips each clean block that the zone map or the index proves empty of
+// matches. Blocks any buffered insert, delete or modify touches are always
+// read, so pruned scans are snapshot-consistent by construction — the
+// differential suites hold them byte-identical to full scans across TPC-H
+// and randomized update histories, at every shard count. Stats counts the
+// skips (ZoneSkippedBlocks, IndexSkippedBlocks); engine.SetPruning and
+// Plan.NoPrune are the kill switches; cmd/pdtbench -fig lookup records the
+// cold-latency payoff against the full-scan baseline.
+//
+// See README.md for the quickstart and docs/ARCHITECTURE.md for the full
+// stack walk with commit and scan data-flow diagrams. The benchmarks in
 // bench_test.go regenerate every figure of the paper's §4, plus the engine's
 // scan-pipeline profile (cmd/pdtbench -fig scan), the write-path profile
 // (cmd/pdtbench -fig update), the online-maintenance figure
 // (cmd/pdtbench -fig online), the durability figure — now including the
-// incremental-vs-full checkpoint profile — (cmd/pdtbench -fig recovery)
-// and the group-commit figure (cmd/pdtbench -fig commit).
+// incremental-vs-full checkpoint profile — (cmd/pdtbench -fig recovery),
+// the group-commit figure (cmd/pdtbench -fig commit) and the access-path
+// figure (cmd/pdtbench -fig lookup).
 package pdtstore

@@ -225,3 +225,26 @@ func TestCommitHarness(t *testing.T) {
 		}
 	}
 }
+
+func TestLookupHarness(t *testing.T) {
+	rows, err := LookupProfile(LookupConfig{Tuples: 40_000, BlockRows: 1024, ReadLatency: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 cases x 2 paths)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rows <= 0 || r.ColdNS <= 0 || r.BlocksTotal <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.Path == "pruned" {
+			if r.ZoneSkips+r.IndexSkips == 0 {
+				t.Fatalf("pruned path skipped nothing: %+v", r)
+			}
+			if r.SpeedupVsFull < 5 {
+				t.Fatalf("pruned %s speedup %.1fx, want >= 5x", r.Case, r.SpeedupVsFull)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package bench
+
+// Point/selective-predicate lookup latency: the access-path figure. Two
+// selective predicates over a 1M-row table — a key-clustered range that zone
+// maps answer, and an equality probe on a scattered high-cardinality column
+// that only the secondary index can answer — each measured cold (dropped
+// caches, modeled per-block read latency) on the full-scan path and on the
+// pruned path. The speedup is block arithmetic made visible: a full cold
+// scan pays one modeled read per (column, block); the pruned path pays only
+// for kept blocks.
+
+import (
+	"fmt"
+	"time"
+
+	"pdtstore/internal/engine"
+	"pdtstore/internal/index"
+	"pdtstore/internal/table"
+	"pdtstore/internal/types"
+	"pdtstore/internal/vector"
+)
+
+// LookupConfig sizes the lookup figure.
+type LookupConfig struct {
+	Tuples      int           // table size (default 1M)
+	BlockRows   int           // colstore block size (default 4096)
+	ReadLatency time.Duration // modeled per-block cold-read latency (default 200µs)
+	Selectivity float64       // zone-range case selectivity (default 0.001)
+	Seed        int64
+}
+
+// LookupRow is one measured cell: one (case, access path) pair.
+type LookupRow struct {
+	Case          string  `json:"case"` // "zone-range" or "index-eq"
+	Path          string  `json:"path"` // "full" or "pruned"
+	Rows          int     `json:"rows"`
+	ColdNS        float64 `json:"cold_ns"`
+	BlocksTotal   int     `json:"blocks_total"`
+	ZoneSkips     uint64  `json:"zone_skips"`
+	IndexSkips    uint64  `json:"index_skips"`
+	SpeedupVsFull float64 `json:"speedup_vs_full"` // pruned rows only
+}
+
+// lookupSchema: clustered sort key, scattered high-cardinality id.
+var lookupSchema = types.MustSchema([]types.Column{
+	{Name: "k", Kind: types.Int64},
+	{Name: "id", Kind: types.Int64},
+}, []int{0})
+
+// scatter is a bijection on [0, n) for power-of-two-free n via multiply+mod;
+// it decorrelates id values from key order so id zones are useless and only
+// the per-block index summaries can answer an equality probe.
+func scatter(x, n int64) int64 {
+	return (x*2654435761 + 12345) % n
+}
+
+// LookupProfile measures both cases on both access paths and returns the
+// four rows, pruned rows carrying their speedup over the matching full scan.
+func LookupProfile(cfg LookupConfig) ([]LookupRow, error) {
+	if cfg.Tuples == 0 {
+		cfg.Tuples = 1_000_000
+	}
+	if cfg.BlockRows == 0 {
+		cfg.BlockRows = 4096
+	}
+	if cfg.ReadLatency == 0 {
+		cfg.ReadLatency = 200 * time.Microsecond
+	}
+	if cfg.Selectivity == 0 {
+		cfg.Selectivity = 0.001
+	}
+	n := int64(cfg.Tuples)
+	rows := make([]types.Row, n)
+	for i := int64(0); i < n; i++ {
+		rows[i] = types.Row{types.Int(i), types.Int(scatter(i, n))}
+	}
+	tbl, err := table.Load(lookupSchema, rows, table.Options{
+		Mode: table.ModePDT, BlockRows: cfg.BlockRows, Compressed: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx, err := index.Build(tbl.Store(), []int{1})
+	if err != nil {
+		return nil, err
+	}
+	tbl.Store().SetAux(idx)
+	dev := tbl.Store().Device()
+	nblocks := tbl.Store().NumBlocks()
+
+	span := int64(float64(cfg.Tuples) * cfg.Selectivity)
+	if span < 1 {
+		span = 1
+	}
+	lo := n / 2
+	probeID := scatter(n/3, n)
+	cases := []struct {
+		name string
+		plan func() *engine.Plan
+	}{
+		{"zone-range", func() *engine.Plan {
+			return engine.Scan(tbl, 0, 1).FilterInt64Range(0, lo, lo+span-1)
+		}},
+		{"index-eq", func() *engine.Plan {
+			return engine.Scan(tbl, 0, 1).FilterInt64Eq(1, probeID)
+		}},
+	}
+
+	var out []LookupRow
+	for _, c := range cases {
+		var fullNS float64
+		for _, path := range []string{"full", "pruned"} {
+			p := c.plan()
+			if path == "full" {
+				p.NoPrune()
+			}
+			z0, i0 := dev.SkipStats()
+			dev.SetReadLatency(cfg.ReadLatency)
+			dev.DropCaches()
+			got := 0
+			start := time.Now()
+			err := p.Run(func(b *vector.Batch, sel []uint32) error {
+				if sel != nil {
+					got += len(sel)
+				} else {
+					got += b.Len()
+				}
+				return nil
+			})
+			elapsed := float64(time.Since(start).Nanoseconds())
+			dev.SetReadLatency(0)
+			if err != nil {
+				return nil, err
+			}
+			z1, i1 := dev.SkipStats()
+			row := LookupRow{
+				Case: c.name, Path: path, Rows: got, ColdNS: elapsed,
+				BlocksTotal: nblocks, ZoneSkips: z1 - z0, IndexSkips: i1 - i0,
+			}
+			if path == "full" {
+				fullNS = elapsed
+				if row.ZoneSkips+row.IndexSkips != 0 {
+					return nil, fmt.Errorf("bench: full-scan baseline skipped %d blocks", row.ZoneSkips+row.IndexSkips)
+				}
+			} else {
+				if row.ColdNS > 0 {
+					row.SpeedupVsFull = fullNS / row.ColdNS
+				}
+				if row.ZoneSkips+row.IndexSkips == 0 {
+					return nil, fmt.Errorf("bench: pruned %s scan skipped nothing", c.name)
+				}
+			}
+			out = append(out, row)
+		}
+		// Both paths must agree on the answer, or the figure is fiction.
+		if out[len(out)-1].Rows != out[len(out)-2].Rows {
+			return nil, fmt.Errorf("bench: %s pruned scan returned %d rows, full scan %d",
+				c.name, out[len(out)-1].Rows, out[len(out)-2].Rows)
+		}
+	}
+	return out, nil
+}

@@ -54,6 +54,12 @@ type Device struct {
 	nextStore uint64
 	segIDs    map[*storage.Segment]uint64 // pool identity per segment file
 	latencyNS atomic.Int64                // modeled cold-read latency (0 = none)
+
+	// Block-skip accounting: blocks a scan proved irrelevant without
+	// fetching, split by which structure proved it. Atomic (not under mu)
+	// because pruning happens on the plan's hot setup path.
+	zoneSkips  atomic.Uint64
+	indexSkips atomic.Uint64
 }
 
 type blockKey struct{ col, blk int }
@@ -219,11 +225,29 @@ func (d *Device) PoolBlocks() int {
 	return len(d.cached)
 }
 
-// ResetStats zeroes the byte/read counters without touching the pool.
+// ResetStats zeroes the byte/read and block-skip counters without touching
+// the pool.
 func (d *Device) ResetStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.bytesRead, d.reads = 0, 0
+	d.zoneSkips.Store(0)
+	d.indexSkips.Store(0)
+}
+
+// CountSkips adds to the block-skip counters: blocks a scan's pre-scan
+// pruning pass excluded via zone maps and via secondary indexes. The engine
+// calls this once per pruned plan.
+func (d *Device) CountSkips(zone, index uint64) {
+	d.zoneSkips.Add(zone)
+	d.indexSkips.Add(index)
+}
+
+// SkipStats returns the block-skip counters accumulated since the last
+// ResetStats: how many block fetches scans avoided via zone maps and via
+// secondary indexes.
+func (d *Device) SkipStats() (zone, index uint64) {
+	return d.zoneSkips.Load(), d.indexSkips.Load()
 }
 
 // Stats returns the bytes and block reads charged since the last ResetStats.
@@ -251,12 +275,14 @@ type Store struct {
 	compressed bool
 	nrows      uint64
 	blocks     [][][]byte             // blocks[col][blk] = encoded bytes (RAM-resident)
+	zones      [][]storage.Zone       // zones[col][blk] (RAM-resident; file-backed reads footers)
 	segs       []*storage.Segment     // on-disk segment chain, oldest first (file-backed)
 	segIDs     []uint64               // pool identity of each chain member
 	places     [][]storage.BlockPlace // block map; nil = identity on the single chain member
 	sparse     []types.Row
 	dev        *Device
 	closed     atomic.Bool
+	aux        any // opaque per-image sidecar (the secondary-index set); set before sharing
 
 	cacheMu sync.Mutex
 	decoded map[blockKey]*vector.Vector // small point-read decode cache
@@ -293,6 +319,7 @@ func NewBuilder(schema *types.Schema, dev *Device, blockRows int, compressed boo
 			blockRows:  blockRows,
 			compressed: compressed,
 			blocks:     make([][][]byte, schema.NumCols()),
+			zones:      make([][]storage.Zone, schema.NumCols()),
 			dev:        dev,
 			decoded:    make(map[blockKey]*vector.Vector),
 		},
@@ -409,18 +436,78 @@ func encodeVec(v *vector.Vector, compressed bool) []byte {
 	}
 }
 
+// zoneMaxStr caps the string min/max stored in a zone: long strings keep the
+// footer small by storing a prefix. A truncated minimum is still a valid
+// lower bound outright; a truncated maximum is flagged (MaxSTrunc) so readers
+// compare conservatively.
+const zoneMaxStr = 64
+
+// zoneOf computes a block's zone-map statistics from its decoded vector —
+// the stats ride next to the encoded bytes wherever the block lands (RAM
+// store, segment file, delta segment). Bool and Date columns share the int
+// arm (bools as 0/1).
+func zoneOf(v *vector.Vector) storage.Zone {
+	if v.Len() == 0 {
+		return storage.Zone{}
+	}
+	switch v.Kind {
+	case types.Float64:
+		mn, mx := v.F[0], v.F[0]
+		for _, f := range v.F[1:] {
+			if f < mn {
+				mn = f
+			}
+			if f > mx {
+				mx = f
+			}
+		}
+		return storage.Zone{Kind: storage.ZoneFloat, MinF: mn, MaxF: mx}
+	case types.String:
+		mn, mx := v.S[0], v.S[0]
+		for _, s := range v.S[1:] {
+			if s < mn {
+				mn = s
+			} else if s > mx {
+				mx = s
+			}
+		}
+		z := storage.Zone{Kind: storage.ZoneString, MinS: mn, MaxS: mx}
+		if len(z.MinS) > zoneMaxStr {
+			z.MinS = z.MinS[:zoneMaxStr]
+		}
+		if len(z.MaxS) > zoneMaxStr {
+			z.MaxS = z.MaxS[:zoneMaxStr]
+			z.MaxSTrunc = true
+		}
+		return z
+	default:
+		mn, mx := v.I[0], v.I[0]
+		for _, i := range v.I[1:] {
+			if i < mn {
+				mn = i
+			}
+			if i > mx {
+				mx = i
+			}
+		}
+		return storage.Zone{Kind: storage.ZoneInt, MinI: mn, MaxI: mx}
+	}
+}
+
 func (b *Builder) flush() {
 	s := b.store
 	n := b.pending.Len()
 	for c, v := range b.pending.Vecs {
 		enc := encodeVec(v, s.compressed)
+		z := zoneOf(v)
 		if b.segw != nil {
-			if err := b.segw.AppendBlock(c, enc); err != nil {
+			if err := b.segw.AppendBlock(c, enc, z); err != nil {
 				b.err = err
 				return
 			}
 		} else {
 			s.blocks[c] = append(s.blocks[c], enc)
+			s.zones[c] = append(s.zones[c], z)
 		}
 	}
 	s.nrows += uint64(n)
@@ -556,11 +643,13 @@ func (s *Store) CloneShared() *Store {
 		compressed: s.compressed,
 		nrows:      s.nrows,
 		blocks:     s.blocks,
+		zones:      s.zones,
 		segs:       s.segs,
 		segIDs:     s.segIDs,
 		places:     s.places,
 		sparse:     s.sparse,
 		dev:        s.dev,
+		aux:        s.aux,
 		decoded:    make(map[blockKey]*vector.Vector),
 	}
 }
@@ -574,6 +663,41 @@ func (s *Store) place(col, blk int) (si, pb int) {
 	p := s.places[col][blk]
 	return int(p.Seg), int(p.Blk)
 }
+
+// Zone returns the zone-map statistics of one logical column block, and
+// whether usable stats exist for it. File-backed stores resolve the logical
+// coordinate through the block map first, so a block inherited across
+// incremental checkpoints keeps the stats of the chain member holding its
+// bytes. A pre-zone-map segment (or a ZoneNone block) reports ok=false; such
+// blocks are never skipped.
+func (s *Store) Zone(col, blk int) (storage.Zone, bool) {
+	if s.segs == nil {
+		if col >= len(s.zones) || blk >= len(s.zones[col]) {
+			return storage.Zone{}, false
+		}
+		z := s.zones[col][blk]
+		return z, z.Kind != storage.ZoneNone
+	}
+	si, pb := s.place(col, blk)
+	return s.segs[si].Zone(col, pb)
+}
+
+// EncodedBlock returns one logical column block's encoded bytes, charging the
+// device like any other fetch. The secondary-index builder reads blocks in
+// their encoded form so dictionary and RLE blocks index without a full
+// decode.
+func (s *Store) EncodedBlock(col, blk int) ([]byte, error) {
+	return s.encodedBlock(col, blk)
+}
+
+// SetAux attaches an opaque per-image sidecar to the store — the secondary
+// index set rides here, built by the layers above (colstore cannot import
+// them). It must be called before the store is shared between goroutines;
+// CloneShared carries the sidecar to the clone.
+func (s *Store) SetAux(aux any) { s.aux = aux }
+
+// Aux returns the sidecar attached by SetAux, or nil.
+func (s *Store) Aux() any { return s.aux }
 
 // Close releases the store's reference on every chain member of a
 // file-backed store (idempotent; a RAM-resident store has no descriptor to

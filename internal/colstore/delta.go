@@ -116,7 +116,7 @@ func (d *DeltaBuilder) WriteBlock(col, blk int, v *vector.Vector) error {
 
 func (d *DeltaBuilder) writeBlock(col, blk int, v *vector.Vector) error {
 	enc := encodeVec(v, d.base.compressed)
-	if err := d.segw.AppendBlock(col, enc); err != nil {
+	if err := d.segw.AppendBlock(col, enc, zoneOf(v)); err != nil {
 		d.err = err
 		return err
 	}

@@ -423,6 +423,69 @@ func DecodeStringsFrom(buf []byte, skip int, out []string) ([]string, error) {
 	return nil, fmt.Errorf("compress: scheme %d is not a string encoding", scheme)
 }
 
+// DictValues returns the dictionary of a DictString block — its exact
+// distinct value set, in first-appearance order — without decoding the code
+// stream. ok is false for any other scheme. Index builds and encoded-block
+// filters use it to see every value a block can produce at dictionary cost
+// instead of row count cost.
+func DictValues(buf []byte) (vals []string, ok bool, err error) {
+	scheme, _, body, err := readHeader(buf)
+	if err != nil {
+		return nil, false, err
+	}
+	if scheme != DictString {
+		return nil, false, nil
+	}
+	dictLen, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, false, fmt.Errorf("compress: bad dict length")
+	}
+	body = body[sz:]
+	vals = make([]string, dictLen)
+	for i := range vals {
+		l, sz := binary.Uvarint(body)
+		if sz <= 0 || int(l) > len(body)-sz {
+			return nil, false, fmt.Errorf("compress: bad dict entry")
+		}
+		body = body[sz:]
+		vals[i] = string(body[:l])
+		body = body[l:]
+	}
+	return vals, true, nil
+}
+
+// RLEValues returns the run values of an RLEInt block — a superset-free list
+// of every value the block holds, one entry per run — without materializing
+// the rows. ok is false for any other scheme.
+func RLEValues(buf []byte) (vals []int64, ok bool, err error) {
+	scheme, n, body, err := readHeader(buf)
+	if err != nil {
+		return nil, false, err
+	}
+	if scheme != RLEInt {
+		return nil, false, nil
+	}
+	got := 0
+	for got < n {
+		u, sz := binary.Uvarint(body)
+		if sz <= 0 {
+			return nil, false, fmt.Errorf("compress: bad RLE value varint")
+		}
+		body = body[sz:]
+		run, sz := binary.Uvarint(body)
+		if sz <= 0 {
+			return nil, false, fmt.Errorf("compress: bad RLE run varint")
+		}
+		body = body[sz:]
+		if run == 0 || got+int(run) > n {
+			return nil, false, fmt.Errorf("compress: RLE run overflows block")
+		}
+		vals = append(vals, unzigzag(u))
+		got += int(run)
+	}
+	return vals, true, nil
+}
+
 // BlockScheme reports the scheme tag of an encoded block (for stats/tests).
 func BlockScheme(buf []byte) Scheme {
 	if len(buf) == 0 {

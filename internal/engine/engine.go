@@ -20,6 +20,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"pdtstore/internal/pdt"
 	"pdtstore/internal/types"
@@ -43,9 +44,12 @@ type Relation interface {
 var Stop = errors.New("engine: stop iteration")
 
 // planFilter is one compiled predicate: a typed kernel applied to the vector
-// holding schema column col.
+// holding schema column col, plus the declarative Pred the pruning pass uses
+// to skip blocks the kernel could never select from (pred.Op == PredNone for
+// filters with no prunable description).
 type planFilter struct {
 	col   int
+	pred  Pred
 	apply func(v *vector.Vector, sel *vector.Selection)
 }
 
@@ -62,7 +66,8 @@ type Plan struct {
 	filters   []planFilter
 	batchSize int
 	needRids  bool
-	workers   int // 0 = auto, 1 = serial, n > 1 = forced (see Parallel)
+	workers   int  // 0 = auto, 1 = serial, n > 1 = forced (see Parallel)
+	noPrune   bool // see NoPrune
 }
 
 // Scan starts a plan producing the given schema columns of rel.
@@ -95,59 +100,81 @@ func (p *Plan) WithRids() *Plan {
 	return p
 }
 
-func (p *Plan) addFilter(col int, apply func(*vector.Vector, *vector.Selection)) *Plan {
-	p.filters = append(p.filters, planFilter{col: col, apply: apply})
+// NoPrune disables pre-scan block pruning for this plan only: every block of
+// the range is scanned and filtered by the kernels, whatever the zone maps
+// and indexes say. The differential suites run each query both ways and
+// assert identical output; it is also the honest baseline side of the
+// benchmark's lookup figure.
+func (p *Plan) NoPrune() *Plan {
+	p.noPrune = true
+	return p
+}
+
+func (p *Plan) addFilter(col int, pred Pred, apply func(*vector.Vector, *vector.Selection)) *Plan {
+	pred.Col = col
+	p.filters = append(p.filters, planFilter{col: col, pred: pred, apply: apply})
 	return p
 }
 
 // FilterInt64Range keeps rows with lo <= col <= hi (Int64/Date/Bool columns).
 func (p *Plan) FilterInt64Range(col int, lo, hi int64) *Plan {
-	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Range(v, lo, hi) })
+	return p.addFilter(col, Pred{Op: PredInt64Range, ILo: lo, IHi: hi},
+		func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Range(v, lo, hi) })
 }
 
 // FilterInt64Le keeps rows with col <= hi.
 func (p *Plan) FilterInt64Le(col int, hi int64) *Plan {
-	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Le(v, hi) })
+	return p.addFilter(col, Pred{Op: PredInt64Range, ILo: math.MinInt64, IHi: hi},
+		func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Le(v, hi) })
 }
 
 // FilterInt64Ge keeps rows with col >= lo.
 func (p *Plan) FilterInt64Ge(col int, lo int64) *Plan {
-	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Ge(v, lo) })
+	return p.addFilter(col, Pred{Op: PredInt64Range, ILo: lo, IHi: math.MaxInt64},
+		func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Ge(v, lo) })
 }
 
 // FilterInt64Eq keeps rows with col == x.
 func (p *Plan) FilterInt64Eq(col int, x int64) *Plan {
-	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Eq(v, x) })
+	return p.addFilter(col, Pred{Op: PredInt64Range, ILo: x, IHi: x, Eq: true},
+		func(v *vector.Vector, s *vector.Selection) { s.FilterInt64Eq(v, x) })
 }
 
 // FilterFloat64Range keeps rows with lo <= col <= hi.
 func (p *Plan) FilterFloat64Range(col int, lo, hi float64) *Plan {
-	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterFloat64Range(v, lo, hi) })
+	return p.addFilter(col, Pred{Op: PredFloat64Range, FLo: lo, FHi: hi},
+		func(v *vector.Vector, s *vector.Selection) { s.FilterFloat64Range(v, lo, hi) })
 }
 
 // FilterFloat64Lt keeps rows with col < hi.
 func (p *Plan) FilterFloat64Lt(col int, hi float64) *Plan {
-	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterFloat64Lt(v, hi) })
+	return p.addFilter(col, Pred{Op: PredFloat64Lt, FLo: math.Inf(-1), FHi: hi},
+		func(v *vector.Vector, s *vector.Selection) { s.FilterFloat64Lt(v, hi) })
 }
 
 // FilterStrEq keeps rows with col == x.
 func (p *Plan) FilterStrEq(col int, x string) *Plan {
-	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterStrEq(v, x) })
+	return p.addFilter(col, Pred{Op: PredStrEq, Strs: []string{x}, Eq: true},
+		func(v *vector.Vector, s *vector.Selection) { s.FilterStrEq(v, x) })
 }
 
 // FilterStrIn keeps rows whose col equals one of the given strings.
 func (p *Plan) FilterStrIn(col int, set ...string) *Plan {
-	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterStrIn(v, set...) })
+	return p.addFilter(col, Pred{Op: PredStrIn, Strs: append([]string(nil), set...)},
+		func(v *vector.Vector, s *vector.Selection) { s.FilterStrIn(v, set...) })
 }
 
 // FilterStrPrefix keeps rows whose col starts with prefix.
 func (p *Plan) FilterStrPrefix(col int, prefix string) *Plan {
-	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterStrPrefix(v, prefix) })
+	return p.addFilter(col, Pred{Op: PredStrPrefix, Strs: []string{prefix}},
+		func(v *vector.Vector, s *vector.Selection) { s.FilterStrPrefix(v, prefix) })
 }
 
-// FilterStrContains keeps rows whose col contains sub.
+// FilterStrContains keeps rows whose col contains sub. Substring containment
+// has no zone-map or index description, so this filter never prunes blocks.
 func (p *Plan) FilterStrContains(col int, sub string) *Plan {
-	return p.addFilter(col, func(v *vector.Vector, s *vector.Selection) { s.FilterStrContains(v, sub) })
+	return p.addFilter(col, Pred{},
+		func(v *vector.Vector, s *vector.Selection) { s.FilterStrContains(v, sub) })
 }
 
 // analyzed is the relation-independent part of a compiled plan: the scan
@@ -224,22 +251,21 @@ func (p *Plan) compile() (*compiled, error) {
 // batches are still delivered in exactly the serial order, so sinks that fold
 // rows sequentially see the same stream either way.
 func (p *Plan) Run(fn func(b *vector.Batch, sel []uint32) error) error {
-	ps, workers, err := p.partitioned()
-	if err != nil {
-		return err
-	}
-	if ps != nil {
-		a, err := p.analyze()
-		if err != nil {
-			return err
-		}
-		return p.runParallel(ps, a, workers, fn)
-	}
 	a, err := p.analyze()
 	if err != nil {
 		return err
 	}
-	return p.runSerial(a, fn)
+	ap, err := p.resolveAccess()
+	if err != nil {
+		return err
+	}
+	if ap == nil {
+		return p.runSerial(a, fn)
+	}
+	if ap.workers <= 1 {
+		return p.runMorsels(ap, a, func(_ int, b *vector.Batch, sel []uint32) error { return fn(b, sel) })
+	}
+	return p.runParallel(ap, a, fn)
 }
 
 // runSerial is the single-goroutine pipeline: one source, one batch, one
@@ -286,16 +312,19 @@ func (p *Plan) runSerial(a *analyzed, fn func(b *vector.Batch, sel []uint32) err
 // set. Like Run, large scans over partitionable relations execute in
 // parallel, and the output batch is bit-identical to the serial one.
 func (p *Plan) Collect() (*vector.Batch, error) {
-	ps, workers, err := p.partitioned()
+	ap, err := p.resolveAccess()
 	if err != nil {
 		return nil, err
 	}
-	if ps != nil {
+	if ap != nil {
 		a, err := p.analyze()
 		if err != nil {
 			return nil, err
 		}
-		return p.collectParallel(ps, a, workers)
+		if ap.workers <= 1 {
+			return p.collectMorsels(ap, a)
+		}
+		return p.collectParallel(ap, a)
 	}
 	c, err := p.compile()
 	if err != nil {

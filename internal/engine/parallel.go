@@ -76,6 +76,10 @@ type PartScan struct {
 	// morsel to the one shard that owns it. Cuts must be ascending.
 	Cuts []uint64
 	Open func(cols []int, lo, hi uint64, last bool) (pdt.BatchSource, error)
+	// Prune, when non-nil, resolves the plan's typed predicates against the
+	// relation's zone maps and secondary indexes before any block is opened
+	// (see PruneBlocks). Returning nil declines pruning for this scan.
+	Prune func(preds []Pred) *PruneResult
 }
 
 // PartRelation is a Relation that can open range-clamped slices of its scan
@@ -97,40 +101,90 @@ func (p *Plan) Parallel(n int) *Plan {
 	return p
 }
 
-// partitioned resolves whether the plan runs in parallel: a non-nil PartScan
-// plus the worker count, or (nil, 1) for the serial path.
-func (p *Plan) partitioned() (*PartScan, int, error) {
-	if p.workers == 1 || p.rel == nil {
-		return nil, 1, nil
-	}
-	if p.workers == 0 && p.batchSize < minParallelBatch {
-		return nil, 1, nil
+// accessPlan is the resolved execution strategy of one plan run: the scan's
+// partition description, the morsels to execute (covering only the kept
+// ranges when the prune pass excluded blocks), the worker count, and the
+// prune outcome. A nil accessPlan means the plain serial path.
+type accessPlan struct {
+	ps      *PartScan
+	morsels []morsel
+	workers int
+	pruned  *PruneResult
+}
+
+// resolveAccess picks the plan's access path. With no prunable predicates the
+// decision reduces exactly to parallel gating: serial unless the relation
+// partitions and the scan is large (or Parallel forced workers). With typed
+// predicates and a pruning-capable PartScan the prune pass runs first; if it
+// excludes any block, execution covers only the kept ranges — morsel by
+// morsel on the caller's goroutine when one worker resolves, in parallel
+// otherwise. A prune pass that keeps every block falls back to the unpruned
+// paths, so full-keep scans cost exactly what they did before pruning
+// existed.
+func (p *Plan) resolveAccess() (*accessPlan, error) {
+	if p.rel == nil {
+		return nil, nil
 	}
 	pr, ok := p.rel.(PartRelation)
 	if !ok {
-		return nil, 1, nil
+		return nil, nil
+	}
+	var preds []Pred
+	if PruningEnabled() && !p.noPrune {
+		preds = p.typedPreds()
+	}
+	wantPrune := len(preds) > 0
+	if p.workers == 1 && !wantPrune {
+		return nil, nil
+	}
+	if p.workers == 0 && p.batchSize < minParallelBatch && !wantPrune {
+		return nil, nil
 	}
 	ps, err := pr.PartitionScan(p.loKey, p.hiKey)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	if ps == nil || ps.Open == nil {
-		return nil, 1, nil
+		return nil, nil
+	}
+	var pruned *PruneResult
+	if wantPrune && ps.Prune != nil {
+		if res := ps.Prune(preds); res != nil && res.Kept < res.Total {
+			pruned = res
+		}
 	}
 	n := p.workers
 	if n == 0 {
-		if ps.Hi-ps.Lo < uint64(ParallelThreshold) {
-			return nil, 1, nil
-		}
-		n = DefaultWorkers
-		if n <= 0 {
-			n = runtime.GOMAXPROCS(0)
+		if ps.Hi-ps.Lo < uint64(ParallelThreshold) || p.batchSize < minParallelBatch {
+			n = 1
+		} else {
+			n = DefaultWorkers
+			if n <= 0 {
+				n = runtime.GOMAXPROCS(0)
+			}
 		}
 	}
-	if n <= 1 {
-		return nil, 1, nil
+	if pruned == nil {
+		if n <= 1 {
+			return nil, nil
+		}
+		morsels := morselize(ps.Lo, ps.Hi, ps.Unit, n, ps.Cuts)
+		if n > len(morsels) {
+			n = len(morsels)
+		}
+		return &accessPlan{ps: ps, morsels: morsels, workers: n}, nil
 	}
-	return ps, n, nil
+	if n < 1 {
+		n = 1
+	}
+	morsels := morselizeRanges(pruned.Ranges, ps, n)
+	if n > len(morsels) {
+		n = len(morsels)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &accessPlan{ps: ps, morsels: morsels, workers: n, pruned: pruned}, nil
 }
 
 // morsel is one contiguous stable-SID chunk of a partitioned scan.
@@ -184,6 +238,141 @@ func morselize(lo, hi uint64, unit, workers int, cuts []uint64) []morsel {
 	return ms
 }
 
+// morselizeRanges is morselize over the kept ranges of a prune pass: each
+// range splits into block-aligned chunks sized for the worker count, cuts
+// stay hard boundaries, and zero-width ranges (a sharded domain's empty
+// slots, which can still hold delta-layer inserts) become zero-width morsels
+// so the shard owning them still opens. Only a final morsel ending exactly at
+// ps.Hi carries last=true: a delta entry sitting on any other range's end
+// boundary would have dirtied the adjacent block and kept it, so a pruned
+// range ending strictly below Hi never owns boundary entries.
+func morselizeRanges(ranges []SIDRange, ps *PartScan, workers int) []morsel {
+	unit := uint64(ps.Unit)
+	if unit == 0 {
+		unit = 1
+	}
+	var span uint64
+	for _, r := range ranges {
+		span += r.Hi - r.Lo
+	}
+	target := uint64(workers * morselsPerWorker)
+	rows := (span + target - 1) / target
+	rows = (rows + unit - 1) / unit * unit
+	if rows < unit {
+		rows = unit
+	}
+	var ms []morsel
+	emit := func(a, b uint64) {
+		if a == b {
+			ms = append(ms, morsel{lo: a, hi: a})
+			return
+		}
+		for at := a; at < b; at += rows {
+			end := at + rows
+			if end > b {
+				end = b
+			}
+			ms = append(ms, morsel{lo: at, hi: end})
+		}
+	}
+	for _, r := range ranges {
+		seg := r.Lo
+		for _, c := range ps.Cuts {
+			if c <= seg || c >= r.Hi {
+				continue
+			}
+			emit(seg, c)
+			seg = c
+		}
+		emit(seg, r.Hi)
+	}
+	// Exactly one morsel may start at any position: a zero-width morsel whose
+	// position another morsel also starts at would make a sharded relation
+	// open the empty slot twice (its Open matches slots by morsel start).
+	// Ranges are ascending, so colliding morsels are adjacent — drop the
+	// zero-width one.
+	n := 0
+	for i, m := range ms {
+		if m.lo == m.hi && i+1 < len(ms) && ms[i+1].lo == m.lo {
+			continue
+		}
+		ms[n] = m
+		n++
+	}
+	ms = ms[:n]
+	if len(ms) == 0 {
+		ms = append(ms, morsel{lo: ps.Lo, hi: ps.Lo})
+	}
+	if m := &ms[len(ms)-1]; m.hi == ps.Hi {
+		m.last = true
+	}
+	return ms
+}
+
+// runMorsels executes an access plan serially: the caller's goroutine walks
+// the morsels in order through the plan's filter pipeline — the pruned
+// counterpart of runSerial, with no worker machinery. fn receives the morsel
+// index (Run wraps it to drop the index).
+func (p *Plan) runMorsels(ap *accessPlan, a *analyzed, fn func(part int, b *vector.Batch, sel []uint32) error) error {
+	b := vector.NewBatch(a.kinds, p.batchSize)
+	sel := vector.GetSelection()
+	defer vector.PutSelection(sel)
+	for mi, m := range ap.morsels {
+		src, err := ap.ps.Open(a.scanCols, m.lo, m.hi, m.last)
+		if err != nil {
+			return err
+		}
+		for {
+			b.Reset()
+			n, err := src.Next(b, p.batchSize)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			sel.All(n)
+			for i, f := range p.filters {
+				f.apply(b.Vecs[a.slots[i]], sel)
+				if sel.Len() == 0 {
+					break
+				}
+			}
+			if sel.Len() == 0 {
+				continue
+			}
+			if err := fn(mi, b, sel.Indexes()); err != nil {
+				if errors.Is(err, Stop) {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// collectMorsels is Collect over a serially-executed pruned access plan.
+func (p *Plan) collectMorsels(ap *accessPlan, a *analyzed) (*vector.Batch, error) {
+	outKinds := a.kinds[:len(p.outCols)]
+	out := vector.NewBatch(outKinds, p.batchSize)
+	err := p.runMorsels(ap, a, func(_ int, b *vector.Batch, idx []uint32) error {
+		for i := range p.outCols {
+			out.Vecs[i].AppendSelected(b.Vecs[i], idx)
+		}
+		if p.needRids && len(b.Rids) > 0 {
+			for _, ri := range idx {
+				out.Rids = append(out.Rids, b.Rids[ri])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // pslot is one pooled (batch, selection) pair cycling between a worker and
 // the ordered delivery loop.
 type pslot struct {
@@ -228,11 +417,8 @@ func poolFor(kinds []types.Kind, capHint int) *vector.BatchPool {
 // counter and pipe filtered batches through per-worker slot pools; the
 // delivery loop below releases them to fn in morsel order, so fn observes the
 // exact serial row sequence.
-func (p *Plan) runParallel(ps *PartScan, a *analyzed, workers int, fn func(b *vector.Batch, sel []uint32) error) error {
-	morsels := morselize(ps.Lo, ps.Hi, ps.Unit, workers, ps.Cuts)
-	if workers > len(morsels) {
-		workers = len(morsels)
-	}
+func (p *Plan) runParallel(ap *accessPlan, a *analyzed, fn func(b *vector.Batch, sel []uint32) error) error {
+	ps, morsels, workers := ap.ps, ap.morsels, ap.workers
 	pool := poolFor(a.kinds, p.batchSize)
 	var next atomic.Int64
 	stopc := make(chan struct{})
@@ -404,11 +590,8 @@ func (p *Plan) produceMorsel(ps *PartScan, a *analyzed, m morsel, w, mi int, fre
 // appends its morsels' survivors into a private output batch and records one
 // (morsel, start, end) segment per morsel; stitching segments in morsel order
 // afterwards reproduces the serial output exactly.
-func (p *Plan) collectParallel(ps *PartScan, a *analyzed, workers int) (*vector.Batch, error) {
-	morsels := morselize(ps.Lo, ps.Hi, ps.Unit, workers, ps.Cuts)
-	if workers > len(morsels) {
-		workers = len(morsels)
-	}
+func (p *Plan) collectParallel(ap *accessPlan, a *analyzed) (*vector.Batch, error) {
+	ps, morsels, workers := ap.ps, ap.morsels, ap.workers
 	outKinds := a.kinds[:len(p.outCols)]
 	fast := len(p.filters) == 0 && len(a.scanCols) == len(p.outCols)
 	type seg struct {
@@ -539,30 +722,32 @@ func (p *Plan) collectParallel(ps *PartScan, a *analyzed, workers int) (*vector.
 // allocate per-partition state up front; folding those partial states
 // together in partition order after RunPartitioned returns yields a result
 // independent of how partitions were scheduled — the deterministic combine
-// step parallel aggregations need. A plan on the serial path has exactly one
-// partition. fn may be called concurrently for different partitions, never
-// for the same one; returning Stop ends the whole run without error.
+// step parallel aggregations need. A plan on the plain serial path has
+// exactly one partition; a pruned scan resolved to one worker has one
+// partition per kept morsel, processed in order on the caller's goroutine.
+// fn may be called concurrently for different partitions, never for the same
+// one; returning Stop ends the whole run without error.
 func (p *Plan) RunPartitioned(start func(parts int) error, fn func(part int, b *vector.Batch, sel []uint32) error) error {
 	a, err := p.analyze()
 	if err != nil {
 		return err
 	}
-	ps, workers, err := p.partitioned()
+	ap, err := p.resolveAccess()
 	if err != nil {
 		return err
 	}
-	if ps == nil {
+	if ap == nil {
 		if err := start(1); err != nil {
 			return err
 		}
 		return p.runSerial(a, func(b *vector.Batch, sel []uint32) error { return fn(0, b, sel) })
 	}
-	morsels := morselize(ps.Lo, ps.Hi, ps.Unit, workers, ps.Cuts)
-	if workers > len(morsels) {
-		workers = len(morsels)
-	}
+	ps, morsels, workers := ap.ps, ap.morsels, ap.workers
 	if err := start(len(morsels)); err != nil {
 		return err
+	}
+	if workers <= 1 {
+		return p.runMorsels(ap, a, fn)
 	}
 	scratch := poolFor(a.kinds, p.batchSize)
 	errs := make([]error, workers)

@@ -1,0 +1,277 @@
+package engine
+
+// Pre-scan block pruning: the access-path half of the plan. Every typed
+// filter also records a Pred — a declarative description of what it keeps —
+// and a partitionable relation may expose a Prune hook that resolves those
+// predicates against per-block zone maps and secondary-index summaries
+// BEFORE any block is fetched. The result is the subset of the scan's
+// stable-SID range that can still hold qualifying rows; morselization then
+// covers only that subset, so neither serial nor parallel workers ever open
+// a pruned block.
+//
+// Pruning under a PDT layer stack must respect pending updates: a block the
+// frozen or in-flight PDTs touch (insert, delete or in-place modify) may
+// hold rows whose current values differ from the stable image the stats
+// describe, so dirty blocks are never pruned. PruneBlocks folds the pinned
+// layer stack down to stable coordinates (the same non-destructive pdt.Fold
+// the maintenance path uses) and marks every touched block dirty — which is
+// also what keeps index reads snapshot-consistent: the per-block summaries
+// are built over the stable image at fold/checkpoint time, and any block
+// whose image the snapshot's unfolded deltas would patch is scanned, not
+// probed. Blocks in the shifted region whose values are untouched remain
+// prunable: morsel opens seek each layer cursor to the morsel's start SID
+// carrying the running shift, so RIDs stay exact across skipped ranges.
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"pdtstore/internal/colstore"
+	"pdtstore/internal/pdt"
+	"pdtstore/internal/storage"
+)
+
+// PredOp enumerates the predicate shapes the pruning pass understands. A
+// filter whose semantics no PredOp captures (FilterStrContains, custom
+// kernels) records PredNone and simply never prunes.
+type PredOp uint8
+
+const (
+	// PredNone marks a filter with no prunable description.
+	PredNone PredOp = iota
+	// PredInt64Range keeps ILo <= v <= IHi (Int64/Date/Bool columns).
+	PredInt64Range
+	// PredFloat64Range keeps FLo <= v <= FHi.
+	PredFloat64Range
+	// PredFloat64Lt keeps v < FHi (strict).
+	PredFloat64Lt
+	// PredStrEq keeps v == Strs[0].
+	PredStrEq
+	// PredStrIn keeps v ∈ Strs.
+	PredStrIn
+	// PredStrPrefix keeps v with prefix Strs[0].
+	PredStrPrefix
+)
+
+// Pred is the declarative form of one typed filter: enough for a zone map or
+// index summary to prove "no row of this block qualifies" without running
+// the kernel. The arm named by Op is populated.
+type Pred struct {
+	Col      int
+	Op       PredOp
+	ILo, IHi int64
+	FLo, FHi float64
+	Strs     []string
+	// Eq marks an exact-match predicate (FilterInt64Eq, FilterStrEq) — the
+	// shape a hash/bloom index summary can answer even when a range cannot.
+	Eq bool
+}
+
+// SIDRange is one kept contiguous stable-SID sub-range of a pruned scan.
+type SIDRange struct{ Lo, Hi uint64 }
+
+// PruneResult is the outcome of a pre-scan pruning pass: the kept sub-ranges
+// (ascending, disjoint, block-aligned except at the scan's own bounds),
+// block accounting, and which structure proved each skipped block
+// irrelevant. Kept == Total means nothing was pruned; the plan falls back to
+// the plain scan path.
+type PruneResult struct {
+	Ranges     []SIDRange
+	Total      int // blocks the unpruned scan would touch
+	Kept       int
+	ZoneSkips  int // blocks excluded by zone-map min/max
+	IndexSkips int // blocks excluded by a secondary-index probe
+}
+
+// IndexProber is the narrow interface through which the engine consults a
+// secondary-index set (package index implements it; the engine never imports
+// it — the store carries the set as an opaque sidecar). CanSkip reports
+// whether logical block blk of pred.Col provably holds no value satisfying
+// pred; indexed=false means the index has no opinion (column not indexed, or
+// predicate shape not answerable).
+type IndexProber interface {
+	CanSkip(pred Pred, blk int) (skip, indexed bool)
+}
+
+// pruneOff is the global pruning switch: differential suites flip it to
+// compare pruned and unpruned executions of identical plans.
+var pruneOff atomic.Bool
+
+// SetPruning enables (default) or disables pre-scan block pruning globally.
+// Flips are not synchronized with running plans; callers toggle it only
+// between executions (the differential tests do).
+func SetPruning(on bool) { pruneOff.Store(!on) }
+
+// PruningEnabled reports the global pruning switch.
+func PruningEnabled() bool { return !pruneOff.Load() }
+
+// typedPreds collects the plan's prunable predicate descriptions.
+func (p *Plan) typedPreds() []Pred {
+	var preds []Pred
+	for _, f := range p.filters {
+		if f.pred.Op != PredNone {
+			preds = append(preds, f.pred)
+		}
+	}
+	return preds
+}
+
+// PruneFunc builds a PartScan.Prune hook over one store and the PDT layer
+// stack pinned by the scan's snapshot (bottom-to-top; nil and empty layers
+// are skipped). lo/hi are the PartScan's stable-SID bounds. Skipped blocks
+// are counted on the store's device (Device.SkipStats).
+func PruneFunc(store *colstore.Store, lo, hi uint64, layers ...*pdt.PDT) func(preds []Pred) *PruneResult {
+	return func(preds []Pred) *PruneResult {
+		return PruneBlocks(store, lo, hi, preds, layers...)
+	}
+}
+
+// PruneBlocks resolves preds against store's zone maps and index sidecar for
+// the stable range [lo, hi), never pruning a block the layer stack dirties.
+// It returns nil when pruning does not apply (empty range or no predicates):
+// in particular an empty stable range can still produce rows from delta-layer
+// inserts, so it is never pruned away.
+func PruneBlocks(store *colstore.Store, lo, hi uint64, preds []Pred, layers ...*pdt.PDT) *PruneResult {
+	if hi <= lo || len(preds) == 0 {
+		return nil
+	}
+	prober, _ := store.Aux().(IndexProber)
+	// Fold the pinned layer stack to stable coordinates: entry SIDs of the
+	// folded PDT address TABLE₀ positions, exactly what blocks are.
+	var folded *pdt.PDT
+	for _, l := range layers {
+		if l == nil || l.Empty() {
+			continue
+		}
+		if folded == nil {
+			folded = l
+			continue
+		}
+		f, err := pdt.Fold(folded, l)
+		if err != nil {
+			// A fold failure (schema mismatch) cannot happen for layers of one
+			// table; decline pruning rather than fail the scan if it ever does.
+			return nil
+		}
+		folded = f
+	}
+	var entries []pdt.Entry
+	if folded != nil {
+		entries = folded.Entries() // ascending SID
+	}
+	br := uint64(store.BlockRows())
+	b0, b1 := lo/br, (hi-1)/br
+	res := &PruneResult{Total: int(b1 - b0 + 1)}
+	var zoneSkips, indexSkips int
+	ei := 0
+	for b := b0; b <= b1; b++ {
+		blkLo, blkHi := b*br, (b+1)*br
+		if blkHi > hi {
+			blkHi = hi
+		}
+		for ei < len(entries) && entries[ei].SID < blkLo {
+			ei++
+		}
+		dirty := ei < len(entries) && entries[ei].SID < blkHi
+		if !dirty && b == b1 {
+			// The scan's final block owns delta entries sitting exactly on
+			// the range's end boundary (appends land at SID == hi); they can
+			// qualify, so their presence keeps the block.
+			for j := ei; j < len(entries) && entries[j].SID <= hi; j++ {
+				if entries[j].SID == hi {
+					dirty = true
+					break
+				}
+			}
+		}
+		keep := true
+		if !dirty {
+			for _, pr := range preds {
+				if z, ok := store.Zone(pr.Col, int(b)); ok && zoneExcludes(z, pr) {
+					zoneSkips++
+					keep = false
+					break
+				}
+				if prober != nil {
+					if skip, indexed := prober.CanSkip(pr, int(b)); indexed && skip {
+						indexSkips++
+						keep = false
+						break
+					}
+				}
+			}
+		}
+		if !keep {
+			continue
+		}
+		res.Kept++
+		rlo := blkLo
+		if rlo < lo {
+			rlo = lo
+		}
+		if n := len(res.Ranges); n > 0 && res.Ranges[n-1].Hi == rlo {
+			res.Ranges[n-1].Hi = blkHi
+		} else {
+			res.Ranges = append(res.Ranges, SIDRange{Lo: rlo, Hi: blkHi})
+		}
+	}
+	res.ZoneSkips, res.IndexSkips = zoneSkips, indexSkips
+	store.Device().CountSkips(uint64(zoneSkips), uint64(indexSkips))
+	return res
+}
+
+// zoneExcludes reports whether the zone proves no value of the block can
+// satisfy p. Kind mismatches (a pred over a column whose zone holds another
+// arm, or ZoneNone) never exclude.
+func zoneExcludes(z storage.Zone, p Pred) bool {
+	switch p.Op {
+	case PredInt64Range:
+		return z.Kind == storage.ZoneInt && (p.IHi < z.MinI || p.ILo > z.MaxI)
+	case PredFloat64Range:
+		return z.Kind == storage.ZoneFloat && (p.FHi < z.MinF || p.FLo > z.MaxF)
+	case PredFloat64Lt:
+		return z.Kind == storage.ZoneFloat && p.FHi <= z.MinF
+	case PredStrEq:
+		return z.Kind == storage.ZoneString && strOutsideZone(z, p.Strs[0])
+	case PredStrIn:
+		if z.Kind != storage.ZoneString {
+			return false
+		}
+		for _, s := range p.Strs {
+			if !strOutsideZone(z, s) {
+				return false
+			}
+		}
+		return true
+	case PredStrPrefix:
+		if z.Kind != storage.ZoneString {
+			return false
+		}
+		pre := p.Strs[0]
+		// Strings with prefix pre all sort >= pre, and the block's true max
+		// is provably < pre when the stored max (or, truncated, every string
+		// extending it) sorts below pre. Symmetrically for the min side.
+		if strAboveBlockMax(z, pre) {
+			return true
+		}
+		return z.MinS > pre && !strings.HasPrefix(z.MinS, pre)
+	}
+	return false
+}
+
+// strOutsideZone reports that x cannot occur in the block: every block value
+// is provably < x or provably > x.
+func strOutsideZone(z storage.Zone, x string) bool {
+	return strAboveBlockMax(z, x) || z.MinS > x
+}
+
+// strAboveBlockMax reports that every string in the block is < x. With an
+// untruncated max that is MaxS < x. A truncated MaxS is a prefix of the true
+// max, so additionally x must not extend MaxS — if it does, the true max
+// could still reach x.
+func strAboveBlockMax(z storage.Zone, x string) bool {
+	if !(z.MaxS < x) {
+		return false
+	}
+	return !z.MaxSTrunc || !strings.HasPrefix(x, z.MaxS)
+}

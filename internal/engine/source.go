@@ -86,6 +86,7 @@ func PartitionSpec(spec TableSpec, loKey, hiKey types.Row) *PartScan {
 		delta = nil
 	}
 	return &PartScan{Lo: lo, Hi: hi, Unit: s.BlockRows(),
+		Prune: PruneFunc(s, lo, hi, delta),
 		Open: func(cols []int, mlo, mhi uint64, last bool) (pdt.BatchSource, error) {
 			// Readahead: charge the morsel's cold block reads up front so
 			// concurrent workers' modeled I/O overlaps.

@@ -1,0 +1,323 @@
+// Package index implements PDT-maintained secondary indexes over the stable
+// image: per-(column, block) value summaries that answer "can this block hold
+// a row satisfying this predicate?" without touching the block. Two summary
+// shapes cover the selectivity spectrum:
+//
+//   - An exact sorted distinct set when the block holds at most maxExact
+//     distinct values (categorical and low-cardinality columns — built
+//     straight from the dictionary of a DictString block or the run values
+//     of an RLEInt block, never materializing rows). Exact sets answer
+//     equality, membership, range and prefix probes.
+//   - A Bloom filter (about bloomBitsPerRow bits per row, bloomHashes probe
+//     positions) otherwise. Blooms answer equality and membership only, with
+//     one-sided error: a negative is certain, so a "skip" is always sound.
+//
+// Summaries describe the stable image only. Consistency under unfolded PDT
+// deltas is the scan's job, and it is positional: the engine's prune pass
+// never skips a block the pinned layer stack touches (see engine.PruneBlocks),
+// so a probe answer is only ever applied to blocks whose stable content IS
+// the snapshot's content. That split is what lets the index be maintained
+// lazily — rebuilt only at fold/checkpoint time, from exactly the dirty-block
+// map the incremental checkpoint already computes — while reads stay
+// snapshot-consistent at every moment in between.
+//
+// A Set is immutable once built and rides a store's Aux sidecar: shared
+// ("no-write") checkpoints reuse it via CloneShared verbatim, incremental
+// checkpoints Rebuild it reusing every clean region-A summary, and full
+// rewrites Build afresh.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"pdtstore/internal/colstore"
+	"pdtstore/internal/compress"
+	"pdtstore/internal/engine"
+	"pdtstore/internal/types"
+)
+
+const (
+	// maxExact is the distinct-value ceiling for the exact summary arm.
+	maxExact = 256
+	// bloomBitsPerRow sizes the Bloom arm (~1% false positives at 4 hashes).
+	bloomBitsPerRow = 10
+	// bloomHashes is the number of probe positions per value.
+	bloomHashes = 4
+)
+
+// summary is one block's value digest: exactly one arm is populated.
+type summary struct {
+	kind types.Kind
+	ints []int64  // exact arm, sorted distinct (Int64/Date/Bool)
+	strs []string // exact arm, sorted distinct (String)
+	bits []uint64 // Bloom arm
+}
+
+// Set is an immutable secondary-index set over one stable image: per-block
+// summaries for each indexed column. It implements engine.IndexProber and is
+// attached to the image via colstore's Aux sidecar.
+type Set struct {
+	cols map[int][]summary // schema column -> per-block summaries
+}
+
+// Cols returns the indexed schema columns, ascending.
+func (s *Set) Cols() []int {
+	cols := make([]int, 0, len(s.cols))
+	for c := range s.cols {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// Build constructs summaries for cols over every block of st, reading
+// encoded blocks (dictionary and RLE digests come straight from the
+// encoding). Float64 columns cannot be indexed: equality on measures is not
+// a meaningful probe and exact float sets are trap-prone.
+func Build(st *colstore.Store, cols []int) (*Set, error) {
+	s := &Set{cols: make(map[int][]summary, len(cols))}
+	nb := st.NumBlocks()
+	schema := st.Schema()
+	for _, c := range cols {
+		if c < 0 || c >= schema.NumCols() {
+			return nil, fmt.Errorf("index: column %d out of range", c)
+		}
+		kind := schema.Cols[c].Kind
+		if kind == types.Float64 {
+			return nil, fmt.Errorf("index: column %d (%s) is Float64; float columns cannot be indexed", c, schema.Cols[c].Name)
+		}
+		sums := make([]summary, nb)
+		for b := 0; b < nb; b++ {
+			enc, err := st.EncodedBlock(c, b)
+			if err != nil {
+				return nil, err
+			}
+			sum, err := buildSummary(kind, enc)
+			if err != nil {
+				return nil, err
+			}
+			sums[b] = sum
+		}
+		s.cols[c] = sums
+	}
+	return s, nil
+}
+
+// Rebuild constructs the next generation's Set over st, reusing every summary
+// of the previous set whose block dirty reports clean — the incremental
+// maintenance path, driven by the same per-(column, block) dirty map the
+// incremental checkpoint computes from the frozen PDT (blocks at or past the
+// first position shift are always dirty there). nblocks is st's block count.
+func (s *Set) Rebuild(st *colstore.Store, nblocks int, dirty func(col, blk int) bool) (*Set, error) {
+	out := &Set{cols: make(map[int][]summary, len(s.cols))}
+	schema := st.Schema()
+	for c, old := range s.cols {
+		kind := schema.Cols[c].Kind
+		sums := make([]summary, nblocks)
+		for b := 0; b < nblocks; b++ {
+			if b < len(old) && !dirty(c, b) {
+				sums[b] = old[b]
+				continue
+			}
+			enc, err := st.EncodedBlock(c, b)
+			if err != nil {
+				return nil, err
+			}
+			sum, err := buildSummary(kind, enc)
+			if err != nil {
+				return nil, err
+			}
+			sums[b] = sum
+		}
+		out.cols[c] = sums
+	}
+	return out, nil
+}
+
+// CanSkip implements engine.IndexProber: it reports whether block blk of
+// pred.Col provably holds no value satisfying pred. indexed is false when the
+// column has no index or the summary cannot answer the predicate's shape (a
+// Bloom arm asked a range question), in which case the engine falls through
+// to its other access checks.
+func (s *Set) CanSkip(pred engine.Pred, blk int) (skip, indexed bool) {
+	sums, ok := s.cols[pred.Col]
+	if !ok || blk < 0 || blk >= len(sums) {
+		return false, false
+	}
+	sum := &sums[blk]
+	switch pred.Op {
+	case engine.PredInt64Range:
+		if sum.ints != nil {
+			i := sort.Search(len(sum.ints), func(i int) bool { return sum.ints[i] >= pred.ILo })
+			return i == len(sum.ints) || sum.ints[i] > pred.IHi, true
+		}
+		if sum.bits != nil && pred.Eq {
+			return !bloomHas(sum.bits, hashInt(pred.ILo)), true
+		}
+	case engine.PredStrEq:
+		return sum.strSkipEq(pred.Strs[0])
+	case engine.PredStrIn:
+		for _, x := range pred.Strs {
+			sk, idx := sum.strSkipEq(x)
+			if !idx {
+				return false, false
+			}
+			if !sk {
+				return false, true
+			}
+		}
+		return true, true
+	case engine.PredStrPrefix:
+		if sum.strs != nil {
+			pre := pred.Strs[0]
+			i := sort.Search(len(sum.strs), func(i int) bool { return sum.strs[i] >= pre })
+			return i == len(sum.strs) || len(sum.strs[i]) < len(pre) || sum.strs[i][:len(pre)] != pre, true
+		}
+	}
+	return false, false
+}
+
+// strSkipEq answers an equality probe for one string against either arm.
+func (sum *summary) strSkipEq(x string) (skip, indexed bool) {
+	if sum.strs != nil {
+		i := sort.Search(len(sum.strs), func(i int) bool { return sum.strs[i] >= x })
+		return i == len(sum.strs) || sum.strs[i] != x, true
+	}
+	if sum.bits != nil {
+		return !bloomHas(sum.bits, hashStr(x)), true
+	}
+	return false, false
+}
+
+// buildSummary digests one encoded block. Dictionary and RLE encodings hand
+// over their exact value sets directly; other encodings decode and dedup,
+// overflowing into a Bloom filter past maxExact distinct values.
+func buildSummary(kind types.Kind, enc []byte) (summary, error) {
+	sum := summary{kind: kind}
+	switch kind {
+	case types.String:
+		vals, ok, err := compress.DictValues(enc)
+		if err != nil {
+			return sum, err
+		}
+		if !ok {
+			if vals, err = compress.DecodeStrings(enc, vals[:0]); err != nil {
+				return sum, err
+			}
+		}
+		distinct := dedupStrings(vals)
+		if len(distinct) <= maxExact {
+			sum.strs = distinct
+			return sum, nil
+		}
+		sum.bits = newBloom(len(vals))
+		for _, v := range vals {
+			bloomAdd(sum.bits, hashStr(v))
+		}
+	case types.Bool:
+		vals, err := compress.DecodeBools(enc, nil)
+		if err != nil {
+			return sum, err
+		}
+		sum.ints = dedupInt64s(vals)
+	default: // Int64, Date
+		vals, ok, err := compress.RLEValues(enc)
+		if err != nil {
+			return sum, err
+		}
+		if !ok {
+			if vals, err = compress.DecodeInt64s(enc, vals[:0]); err != nil {
+				return sum, err
+			}
+		}
+		distinct := dedupInt64s(vals)
+		if len(distinct) <= maxExact {
+			sum.ints = distinct
+			return sum, nil
+		}
+		sum.bits = newBloom(len(vals))
+		for _, v := range vals {
+			bloomAdd(sum.bits, hashInt(v))
+		}
+	}
+	return sum, nil
+}
+
+func dedupInt64s(vals []int64) []int64 {
+	out := append([]int64(nil), vals...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}
+
+func dedupStrings(vals []string) []string {
+	out := append([]string(nil), vals...)
+	sort.Strings(out)
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// newBloom sizes a bit set for n values at bloomBitsPerRow bits each.
+func newBloom(n int) []uint64 {
+	if n < 1 {
+		n = 1
+	}
+	return make([]uint64, (n*bloomBitsPerRow+63)/64)
+}
+
+// bloomAdd sets bloomHashes positions derived from h by double hashing.
+func bloomAdd(bits []uint64, h uint64) {
+	h1, h2 := uint32(h), uint32(h>>32)|1
+	n := uint32(len(bits) * 64)
+	for i := uint32(0); i < bloomHashes; i++ {
+		p := (h1 + i*h2) % n
+		bits[p/64] |= 1 << (p % 64)
+	}
+}
+
+// bloomHas reports whether every probe position of h is set; false means the
+// value is certainly absent.
+func bloomHas(bits []uint64, h uint64) bool {
+	h1, h2 := uint32(h), uint32(h>>32)|1
+	n := uint32(len(bits) * 64)
+	for i := uint32(0); i < bloomHashes; i++ {
+		p := (h1 + i*h2) % n
+		if bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// hashInt is FNV-1a over the value's little-endian bytes.
+func hashInt(v int64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hashStr is FNV-1a over the string's bytes.
+func hashStr(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,189 @@
+// Command lint checks that every exported identifier of the packages named
+// on the command line carries a doc comment: package-level types, functions,
+// methods with exported receivers, consts, vars, and the exported fields of
+// exported structs. It is the documentation gate of the CI docs lane —
+// godoc-visible surface must explain itself.
+//
+// Usage: go run ./internal/lint <pkg-dir> [<pkg-dir>...]
+//
+// A const or var inside a parenthesized group is covered by the group's doc
+// comment; a struct field list sharing one comment covers all its names.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lint <pkg-dir> [<pkg-dir>...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		missing, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		bad += len(missing)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d exported identifiers lack doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s %s has no doc comment",
+			filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") || pkg.Name == "main" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedRecv(d) {
+						continue
+					}
+					if d.Doc == nil {
+						report(d.Pos(), kindOf(d), declName(d))
+					}
+				case *ast.GenDecl:
+					checkGen(fset, d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// exportedRecv reports whether a method's receiver type is exported (plain
+// functions count as exported receivers).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "func"
+}
+
+func declName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	t := d.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		b.WriteByte('*')
+		t = se.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		b.WriteString(id.Name)
+	}
+	b.WriteString(").")
+	b.WriteString(d.Name.Name)
+	return b.String()
+}
+
+// checkGen walks a type/const/var declaration. A group doc comment covers
+// every spec in the group; a spec-level doc or trailing line comment covers
+// that spec.
+func checkGen(fset *token.FileSet, d *ast.GenDecl, report func(pos token.Pos, what, name string)) {
+	what := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+	if what == "" {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), what, s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				checkFields(fset, s.Name.Name, st, report)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), what, name.Name)
+				}
+				break // one report per spec line is enough
+			}
+		}
+	}
+}
+
+// checkFields requires each exported field to be documented, directly or as
+// part of a run: one doc comment may cover the documented field plus the
+// fields on the immediately following lines, until a blank line or the next
+// comment starts a new run (the package's established multi-field idiom,
+// e.g. "LSN is ...; FreezeLSN is its ...").
+func checkFields(fset *token.FileSet, owner string, st *ast.StructType, report func(pos token.Pos, what, name string)) {
+	prevLine, covered := -2, false
+	for _, f := range st.Fields.List {
+		line := fset.Position(f.Pos()).Line
+		if f.Doc != nil || f.Comment != nil {
+			covered = true
+		} else if line != prevLine+1 {
+			covered = false // blank line (or first field): the run ended
+		}
+		prevLine = fset.Position(f.End()).Line
+		if covered {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.IsExported() {
+				report(name.Pos(), "field", owner+"."+name.Name)
+				break
+			}
+		}
+	}
+}

@@ -60,6 +60,7 @@ type SegmentWriter struct {
 	blockRows  int
 	compressed bool
 	index      [][]BlockEntry
+	zones      [][]Zone
 	places     [][]BlockPlace
 	err        error
 }
@@ -80,6 +81,7 @@ func CreateSegment(path string, schema *types.Schema, blockRows int, compressed 
 		blockRows:  blockRows,
 		compressed: compressed,
 		index:      make([][]BlockEntry, schema.NumCols()),
+		zones:      make([][]Zone, schema.NumCols()),
 	}
 	if _, err := w.w.Write(segMagic[:]); err != nil {
 		f.Close()
@@ -89,8 +91,10 @@ func CreateSegment(path string, schema *types.Schema, blockRows int, compressed 
 	return w, nil
 }
 
-// AppendBlock writes one encoded column block and records it in the index.
-func (w *SegmentWriter) AppendBlock(col int, enc []byte) error {
+// AppendBlock writes one encoded column block and records it in the index
+// along with its zone-map statistics (pass a zero Zone — Kind ZoneNone — when
+// the caller has none; such blocks are never skipped).
+func (w *SegmentWriter) AppendBlock(col int, enc []byte, z Zone) error {
 	if w.err != nil {
 		return w.err
 	}
@@ -103,6 +107,7 @@ func (w *SegmentWriter) AppendBlock(col int, enc []byte) error {
 		Len: uint32(len(enc)),
 		CRC: crc32.ChecksumIEEE(enc),
 	})
+	w.zones[col] = append(w.zones[col], z)
 	w.off += int64(len(enc))
 	return nil
 }
@@ -123,7 +128,7 @@ func (w *SegmentWriter) Finish(nrows uint64, sparse []types.Row) (*Segment, erro
 	if w.err != nil {
 		return nil, w.err
 	}
-	footer := encodeFooter(w.schema, nrows, w.blockRows, w.compressed, w.index, sparse, w.places)
+	footer := encodeFooter(w.schema, nrows, w.blockRows, w.compressed, w.index, sparse, w.places, w.zones)
 	footerOff := w.off
 	var trailer [trailerSize]byte
 	binary.LittleEndian.PutUint64(trailer[0:8], uint64(footerOff))
@@ -152,6 +157,7 @@ func (w *SegmentWriter) Finish(nrows uint64, sparse []types.Row) (*Segment, erro
 		compressed: w.compressed,
 		sparse:     sparse,
 		index:      w.index,
+		zones:      w.zones,
 		places:     w.places,
 	}
 	s.refs.Store(1)
@@ -187,6 +193,7 @@ type Segment struct {
 	compressed bool
 	sparse     []types.Row
 	index      [][]BlockEntry
+	zones      [][]Zone
 	places     [][]BlockPlace
 }
 
@@ -286,6 +293,18 @@ func (s *Segment) TotalBlocks() int {
 // incremental checkpoint, or nil when the segment is self-contained.
 func (s *Segment) Placements() [][]BlockPlace { return s.places }
 
+// Zone returns the zone-map statistics of one physical block of this file,
+// and whether usable stats were recorded for it. Segments written before the
+// zone-map format (and blocks written with ZoneNone) report ok=false and must
+// not be skipped.
+func (s *Segment) Zone(col, blk int) (Zone, bool) {
+	if col >= len(s.zones) || blk >= len(s.zones[col]) {
+		return Zone{}, false
+	}
+	z := s.zones[col][blk]
+	return z, z.Kind != ZoneNone
+}
+
 // Retain adds one reference to the segment. A newer generation that inherits
 // blocks from this file retains it so the descriptor outlives the older
 // store's release.
@@ -329,7 +348,18 @@ func (s *Segment) Closed() bool { return s.closed.Load() }
 
 // --- footer encoding ---------------------------------------------------------
 
-func encodeFooter(schema *types.Schema, nrows uint64, blockRows int, compressed bool, index [][]BlockEntry, sparse []types.Row, places [][]BlockPlace) []byte {
+// Section tags of the footer's extensible tail. The tail starts with a
+// sentinel u32 that no legacy trailing-placements footer can produce (a
+// column count), then a section count, then [tag][len][payload] sections.
+// Unknown tags are skipped, so older readers of a newer footer degrade
+// gracefully instead of failing.
+const (
+	sectionSentinel = 0xFFFFFFFE
+	sectionPlaces   = 1
+	sectionZones    = 2
+)
+
+func encodeFooter(schema *types.Schema, nrows uint64, blockRows int, compressed bool, index [][]BlockEntry, sparse []types.Row, places [][]BlockPlace, zones [][]Zone) []byte {
 	var buf []byte
 	buf = appendSchema(buf, schema)
 	buf = binary.LittleEndian.AppendUint64(buf, nrows)
@@ -352,19 +382,49 @@ func encodeFooter(schema *types.Schema, nrows uint64, blockRows int, compressed 
 	for _, row := range sparse {
 		buf = appendRow(buf, row)
 	}
-	// The placements section is optional and trailing: a self-contained
-	// segment ends right after the sparse rows (the pre-incremental format,
-	// still read back byte-for-byte), an incremental segment appends the
-	// logical→physical block map for the whole generation.
+	// The tail after the sparse rows is the extensible part of the footer.
+	// Two earlier formats end here: the pre-incremental format stops outright
+	// and the pre-zone-map format appends a bare placements map (decoded by
+	// the legacy branch below). New segments always write the sectioned tail.
+	var sections []struct {
+		tag     byte
+		payload []byte
+	}
 	if places != nil {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(places)))
+		var p []byte
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(places)))
 		for _, col := range places {
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(col)))
-			for _, p := range col {
-				buf = binary.LittleEndian.AppendUint32(buf, p.Seg)
-				buf = binary.LittleEndian.AppendUint32(buf, p.Blk)
+			p = binary.LittleEndian.AppendUint32(p, uint32(len(col)))
+			for _, pl := range col {
+				p = binary.LittleEndian.AppendUint32(p, pl.Seg)
+				p = binary.LittleEndian.AppendUint32(p, pl.Blk)
 			}
 		}
+		sections = append(sections, struct {
+			tag     byte
+			payload []byte
+		}{sectionPlaces, p})
+	}
+	if zones != nil {
+		var p []byte
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(zones)))
+		for _, col := range zones {
+			p = binary.LittleEndian.AppendUint32(p, uint32(len(col)))
+			for _, z := range col {
+				p = appendZone(p, z)
+			}
+		}
+		sections = append(sections, struct {
+			tag     byte
+			payload []byte
+		}{sectionZones, p})
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, sectionSentinel)
+	buf = append(buf, byte(len(sections)))
+	for _, sec := range sections {
+		buf = append(buf, sec.tag)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sec.payload)))
+		buf = append(buf, sec.payload...)
 	}
 	return buf
 }
@@ -407,27 +467,102 @@ func decodeFooter(buf []byte) (*Segment, error) {
 		return nil, fmt.Errorf("corrupt footer: %w", r.err)
 	}
 	if len(r.buf) > 0 {
-		npcols := int(r.u32())
-		if r.err != nil || npcols != ncols {
-			return nil, fmt.Errorf("corrupt footer: block map covers %d columns, schema has %d", npcols, ncols)
-		}
-		s.places = make([][]BlockPlace, npcols)
-		for c := range s.places {
-			nblk := int(r.u32())
-			if r.err != nil || nblk > len(r.buf) {
-				return nil, fmt.Errorf("corrupt footer: bad block map count %d", nblk)
-			}
-			col := make([]BlockPlace, nblk)
-			for b := range col {
-				col[b] = BlockPlace{Seg: r.u32(), Blk: r.u32()}
-			}
-			s.places[c] = col
-		}
+		marker := r.u32()
 		if r.err != nil {
 			return nil, fmt.Errorf("corrupt footer: %w", r.err)
 		}
+		if marker == sectionSentinel {
+			nsec := int(r.u8())
+			for i := 0; i < nsec; i++ {
+				tag := r.u8()
+				plen := int(r.u32())
+				if r.err != nil || plen > len(r.buf) {
+					return nil, fmt.Errorf("corrupt footer: bad section length %d", plen)
+				}
+				sr := &reader{buf: r.take(plen)}
+				switch tag {
+				case sectionPlaces:
+					places, err := decodePlaces(sr, ncols)
+					if err != nil {
+						return nil, err
+					}
+					s.places = places
+				case sectionZones:
+					zones, err := decodeZones(sr, ncols)
+					if err != nil {
+						return nil, err
+					}
+					s.zones = zones
+				default:
+					// Unknown section written by a newer format: skip it.
+				}
+			}
+			if r.err != nil {
+				return nil, fmt.Errorf("corrupt footer: %w", r.err)
+			}
+		} else {
+			// Legacy trailing placements: the marker was the map's column
+			// count.
+			places, err := decodePlaceCols(r, int(marker), ncols)
+			if err != nil {
+				return nil, err
+			}
+			s.places = places
+			if r.err != nil {
+				return nil, fmt.Errorf("corrupt footer: %w", r.err)
+			}
+		}
 	}
 	return s, nil
+}
+
+func decodePlaces(r *reader, ncols int) ([][]BlockPlace, error) {
+	return decodePlaceCols(r, int(r.u32()), ncols)
+}
+
+func decodePlaceCols(r *reader, npcols, ncols int) ([][]BlockPlace, error) {
+	if r.err != nil || npcols != ncols {
+		return nil, fmt.Errorf("corrupt footer: block map covers %d columns, schema has %d", npcols, ncols)
+	}
+	places := make([][]BlockPlace, npcols)
+	for c := range places {
+		nblk := int(r.u32())
+		if r.err != nil || nblk > len(r.buf) {
+			return nil, fmt.Errorf("corrupt footer: bad block map count %d", nblk)
+		}
+		col := make([]BlockPlace, nblk)
+		for b := range col {
+			col[b] = BlockPlace{Seg: r.u32(), Blk: r.u32()}
+		}
+		places[c] = col
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("corrupt footer: %w", r.err)
+	}
+	return places, nil
+}
+
+func decodeZones(r *reader, ncols int) ([][]Zone, error) {
+	nzcols := int(r.u32())
+	if r.err != nil || nzcols != ncols {
+		return nil, fmt.Errorf("corrupt footer: zone map covers %d columns, schema has %d", nzcols, ncols)
+	}
+	zones := make([][]Zone, nzcols)
+	for c := range zones {
+		nblk := int(r.u32())
+		if r.err != nil || nblk > len(r.buf) {
+			return nil, fmt.Errorf("corrupt footer: bad zone count %d", nblk)
+		}
+		col := make([]Zone, nblk)
+		for b := range col {
+			col[b] = r.zone()
+		}
+		zones[c] = col
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("corrupt footer: %w", r.err)
+	}
+	return zones, nil
 }
 
 // syncDir fsyncs a directory so a just-created/renamed/removed entry is

@@ -33,7 +33,8 @@ func buildSegment(t *testing.T, path string) (*Segment, [][]byte) {
 	}
 	for blk := 0; blk < 2; blk++ {
 		for col := 0; col < 3; col++ {
-			if err := w.AppendBlock(col, blocks[blk*3+col]); err != nil {
+			z := Zone{Kind: ZoneInt, MinI: int64(blk * 10), MaxI: int64(blk*10 + 9)}
+			if err := w.AppendBlock(col, blocks[blk*3+col], z); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -70,6 +71,9 @@ func TestSegmentRoundtrip(t *testing.T) {
 	}
 	if sp := seg.Sparse(); len(sp) != 2 || types.CompareRows(sp[1], types.Row{types.Int(5)}) != 0 {
 		t.Fatalf("sparse mismatch: %v", sp)
+	}
+	if z, ok := seg.Zone(2, 1); !ok || z.Kind != ZoneInt || z.MinI != 10 || z.MaxI != 19 {
+		t.Fatalf("zone mismatch: %+v ok=%v", z, ok)
 	}
 	for blk := 0; blk < 2; blk++ {
 		for col := 0; col < 3; col++ {

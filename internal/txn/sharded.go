@@ -266,6 +266,47 @@ func (t *STxn) PartitionScan(loKey, hiKey types.Row) (*engine.PartScan, error) {
 	}
 	domainHi := pos
 	return &engine.PartScan{Lo: 0, Hi: domainHi, Unit: unit, Cuts: cuts,
+		// Pruning composes per shard: each shard prunes its own clamped range
+		// against its pinned snapshot, and the kept ranges are translated into
+		// the compacted domain. A zero-width slot always survives as a
+		// zero-width range (its delta layers can hold qualifying inserts);
+		// a shard that declines keeps its whole slot.
+		Prune: func(preds []engine.Pred) *engine.PruneResult {
+			res := &engine.PruneResult{}
+			any := false
+			for _, sg := range segs {
+				if sg.width == 0 {
+					res.Ranges = append(res.Ranges, engine.SIDRange{Lo: sg.start, Hi: sg.start})
+					continue
+				}
+				var sub *engine.PruneResult
+				if sg.ps.Prune != nil {
+					sub = sg.ps.Prune(preds)
+				}
+				if sub == nil {
+					res.Ranges = append(res.Ranges, engine.SIDRange{Lo: sg.start, Hi: sg.start + sg.width})
+					nb := int((sg.width + uint64(unit) - 1) / uint64(unit))
+					res.Total += nb
+					res.Kept += nb
+					continue
+				}
+				any = true
+				res.Total += sub.Total
+				res.Kept += sub.Kept
+				res.ZoneSkips += sub.ZoneSkips
+				res.IndexSkips += sub.IndexSkips
+				for _, r := range sub.Ranges {
+					res.Ranges = append(res.Ranges, engine.SIDRange{
+						Lo: sg.start + (r.Lo - sg.ps.Lo),
+						Hi: sg.start + (r.Hi - sg.ps.Lo),
+					})
+				}
+			}
+			if !any {
+				return nil
+			}
+			return res
+		},
 		Open: func(cols []int, mlo, mhi uint64, last bool) (pdt.BatchSource, error) {
 			var srcs []pdt.BatchSource
 			for _, sg := range segs {

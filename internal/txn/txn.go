@@ -409,6 +409,11 @@ func (t *Txn) PartitionScan(loKey, hiKey types.Row) (*engine.PartScan, error) {
 	lo, hi := store.SIDRange(loKey, hiKey)
 	readPDT, frozen, writeSnap, trans := t.ver.readPDT, t.frozen, t.writeSnap, t.trans
 	return &engine.PartScan{Lo: lo, Hi: hi, Unit: store.BlockRows(),
+		// The prune pass consults the pinned image's zone maps and index
+		// sidecar, treating every block the four pinned layers touch as
+		// unskippable — the positional dirty-block gate that keeps index and
+		// zone answers snapshot-consistent while deltas are unfolded.
+		Prune: engine.PruneFunc(store, lo, hi, readPDT, frozen, writeSnap, trans),
 		Open: func(cols []int, mlo, mhi uint64, last bool) (pdt.BatchSource, error) {
 			if err := store.Prefetch(cols, mlo, mhi); err != nil {
 				return nil, err

@@ -13,6 +13,14 @@ type Stats struct {
 	Generation uint64
 	// Shard holds one entry per shard, in shard order.
 	Shard []ShardStats
+	// ZoneSkippedBlocks and IndexSkippedBlocks count stable blocks that scans
+	// proved empty of matches — via zone maps and secondary indexes
+	// respectively — and therefore never read. They accumulate across the
+	// device's lifetime (shards share one device, so the counts are DB-wide)
+	// and are the observable access-path signal: a selective Plan that probes
+	// an index shows up here, a full scan does not.
+	ZoneSkippedBlocks  uint64
+	IndexSkippedBlocks uint64
 }
 
 // ShardStats describes one shard's commit clock, WAL stream and segment
@@ -39,6 +47,7 @@ type ShardStats struct {
 
 // SegmentStats describes one member of a shard's segment chain.
 type SegmentStats struct {
+	// Name is the member's file name inside the store directory.
 	Name string
 	// LiveBlocks counts the (column, block) cells the chain's block map
 	// still reads from this member; TotalBlocks is what the member holds.
@@ -59,6 +68,7 @@ func (db *DB) Stats() Stats {
 		Generation: db.man.Generation,
 		Shard:      make([]ShardStats, len(db.mgrs)),
 	}
+	st.ZoneSkippedBlocks, st.IndexSkippedBlocks = db.dev.SkipStats()
 	for i := range db.mgrs {
 		store := db.tbls[i].Store()
 		ss := ShardStats{
